@@ -1,0 +1,66 @@
+"""A3 — ablation: replication count vs coefficient stability.
+
+Each sweep point averages several randomized protection runs.  This
+ablation refits equation (2) under different replication counts and
+protection seeds and reports the spread of the fitted coefficients:
+more replications buy a steadier model.  The benchmark times one
+protect-and-measure evaluation, the unit the replication knob
+multiplies.
+"""
+
+import numpy as np
+
+from repro import ExperimentRunner, fit_system_model, geo_ind_system
+from repro.report import format_table
+
+from conftest import report
+
+SEEDS = (101, 202, 303)
+N_POINTS = 10
+
+
+def _coefficients(dataset, n_replications, base_seed):
+    runner = ExperimentRunner(
+        geo_ind_system(), dataset,
+        n_replications=n_replications, base_seed=base_seed,
+    )
+    sweep = runner.sweep(n_points=N_POINTS)
+    return np.asarray(fit_system_model(sweep).coefficients)
+
+
+def bench_replication_stability(benchmark, taxi_dataset, capsys):
+    spreads = {}
+    for reps in (1, 3):
+        coeffs = np.stack([
+            _coefficients(taxi_dataset, reps, seed) for seed in SEEDS
+        ])
+        spreads[reps] = coeffs.std(axis=0)
+
+    names = ("a", "b", "alpha", "beta")
+    rows = [
+        (name, f"{spreads[1][i]:.4f}", f"{spreads[3][i]:.4f}")
+        for i, name in enumerate(names)
+    ]
+    text = format_table(
+        ["coefficient", "std over seeds (1 rep)", "std over seeds (3 reps)"],
+        rows,
+    )
+    report(capsys, "ablation_replication", text)
+
+    # --- invariants -----------------------------------------------------
+    # The utility fit (many active points) must be steady already;
+    # averaging must not make the overall spread worse.
+    assert np.all(np.isfinite(spreads[1]))
+    assert np.all(np.isfinite(spreads[3]))
+    assert spreads[3].sum() <= spreads[1].sum() * 1.5
+    # Utility coefficients are tight in absolute terms either way.
+    assert spreads[3][3] < 0.05, "beta should be stable across seeds"
+
+    # --- timed unit: one protect-and-measure evaluation -----------------
+    def evaluate_once():
+        runner = ExperimentRunner(geo_ind_system(), taxi_dataset,
+                                  n_replications=1)
+        return runner.evaluate_once({"epsilon": 0.01}, seed=0)
+
+    pr, ut = benchmark.pedantic(evaluate_once, rounds=3, iterations=1)
+    assert 0.0 <= pr <= 1.0

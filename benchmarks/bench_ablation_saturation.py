@@ -1,0 +1,49 @@
+"""A2 — ablation: saturation-zone detection on vs off.
+
+The paper fits equation (2) only "on the interval where eps impacts the
+privacy and utility metrics" (between Figure 1's vertical lines).  This
+ablation fits with and without that restriction: fitting across the
+plateaus flattens the privacy slope and degrades the fit, which is
+precisely why the vertical lines exist.  The benchmark times the
+active-region detector itself.
+"""
+
+from repro import find_active_region, fit_system_model
+from repro.report import format_table
+
+from conftest import report
+
+
+def bench_saturation_ablation(benchmark, geoi_sweep, capsys):
+    with_zone = fit_system_model(geoi_sweep, use_active_region=True)
+    without_zone = fit_system_model(geoi_sweep, use_active_region=False)
+
+    rows = [
+        ("privacy R2", f"{with_zone.privacy.r2:.3f}",
+         f"{without_zone.privacy.r2:.3f}"),
+        ("privacy slope b", f"{with_zone.privacy.slope:.3f}",
+         f"{without_zone.privacy.slope:.3f}"),
+        ("utility R2", f"{with_zone.utility.r2:.3f}",
+         f"{without_zone.utility.r2:.3f}"),
+        ("utility slope beta", f"{with_zone.utility.slope:.3f}",
+         f"{without_zone.utility.slope:.3f}"),
+    ]
+    text = format_table(
+        ["quantity", "active zone only (paper)", "full sweep"], rows
+    )
+    report(capsys, "ablation_saturation", text)
+
+    # --- invariants: the paper's choice must pay off --------------------
+    assert with_zone.privacy.r2 >= without_zone.privacy.r2 - 1e-9, (
+        "restricting to the active zone must not worsen the privacy fit"
+    )
+    # Fitting across plateaus dilutes the privacy slope (the transition
+    # is averaged with flat stretches).
+    assert abs(without_zone.privacy.slope) < abs(with_zone.privacy.slope)
+    # Both remain invertible either way.
+    assert without_zone.privacy.slope != 0
+
+    # --- timed unit: active-region detection ----------------------------
+    privacy_curve = geoi_sweep.privacy()
+    region = benchmark(find_active_region, privacy_curve)
+    assert region.n_points >= 2

@@ -1,0 +1,77 @@
+"""A1 — ablation: sweep density vs model quality.
+
+The offline sweep is the framework's only real cost, so how many points
+does it actually need?  We fit equation (2) from sweeps of increasing
+density and track (i) fit quality and (ii) how far the headline
+configuration drifts from the dense-sweep reference.  The benchmark
+times the model fit at the densest setting.
+"""
+
+import numpy as np
+
+from repro import (
+    Configurator,
+    ExperimentRunner,
+    Objective,
+    fit_system_model,
+    geo_ind_system,
+)
+from repro.report import format_table
+
+from conftest import PAPER_MAX_PRIVACY, PAPER_MIN_UTILITY, report
+
+DENSITIES = (6, 9, 12, 16, 24)
+OBJECTIVES = [
+    Objective("privacy", "<=", PAPER_MAX_PRIVACY),
+    Objective("utility", ">=", PAPER_MIN_UTILITY),
+]
+
+
+def _recommend_at_density(system, dataset, n_points):
+    configurator = Configurator(system, dataset, n_points=n_points,
+                                n_replications=1)
+    model = configurator.fit()
+    rec = configurator.recommend(OBJECTIVES)
+    return model, rec, configurator.runner.n_evaluations
+
+
+def bench_sweep_density(benchmark, taxi_dataset, capsys):
+    system = geo_ind_system()
+    reference = None
+    rows = []
+    results = {}
+    for n in DENSITIES:
+        model, rec, cost = _recommend_at_density(system, taxi_dataset, n)
+        results[n] = (model, rec)
+        rows.append((
+            n,
+            cost,
+            f"{model.privacy.r2:.3f}",
+            f"{model.utility.r2:.3f}",
+            f"{rec.value:.4g}" if rec.feasible else "infeasible",
+        ))
+        if n == DENSITIES[-1]:
+            reference = rec
+    text = format_table(
+        ["sweep points", "evaluations", "privacy R2", "utility R2",
+         "recommended eps"], rows
+    )
+    report(capsys, "ablation_sweep_density", text)
+
+    # --- invariants -----------------------------------------------------
+    assert reference is not None and reference.feasible
+    # Moderate density already lands near the dense answer.
+    for n in DENSITIES[2:]:
+        _, rec = results[n]
+        assert rec.feasible, f"{n}-point sweep failed to configure"
+        ratio = rec.value / reference.value
+        assert 0.4 <= ratio <= 2.5, f"density {n} drifted: {ratio:.2f}x"
+    # The sparsest sweep must at least fit *something* invertible.
+    sparse_model, _ = results[DENSITIES[0]]
+    assert sparse_model.privacy.slope != 0
+
+    # --- timed unit: fit at the densest sweep ---------------------------
+    runner = ExperimentRunner(system, taxi_dataset, n_replications=1)
+    dense_sweep = runner.sweep(n_points=DENSITIES[-1])
+    model = benchmark(fit_system_model, dense_sweep)
+    assert model.utility.slope > 0

@@ -1,0 +1,40 @@
+"""E3 — Equation (2): the invertible log-linear model.
+
+Paper: ln(eps) = (Pr - a)/b = (Ut - alpha)/beta with a=0.84, b=0.17,
+alpha=1.21, beta=0.09, fitted inside the non-saturated zones.  Absolute
+coefficients depend on the dataset (ours is synthetic); the reproduced
+invariants are the signs (both metrics grow with eps), the fit quality
+inside the active zones, and invertibility.  The benchmark times the
+whole model-fitting step (saturation detection + two least-squares
+fits) — the paper's offline "modeling phase" minus the sweep itself.
+"""
+
+from repro import fit_system_model
+from repro.report import model_summary
+
+from conftest import PAPER_COEFFS, report
+
+
+def bench_equation_2(benchmark, geoi_sweep, geoi_model, capsys):
+    a, b, alpha, beta = geoi_model.coefficients
+    text = model_summary(geoi_model)
+    text += (
+        f"\npaper coefficients: a={PAPER_COEFFS['a']}, b={PAPER_COEFFS['b']}, "
+        f"alpha={PAPER_COEFFS['alpha']}, beta={PAPER_COEFFS['beta']}"
+    )
+    report(capsys, "eq2_model_fit", text)
+
+    # --- reproduced invariants ----------------------------------------
+    assert b > 0, "privacy must grow with epsilon (paper: b = 0.17 > 0)"
+    assert beta > 0, "utility must grow with epsilon (paper: beta = 0.09 > 0)"
+    assert geoi_model.privacy.r2 >= 0.85, "poor privacy fit in active zone"
+    assert geoi_model.utility.r2 >= 0.85, "poor utility fit in active zone"
+    # Invertibility round-trip at the centre of each active zone.
+    for metric_model in (geoi_model.privacy, geoi_model.utility):
+        mid_y = (metric_model.y_low + metric_model.y_high) / 2.0
+        x = metric_model.invert(mid_y)
+        assert metric_model.x_low * 0.5 <= x <= metric_model.x_high * 2.0
+
+    # --- timed unit: the full fit from sweep data ----------------------
+    model = benchmark(fit_system_model, geoi_sweep)
+    assert model.coefficients == geoi_model.coefficients

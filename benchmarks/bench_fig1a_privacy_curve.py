@@ -1,0 +1,43 @@
+"""E1 — Figure 1a: privacy metric vs epsilon.
+
+Paper shape: the POI-retrieval privacy metric sits on a low plateau for
+small epsilon, rises rapidly across a transition band (0.007 -> 0.08 in
+the paper), and saturates above it.  The benchmark times one privacy
+metric evaluation — the unit cost every point of the figure pays.
+"""
+
+import numpy as np
+
+from repro import GeoIndistinguishability, PoiRetrievalPrivacy
+from repro.framework import find_active_region
+from repro.report import format_table
+
+from conftest import report
+
+
+def bench_figure_1a(benchmark, geoi_sweep, taxi_dataset, capsys):
+    eps = geoi_sweep.param_values()
+    privacy = geoi_sweep.privacy()
+
+    # --- reproduce the figure as a printed series ---------------------
+    rows = [(f"{e:.3e}", f"{p:.3f}") for e, p in zip(eps, privacy)]
+    region = find_active_region(privacy)
+    text = format_table(["epsilon (1/m)", "privacy metric"], rows)
+    text += (
+        f"\nactive (non-saturated) zone: eps in "
+        f"[{eps[region.start]:.3e}, {eps[region.stop]:.3e}] "
+        f"(paper: [7e-3, 8e-2])"
+    )
+    report(capsys, "fig1a_privacy_curve", text)
+
+    # --- shape assertions (who wins / where the transition falls) -----
+    assert privacy[0] <= 0.05, "low plateau missing"
+    assert privacy[-1] >= 0.9, "high plateau missing"
+    assert np.all(np.diff(privacy) >= -0.1), "curve not monotone"
+    assert 1e-3 <= eps[region.start] <= 1e-1, "transition outside paper band"
+
+    # --- timed unit: one privacy evaluation at the headline epsilon ---
+    protected = GeoIndistinguishability(0.01).protect(taxi_dataset, seed=0)
+    metric = PoiRetrievalPrivacy()
+    value = benchmark(metric.evaluate, taxi_dataset, protected)
+    assert 0.0 <= value <= 1.0

@@ -1,0 +1,44 @@
+"""E2 — Figure 1b: utility metric vs epsilon.
+
+Paper shape: the area-coverage utility rises slowly and monotonically
+across the whole sweep (0.2 -> 1 over eps 1e-4 -> 1), on a much wider
+epsilon band than the privacy transition of Figure 1a.  The benchmark
+times one utility metric evaluation.
+"""
+
+import numpy as np
+
+from repro import AreaCoverageUtility, GeoIndistinguishability
+from repro.framework import find_active_region
+from repro.report import format_table
+
+from conftest import report
+
+
+def bench_figure_1b(benchmark, geoi_sweep, taxi_dataset, capsys):
+    eps = geoi_sweep.param_values()
+    utility = geoi_sweep.utility()
+    privacy = geoi_sweep.privacy()
+
+    # --- reproduce the figure as a printed series ---------------------
+    rows = [(f"{e:.3e}", f"{u:.3f}") for e, u in zip(eps, utility)]
+    text = format_table(["epsilon (1/m)", "utility metric"], rows)
+    report(capsys, "fig1b_utility_curve", text)
+
+    # --- shape assertions ---------------------------------------------
+    assert utility[0] <= 0.3, "utility should start low (paper: 0.2)"
+    assert utility[-1] >= 0.95, "utility should saturate near 1"
+    assert np.all(np.diff(utility) >= -0.05), "curve not monotone"
+    # Utility responds over a wider log-band than privacy (paper's
+    # central observation motivating per-metric saturation zones).
+    ut_region = find_active_region(utility)
+    pr_region = find_active_region(privacy)
+    ut_span = np.log(eps[ut_region.stop] / eps[ut_region.start])
+    pr_span = np.log(eps[pr_region.stop] / eps[pr_region.start])
+    assert ut_span > pr_span, "utility band should be wider than privacy band"
+
+    # --- timed unit: one utility evaluation at the headline epsilon ---
+    protected = GeoIndistinguishability(0.01).protect(taxi_dataset, seed=0)
+    metric = AreaCoverageUtility(cell_size_m=600.0)
+    value = benchmark(metric.evaluate, taxi_dataset, protected)
+    assert 0.0 <= value <= 1.0

@@ -1,0 +1,61 @@
+"""A4 — scaling: evaluation cost vs dataset size.
+
+The framework's offline phase is a sweep of protect-and-measure
+evaluations, so its wall-clock scales with the dataset.  This bench
+measures one evaluation at three fleet sizes and checks the growth is
+near-linear (the POI attack is the dominant cost and is linear in
+records per user) — evidence the offline phase stays tractable on
+real Cabspotting-scale data.  The benchmark times the mid-size case.
+"""
+
+import time
+
+from repro import ExperimentRunner, TaxiFleetConfig, generate_taxi_fleet, geo_ind_system
+from repro.report import format_table
+
+from conftest import report
+
+SIZES = (4, 8, 16)
+
+
+def bench_scaling(benchmark, capsys):
+    system = geo_ind_system()
+    rows = []
+    costs = {}
+    for n_cabs in SIZES:
+        dataset = generate_taxi_fleet(
+            TaxiFleetConfig(n_cabs=n_cabs, shift_hours=8.0, seed=1)
+        )
+        runner = ExperimentRunner(system, dataset, n_replications=1)
+        start = time.perf_counter()
+        runner.evaluate_once({"epsilon": 0.01}, seed=0)
+        elapsed = time.perf_counter() - start
+        costs[n_cabs] = (dataset.n_records, elapsed)
+        rows.append((n_cabs, dataset.n_records, f"{elapsed * 1000:.1f} ms"))
+    report(
+        capsys,
+        "scaling",
+        format_table(["cabs", "records", "one evaluation"], rows),
+    )
+
+    # --- invariants: near-linear growth in record count -----------------
+    small_records, small_t = costs[SIZES[0]]
+    large_records, large_t = costs[SIZES[-1]]
+    record_ratio = large_records / small_records
+    time_ratio = large_t / small_t
+    assert time_ratio < record_ratio * 3.0, (
+        f"evaluation cost grew superlinearly: records x{record_ratio:.1f}, "
+        f"time x{time_ratio:.1f}"
+    )
+
+    # --- timed unit: one evaluation at the mid size ----------------------
+    dataset = generate_taxi_fleet(
+        TaxiFleetConfig(n_cabs=SIZES[1], shift_hours=8.0, seed=1)
+    )
+
+    def evaluate_once():
+        runner = ExperimentRunner(system, dataset, n_replications=1)
+        return runner.evaluate_once({"epsilon": 0.01}, seed=0)
+
+    pr, ut = benchmark.pedantic(evaluate_once, rounds=3, iterations=1)
+    assert 0.0 <= pr <= 1.0

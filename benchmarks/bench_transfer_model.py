@@ -1,0 +1,86 @@
+"""E9 — equation (1)'s dataset side: cross-dataset model transfer.
+
+The paper's model takes dataset properties d_i as inputs so that the
+relationship generalises beyond one dataset.  This bench trains the
+coefficient-transfer regression on a population of taxi fleets and
+configures a held-out fleet from its properties alone, then verifies
+the transferred recommendation by actually protecting the held-out
+data.  The benchmark times the transfer prediction (the zero-sweep
+online path for a brand-new dataset).
+"""
+
+from repro import (
+    Configurator,
+    ModelTransfer,
+    Objective,
+    PropertyExtractor,
+    TaxiFleetConfig,
+    generate_taxi_fleet,
+    geo_ind_system,
+)
+from repro.report import format_table
+
+from conftest import PAPER_MAX_PRIVACY, PAPER_MIN_UTILITY, report
+
+OBJECTIVES = [
+    Objective("privacy", "<=", PAPER_MAX_PRIVACY),
+    Objective("utility", ">=", PAPER_MIN_UTILITY),
+]
+N_USERS = PropertyExtractor("n_users", lambda ds: float(len(ds)))
+
+
+def bench_transfer_model(benchmark, capsys):
+    system = geo_ind_system()
+    training = [
+        generate_taxi_fleet(TaxiFleetConfig(n_cabs=n, shift_hours=8.0, seed=n))
+        for n in (6, 8, 10, 14)
+    ]
+    held_out = generate_taxi_fleet(
+        TaxiFleetConfig(n_cabs=12, shift_hours=8.0, seed=99)
+    )
+
+    # Ground truth on the held-out fleet (full offline phase).
+    configurator = Configurator(system, held_out, n_points=14, n_replications=2)
+    true_model = configurator.fit()
+    true_rec = configurator.recommend(OBJECTIVES)
+
+    # Transfer: learn coefficients from properties across the fleet pool.
+    transfer = ModelTransfer(system, [N_USERS], n_points=14)
+    transfer.fit(training)
+    predicted = transfer.predict_model(held_out)
+
+    rows = [
+        (name, f"{t:.3f}", f"{p:.3f}")
+        for name, t, p in zip(
+            ("a", "b", "alpha", "beta"),
+            true_model.coefficients,
+            predicted.coefficients,
+        )
+    ]
+    transferred_configurator = Configurator(system, held_out)
+    transferred_configurator._model = predicted.model
+    transferred_configurator._sweep = configurator.sweep
+    transfer_rec = transferred_configurator.recommend(OBJECTIVES)
+    assert transfer_rec.feasible, transfer_rec.notes
+    measured = configurator.runner.evaluate({"epsilon": transfer_rec.value})
+
+    text = format_table(["coefficient", "swept", "transferred"], rows)
+    text += (
+        f"\nswept eps = {true_rec.value:.4g}; "
+        f"transferred eps = {transfer_rec.value:.4g} "
+        f"(0 evaluations on the held-out fleet)"
+        f"\nmeasured at transferred eps: privacy {measured.privacy_mean:.3f}, "
+        f"utility {measured.utility_mean:.3f}"
+    )
+    report(capsys, "transfer_model", text)
+
+    # --- invariants -----------------------------------------------------
+    assert true_rec.feasible
+    ratio = transfer_rec.value / true_rec.value
+    assert 0.4 <= ratio <= 2.5, "transferred eps drifted from the swept one"
+    assert measured.privacy_mean <= PAPER_MAX_PRIVACY + 0.05
+    assert measured.utility_mean >= PAPER_MIN_UTILITY - 0.05
+
+    # --- timed unit: property extraction + coefficient prediction -------
+    result = benchmark(transfer.predict_model, held_out)
+    assert result.coefficients == predicted.coefficients

@@ -1,0 +1,79 @@
+"""Shared fixtures of the benchmark harness.
+
+Every benchmark reproduces one paper artefact (see DESIGN.md §4).  The
+expensive pieces — the synthetic Cabspotting stand-in and the Figure 1
+epsilon sweep — are computed once per session and shared.  Each bench
+prints its reproduced table/series through ``report`` so the numbers
+land both on the terminal (uncaptured) and in ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro import (
+    CommuterConfig,
+    Dataset,
+    ExperimentRunner,
+    SweepResult,
+    SystemModel,
+    TaxiFleetConfig,
+    fit_system_model,
+    generate_commuters,
+    generate_taxi_fleet,
+    geo_ind_system,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Paper values of equation (2), for side-by-side reporting.
+PAPER_COEFFS = {"a": 0.84, "b": 0.17, "alpha": 1.21, "beta": 0.09}
+#: The paper's worked-example objectives (§2).
+PAPER_MAX_PRIVACY = 0.10
+PAPER_MIN_UTILITY = 0.80
+
+
+def report(capsys, name: str, text: str) -> None:
+    """Print a reproduction artefact to the real terminal and to disk."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    with capsys.disabled():
+        print(f"\n----- {name} -----")
+        print(text)
+
+
+@pytest.fixture(scope="session")
+def taxi_dataset() -> Dataset:
+    """The synthetic stand-in for the paper's Cabspotting dataset."""
+    return generate_taxi_fleet(TaxiFleetConfig(n_cabs=12, shift_hours=8.0, seed=11))
+
+
+@pytest.fixture(scope="session")
+def commuter_dataset() -> Dataset:
+    """The GeoLife-like dataset for the 'other datasets' experiment."""
+    return generate_commuters(CommuterConfig(n_users=8, n_days=3, seed=11))
+
+
+@pytest.fixture(scope="session")
+def geoi_runner(taxi_dataset) -> ExperimentRunner:
+    """Shared runner (and evaluation cache) for the GEO-I system."""
+    return ExperimentRunner(
+        geo_ind_system(), taxi_dataset, n_replications=2, base_seed=0
+    )
+
+
+@pytest.fixture(scope="session")
+def geoi_sweep(geoi_runner) -> SweepResult:
+    """The epsilon sweep behind Figure 1, computed once per session."""
+    sweep = geoi_runner.sweep(n_points=16)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    sweep.write_csv(RESULTS_DIR / "figure1_sweep.csv")
+    return sweep
+
+
+@pytest.fixture(scope="session")
+def geoi_model(geoi_sweep) -> SystemModel:
+    """Equation (2) fitted from the shared sweep."""
+    return fit_system_model(geoi_sweep)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Compare every registered LPPM on the same privacy/utility axes.
+
+The paper's future work is "testing other LPPMs": this example runs the
+framework's sweep for each mechanism in the registry and prints each
+one's privacy/utility frontier, showing how the same two metrics rank
+very different protection strategies (noise, cloaking, subsampling).
+
+Run:  python examples/compare_lppms.py
+"""
+
+from repro import (
+    ExperimentRunner,
+    GaussianPerturbation,
+    GridRounding,
+    ParameterSpec,
+    Subsampling,
+    SystemDefinition,
+    TaxiFleetConfig,
+    UniformDiskNoise,
+    generate_taxi_fleet,
+    geo_ind_system,
+)
+from repro.metrics import AreaCoverageUtility, PoiRetrievalPrivacy
+from repro.report import format_table
+
+#: Comparator mechanisms and sensible sweep ranges for their parameters.
+COMPARATORS = [
+    ("gaussian", GaussianPerturbation, ParameterSpec("sigma_m", 10.0, 5000.0)),
+    ("uniform_disk", UniformDiskNoise, ParameterSpec("radius_m", 10.0, 5000.0)),
+    ("rounding", GridRounding, ParameterSpec("cell_size_m", 50.0, 5000.0)),
+    ("subsampling", Subsampling,
+     ParameterSpec("keep_fraction", 0.02, 1.0, scale="log")),
+]
+
+
+def main() -> None:
+    dataset = generate_taxi_fleet(TaxiFleetConfig(n_cabs=8, shift_hours=6.0))
+    print(f"dataset: {len(dataset)} cabs, {dataset.n_records} records\n")
+
+    # GEO-I first (the paper's mechanism), then the comparators.
+    systems = [geo_ind_system()]
+    for name, factory, spec in COMPARATORS:
+        systems.append(SystemDefinition(
+            name=name,
+            lppm_factory=factory,
+            parameters=[spec],
+            privacy_metric=PoiRetrievalPrivacy(),
+            utility_metric=AreaCoverageUtility(cell_size_m=500.0),
+        ))
+
+    for system in systems:
+        runner = ExperimentRunner(system, dataset, n_replications=1)
+        sweep = runner.sweep(n_points=7)
+        rows = [
+            (f"{v:.4g}", f"{pr:.3f}", f"{ut:.3f}")
+            for v, pr, _, ut, _ in sweep.to_rows()
+        ]
+        print(f"== {system.name} (parameter: {sweep.param_name}) ==")
+        print(format_table([sweep.param_name, "privacy", "utility"], rows))
+        print()
+
+    print("Reading the frontiers: noise mechanisms (geo_ind, gaussian, "
+          "uniform_disk) trade privacy for utility smoothly; rounding "
+          "keeps POIs retrievable until cells exceed the matching radius "
+          "(deterministic snapping preserves recurrence); subsampling "
+          "preserves coverage longer than it preserves POIs.")
+
+
+if __name__ == "__main__":
+    main()

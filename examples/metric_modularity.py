@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Metric modularity: the same framework under different objectives.
+
+"This framework is modular: by using different metrics, a system
+designer is able to fine-tune her LPPM according to her expected
+privacy and utility guarantees" (the paper).  This example fits the
+GEO-I model under three different metric pairs and shows how the
+recommended epsilon shifts with what the designer actually cares
+about.
+
+Run:  python examples/metric_modularity.py
+"""
+
+import numpy as np
+
+from repro import (
+    AreaCoverageUtility,
+    Configurator,
+    GeoIndistinguishability,
+    HeatmapPreservationUtility,
+    LogDistortionPrivacy,
+    Objective,
+    ParameterSpec,
+    PoiRetrievalPrivacy,
+    RangeQueryUtility,
+    SystemDefinition,
+    TaxiFleetConfig,
+    generate_taxi_fleet,
+)
+from repro.report import format_table
+
+#: (label, privacy metric, utility metric, objectives)
+SCENARIOS = [
+    (
+        "paper: POI attack vs block coverage",
+        PoiRetrievalPrivacy(),
+        AreaCoverageUtility(cell_size_m=600.0),
+        [Objective("privacy", "<=", 0.10), Objective("utility", ">=", 0.80)],
+    ),
+    (
+        "localisation error vs LBS range queries",
+        LogDistortionPrivacy(),
+        RangeQueryUtility(radius_m=500.0, n_queries=30),
+        # ln(300 m): scale-free error metrics enter the log-linear model
+        # in log space, where they are exactly linear in ln(epsilon).
+        [Objective("privacy", ">=", float(np.log(300.0))),
+         Objective("utility", ">=", 0.5)],
+    ),
+    (
+        "POI attack vs aggregate heatmap",
+        PoiRetrievalPrivacy(),
+        HeatmapPreservationUtility(cell_size_m=600.0),
+        [Objective("privacy", "<=", 0.10), Objective("utility", ">=", 0.90)],
+    ),
+]
+
+
+def main() -> None:
+    dataset = generate_taxi_fleet(TaxiFleetConfig(n_cabs=10, shift_hours=8.0))
+    rows = []
+    for label, privacy_metric, utility_metric, objectives in SCENARIOS:
+        system = SystemDefinition(
+            name="geo_ind",
+            lppm_factory=GeoIndistinguishability,
+            parameters=[ParameterSpec("epsilon", 1e-4, 1.0, scale="log")],
+            privacy_metric=privacy_metric,
+            utility_metric=utility_metric,
+        )
+        configurator = Configurator(system, dataset, n_points=12,
+                                    n_replications=1)
+        configurator.fit()
+        rec = configurator.recommend(objectives)
+        rows.append((
+            label,
+            ", ".join(str(o) for o in objectives),
+            f"{rec.value:.4g}" if rec.feasible else "infeasible",
+        ))
+    print(format_table(["scenario", "objectives", "recommended eps"], rows))
+    print()
+    print("Same mechanism, same dataset, same machinery — different "
+          "guarantees in, different epsilon out.  That is the framework's "
+          "modularity claim in action.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quickstart: protect a mobility dataset and measure the trade-off.
+
+Generates a small synthetic San Francisco taxi fleet (the library's
+stand-in for the Cabspotting dataset used in the paper), protects it
+with Geo-Indistinguishability at the paper's headline epsilon = 0.01,
+and measures the two metrics of the paper's illustration:
+
+* privacy  — fraction of each user's POIs an attacker still retrieves;
+* utility  — how much of the user's block-level area coverage survives.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AreaCoverageUtility,
+    GeoIndistinguishability,
+    PoiRetrievalPrivacy,
+    TaxiFleetConfig,
+    dataset_stats,
+    generate_taxi_fleet,
+)
+
+
+def main() -> None:
+    # 1. A dataset of taxi drivers around San Francisco.
+    dataset = generate_taxi_fleet(TaxiFleetConfig(n_cabs=10, shift_hours=8.0))
+    stats = dataset_stats(dataset)
+    print(f"dataset: {len(dataset)} cabs, {int(stats['n_records'])} records, "
+          f"{int(stats['covered_cells'])} city blocks covered")
+
+    # 2. Protect it with GEO-I at the paper's recommended epsilon.
+    epsilon = 0.01  # metres^-1; mean added noise is 2/epsilon = 200 m
+    lppm = GeoIndistinguishability(epsilon)
+    protected = lppm.protect(dataset, seed=0)
+    print(f"protected with {lppm!r} (mean noise {lppm.mean_error_m:.0f} m)")
+
+    # 3. Measure the paper's two metrics.
+    privacy = PoiRetrievalPrivacy().evaluate(dataset, protected)
+    utility = AreaCoverageUtility(cell_size_m=500.0).evaluate(dataset, protected)
+    print(f"privacy metric (POIs retrieved): {privacy:.2%}  (lower is better)")
+    print(f"utility metric (area coverage):  {utility:.2%}  (higher is better)")
+    print()
+    print("The paper's §2 worked example promises <=10% POI retrieval with "
+          "~80% utility at epsilon = 0.01 — compare the numbers above.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Dataset study: properties, PCA ranking and the attack surface.
+
+Walks through the parts of framework step 1 the other examples skip:
+extracting the dataset properties d_i, ranking them with a principal
+component analysis across dataset variants (the paper: properties are
+"soundly chosen using a principal component analysis"), and profiling
+the POI attack surface of individual users — including the stronger
+re-identification adversary.
+
+Run:  python examples/taxi_fleet_study.py
+"""
+
+from repro import (
+    GeoIndistinguishability,
+    TaxiFleetConfig,
+    extract_features,
+    extract_pois,
+    generate_taxi_fleet,
+    rank_properties,
+    reidentify,
+)
+from repro.report import format_table
+
+
+def main() -> None:
+    # Dataset variants spanning fleet size, shift length and habits —
+    # the population over which property variance is measured.
+    variants = [
+        generate_taxi_fleet(TaxiFleetConfig(
+            n_cabs=n, shift_hours=h, heterogeneity=het, seed=seed,
+        ))
+        for seed, (n, h, het) in enumerate([
+            (6, 4.0, 0.0), (6, 8.0, 0.6), (10, 6.0, 0.3),
+            (14, 8.0, 0.6), (10, 10.0, 0.8), (8, 6.0, 0.0),
+        ])
+    ]
+    study = variants[3]  # the richest fleet is the one we study
+
+    print("== dataset properties (framework step 1, the d_i) ==")
+    features = extract_features(study)
+    print(format_table(
+        ["property", "value"],
+        [(k, f"{v:.4g}") for k, v in features.items()],
+    ))
+    print()
+
+    print("== PCA ranking across dataset variants ==")
+    pca = rank_properties(variants)
+    importance = dict(zip(pca.feature_names, pca.importance()))
+    rows = [(name, f"{importance[name]:.3f}") for name in pca.ranked_features()]
+    print(format_table(["property (most impactful first)", "importance"], rows))
+    top = pca.ranked_features()[0]
+    print(f"-> '{top}' carries the most dataset-to-dataset variance and is "
+          f"the first candidate d_i for a dataset-aware model\n")
+
+    print("== POI attack surface, per cab ==")
+    rows = []
+    for user, trace in study.items():
+        pois = extract_pois(trace)
+        top_dwell = pois[0].total_dwell_s / 3600.0 if pois else 0.0
+        rows.append((user, len(trace), len(pois), f"{top_dwell:.1f} h"))
+    print(format_table(["cab", "records", "POIs", "top POI dwell"], rows))
+    print()
+
+    print("== re-identification attack (stronger adversary) ==")
+    for epsilon in (1.0, 0.01, 0.001):
+        protected = GeoIndistinguishability(epsilon).protect(study, seed=0)
+        result = reidentify(study, protected)
+        print(f"  epsilon={epsilon:<6} linked {result.n_correct}/{result.n_total} "
+              f"cabs ({result.rate:.0%})")
+    print("Low epsilon destroys POI fingerprints and defeats linking; high "
+          "epsilon leaves cabs fully re-identifiable.")
+
+
+if __name__ == "__main__":
+    main()

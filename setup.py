@@ -1,0 +1,10 @@
+"""Setup shim for environments without PEP 517 wheel support.
+
+All real metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517`` on toolchains lacking the
+``wheel`` package (as in the offline reproduction environment).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,249 @@
+"""repro — automated configuration of Location Privacy Protection Mechanisms.
+
+A reproduction of Cerf, Robu, Marchand, Boutet, Primault, Ben Mokhtar,
+Bouchenak: *Toward an Easy Configuration of Location Privacy Protection
+Mechanisms* (Middleware 2016).
+
+The top-level namespace re-exports the public API; the subpackages are:
+
+* :mod:`repro.geo` — geodesy substrate (distances, projections, grids);
+* :mod:`repro.mobility` — traces, datasets, IO, cleaning, statistics;
+* :mod:`repro.synth` — synthetic Cabspotting/GeoLife-like workloads;
+* :mod:`repro.lppm` — protection mechanisms (GEO-I and comparators);
+* :mod:`repro.attacks` — POI extraction and re-identification attacks;
+* :mod:`repro.metrics` — pluggable privacy/utility metrics;
+* :mod:`repro.properties` — dataset properties and PCA selection;
+* :mod:`repro.framework` — the configuration framework itself;
+* :mod:`repro.report` — plain-text reporting.
+
+Quickstart::
+
+    from repro import (
+        Configurator, Objective, geo_ind_system, generate_taxi_fleet,
+    )
+
+    dataset = generate_taxi_fleet()
+    configurator = Configurator(geo_ind_system(), dataset)
+    configurator.fit()
+    rec = configurator.recommend([
+        Objective("privacy", "<=", 0.1),
+        Objective("utility", ">=", 0.8),
+    ])
+    print(rec.value)   # the epsilon to deploy
+"""
+
+from .attacks import (
+    HomeWorkGuess,
+    Poi,
+    PoiExtractionConfig,
+    StayPoint,
+    extract_pois,
+    extract_stay_points,
+    infer_home_work,
+    reidentify,
+    retrieved_fraction,
+)
+from .framework import (
+    AlpConfig,
+    AlpResult,
+    Configurator,
+    ExperimentRunner,
+    GridSweepResult,
+    ModelTransfer,
+    MultiSystemModel,
+    Objective,
+    RefinementResult,
+    ParameterSpec,
+    Recommendation,
+    SweepResult,
+    SystemDefinition,
+    SystemModel,
+    TransferredModel,
+    alp_configure,
+    find_active_region,
+    fit_multi_system_model,
+    fit_system_model,
+    geo_ind_system,
+    grid_sweep,
+    load_model,
+    load_sweep,
+    refine_recommendation,
+    save_model,
+    save_sweep,
+)
+from .geo import BoundingBox, LatLon, SpatialGrid, haversine_m
+from .lppm import (
+    LPPM,
+    DensityMap,
+    ElasticGeoIndistinguishability,
+    GaussianPerturbation,
+    GeoIndistinguishability,
+    GridRounding,
+    Pipeline,
+    Promesse,
+    Subsampling,
+    TimePerturbation,
+    UniformDiskNoise,
+    available_lppms,
+    lppm_class,
+)
+from .metrics import (
+    AreaCoverageUtility,
+    DistortionPrivacy,
+    HeatmapPreservationUtility,
+    HomeIdentificationPrivacy,
+    LogDistortionPrivacy,
+    Metric,
+    PoiRetrievalPrivacy,
+    RangeQueryUtility,
+    ReidentificationPrivacy,
+    SameCellFraction,
+    SpatialDistortionUtility,
+    TimePreservationUtility,
+    TrajectoryShapeUtility,
+    available_metrics,
+    metric_class,
+)
+from .mobility import (
+    Dataset,
+    Trace,
+    TraceRecord,
+    clean_dataset,
+    dataset_stats,
+    split_by_time_fraction,
+    split_users,
+    read_cabspotting,
+    read_csv,
+    read_geolife,
+    trace_stats,
+    write_cabspotting,
+    write_csv,
+    write_geolife,
+)
+from .properties import (
+    DEFAULT_EXTRACTORS,
+    PropertyExtractor,
+    extract_features,
+    rank_properties,
+    select_properties,
+)
+from .synth import (
+    CityModel,
+    CommuterConfig,
+    LevyFlightConfig,
+    RandomWaypointConfig,
+    TaxiFleetConfig,
+    generate_commuters,
+    generate_levy_flight,
+    generate_random_waypoint,
+    generate_taxi_fleet,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # geo
+    "LatLon",
+    "BoundingBox",
+    "SpatialGrid",
+    "haversine_m",
+    # mobility
+    "Trace",
+    "TraceRecord",
+    "Dataset",
+    "read_csv",
+    "write_csv",
+    "read_geolife",
+    "write_geolife",
+    "read_cabspotting",
+    "write_cabspotting",
+    "clean_dataset",
+    "split_by_time_fraction",
+    "split_users",
+    "trace_stats",
+    "dataset_stats",
+    # synth
+    "CityModel",
+    "TaxiFleetConfig",
+    "generate_taxi_fleet",
+    "CommuterConfig",
+    "generate_commuters",
+    "RandomWaypointConfig",
+    "generate_random_waypoint",
+    "LevyFlightConfig",
+    "generate_levy_flight",
+    # lppm
+    "LPPM",
+    "GeoIndistinguishability",
+    "ElasticGeoIndistinguishability",
+    "DensityMap",
+    "Promesse",
+    "GaussianPerturbation",
+    "UniformDiskNoise",
+    "GridRounding",
+    "Subsampling",
+    "TimePerturbation",
+    "Pipeline",
+    "available_lppms",
+    "lppm_class",
+    # attacks
+    "StayPoint",
+    "extract_stay_points",
+    "Poi",
+    "PoiExtractionConfig",
+    "extract_pois",
+    "retrieved_fraction",
+    "reidentify",
+    "HomeWorkGuess",
+    "infer_home_work",
+    # metrics
+    "Metric",
+    "PoiRetrievalPrivacy",
+    "DistortionPrivacy",
+    "LogDistortionPrivacy",
+    "ReidentificationPrivacy",
+    "HomeIdentificationPrivacy",
+    "AreaCoverageUtility",
+    "SameCellFraction",
+    "SpatialDistortionUtility",
+    "TrajectoryShapeUtility",
+    "HeatmapPreservationUtility",
+    "RangeQueryUtility",
+    "TimePreservationUtility",
+    "available_metrics",
+    "metric_class",
+    # properties
+    "PropertyExtractor",
+    "extract_features",
+    "DEFAULT_EXTRACTORS",
+    "rank_properties",
+    "select_properties",
+    # framework
+    "ParameterSpec",
+    "SystemDefinition",
+    "geo_ind_system",
+    "ExperimentRunner",
+    "SweepResult",
+    "SystemModel",
+    "fit_system_model",
+    "find_active_region",
+    "GridSweepResult",
+    "grid_sweep",
+    "MultiSystemModel",
+    "fit_multi_system_model",
+    "ModelTransfer",
+    "TransferredModel",
+    "RefinementResult",
+    "refine_recommendation",
+    "save_sweep",
+    "load_sweep",
+    "save_model",
+    "load_model",
+    "Configurator",
+    "Objective",
+    "Recommendation",
+    "AlpConfig",
+    "AlpResult",
+    "alp_configure",
+]

@@ -1,0 +1,25 @@
+"""Adversary substrate: stay points, POIs, matching, re-identification."""
+
+from .homework import HomeWorkGuess, infer_home_work, overlap_with_hours_s
+from .matching import poi_distance_matrix, retrieved_count, retrieved_fraction
+from .poi import Poi, PoiExtractionConfig, cluster_stay_points, extract_pois
+from .reident import ReidentificationResult, fingerprint_distance_m, reidentify
+from .staypoints import StayPoint, extract_stay_points
+
+__all__ = [
+    "StayPoint",
+    "HomeWorkGuess",
+    "infer_home_work",
+    "overlap_with_hours_s",
+    "extract_stay_points",
+    "Poi",
+    "PoiExtractionConfig",
+    "cluster_stay_points",
+    "extract_pois",
+    "poi_distance_matrix",
+    "retrieved_count",
+    "retrieved_fraction",
+    "fingerprint_distance_m",
+    "ReidentificationResult",
+    "reidentify",
+]

@@ -1,0 +1,122 @@
+"""Home and workplace inference — the headline threat of the paper.
+
+"A collection of mobility traces can reveal many sensitive information
+about its user such as home and work places" (the paper, §1).  This
+attack makes that concrete: stay points are weighted by how much of
+their dwell falls into night hours (home) or working hours (work), and
+the dwell-heaviest cluster of each kind is the inferred place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..geo import LatLon, haversine_m
+from ..mobility import Trace
+from .poi import PoiExtractionConfig, cluster_stay_points
+from .staypoints import StayPoint, extract_stay_points
+
+__all__ = ["HomeWorkGuess", "overlap_with_hours_s", "infer_home_work"]
+
+
+@dataclass(frozen=True)
+class HomeWorkGuess:
+    """The attack's output: inferred home and work locations (if any)."""
+
+    home: Optional[LatLon]
+    work: Optional[LatLon]
+    home_dwell_s: float = 0.0
+    work_dwell_s: float = 0.0
+
+
+def overlap_with_hours_s(
+    t_start_s: float, t_end_s: float, hours: Tuple[float, float]
+) -> float:
+    """Seconds of ``[t_start, t_end]`` falling inside daily ``hours``.
+
+    ``hours`` is a (start_hour, end_hour) pair on a 24 h clock; a
+    wrapping window like night (22, 6) is supported.  Timestamps are
+    treated as seconds whose day phase is ``t % 86400``.
+    """
+    if t_end_s < t_start_s:
+        raise ValueError("interval end precedes start")
+    day = 86400.0
+    start_h, end_h = hours
+    windows = []
+    if start_h <= end_h:
+        windows.append((start_h * 3600.0, end_h * 3600.0))
+    else:  # wraps midnight
+        windows.append((start_h * 3600.0, day))
+        windows.append((0.0, end_h * 3600.0))
+
+    total = 0.0
+    # Iterate whole days covered by the interval; traces span few days,
+    # so the loop is short.
+    first_day = int(t_start_s // day)
+    last_day = int(t_end_s // day)
+    for d in range(first_day, last_day + 1):
+        base = d * day
+        for w_lo, w_hi in windows:
+            lo = max(t_start_s, base + w_lo)
+            hi = min(t_end_s, base + w_hi)
+            if hi > lo:
+                total += hi - lo
+    return total
+
+
+def _dwell_in_hours(stays: List[StayPoint], hours: Tuple[float, float]):
+    """Stay points re-weighted by their dwell inside ``hours``."""
+    weighted = []
+    for stay in stays:
+        dwell = overlap_with_hours_s(stay.t_start_s, stay.t_end_s, hours)
+        if dwell > 0:
+            weighted.append(
+                StayPoint(
+                    lat=stay.lat,
+                    lon=stay.lon,
+                    t_start_s=stay.t_start_s,
+                    t_end_s=stay.t_start_s + dwell,
+                    n_records=stay.n_records,
+                )
+            )
+    return weighted
+
+
+def infer_home_work(
+    trace: Trace,
+    config: PoiExtractionConfig = PoiExtractionConfig(),
+    night_hours: Tuple[float, float] = (22.0, 6.0),
+    work_hours: Tuple[float, float] = (9.0, 17.0),
+    min_separation_m: float = 500.0,
+) -> HomeWorkGuess:
+    """Infer the user's home and work from one trace.
+
+    Home is the cluster with the most night dwell; work the cluster
+    with the most working-hours dwell at least ``min_separation_m``
+    from home (home-office users have no distinct workplace signal).
+    """
+    stays = extract_stay_points(trace, config.roam_m, config.min_dwell_s)
+    if not stays:
+        return HomeWorkGuess(home=None, work=None)
+
+    night_pois = cluster_stay_points(
+        _dwell_in_hours(stays, night_hours), config.merge_m
+    )
+    home = night_pois[0].point if night_pois else None
+    home_dwell = night_pois[0].total_dwell_s if night_pois else 0.0
+
+    work = None
+    work_dwell = 0.0
+    day_pois = cluster_stay_points(
+        _dwell_in_hours(stays, work_hours), config.merge_m
+    )
+    for poi in day_pois:
+        if home is not None and haversine_m(poi.point, home) < min_separation_m:
+            continue
+        work = poi.point
+        work_dwell = poi.total_dwell_s
+        break
+    return HomeWorkGuess(
+        home=home, work=work, home_dwell_s=home_dwell, work_dwell_s=work_dwell
+    )

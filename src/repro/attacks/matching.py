@@ -1,0 +1,79 @@
+"""Matching extracted POIs against ground truth.
+
+The paper's privacy metric is "the proportion of actual POIs retrieved
+from the protected data for each user": an actual POI counts as
+retrieved when the attack, run on the protected trace, finds a POI
+close enough to it.  Both the simple radius test and a stricter
+one-to-one assignment are provided.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..geo import haversine_m_arrays
+from .poi import Poi
+
+__all__ = ["poi_distance_matrix", "retrieved_count", "retrieved_fraction"]
+
+
+def poi_distance_matrix(actual: Sequence[Poi], found: Sequence[Poi]) -> np.ndarray:
+    """Pairwise distances (metres) between two POI lists, shape (n, m)."""
+    if not actual or not found:
+        return np.zeros((len(actual), len(found)))
+    a_lat = np.asarray([p.lat for p in actual])
+    a_lon = np.asarray([p.lon for p in actual])
+    f_lat = np.asarray([p.lat for p in found])
+    f_lon = np.asarray([p.lon for p in found])
+    return haversine_m_arrays(
+        a_lat[:, None], a_lon[:, None], f_lat[None, :], f_lon[None, :]
+    )
+
+
+def retrieved_count(
+    actual: Sequence[Poi],
+    found: Sequence[Poi],
+    match_m: float = 200.0,
+    one_to_one: bool = False,
+) -> int:
+    """How many actual POIs are retrieved by the found POIs.
+
+    With ``one_to_one`` each found POI may account for at most one
+    actual POI (greedy nearest-pair assignment); otherwise a single
+    found POI may cover several actual POIs within ``match_m``.
+    """
+    if match_m <= 0:
+        raise ValueError("matching radius must be positive")
+    if not actual or not found:
+        return 0
+    d = poi_distance_matrix(actual, found)
+    if not one_to_one:
+        return int(np.sum(np.min(d, axis=1) <= match_m))
+    matched = 0
+    d = d.copy()
+    while d.size:
+        i, j = np.unravel_index(np.argmin(d), d.shape)
+        if d[i, j] > match_m:
+            break
+        matched += 1
+        d = np.delete(np.delete(d, i, axis=0), j, axis=1)
+    return matched
+
+
+def retrieved_fraction(
+    actual: Sequence[Poi],
+    found: Sequence[Poi],
+    match_m: float = 200.0,
+    one_to_one: bool = False,
+) -> float:
+    """Fraction of actual POIs retrieved; 0.0 when the user has none.
+
+    Callers that aggregate over users should skip users without actual
+    POIs (see :class:`repro.metrics.PoiRetrievalPrivacy`); the 0.0
+    convention here is only a safe scalar default.
+    """
+    if not actual:
+        return 0.0
+    return retrieved_count(actual, found, match_m, one_to_one) / len(actual)

@@ -1,0 +1,112 @@
+"""Points of Interest: clustering stay points into meaningful places.
+
+A POI is "a meaningful location where a user made a significant stop"
+(the paper, §2).  Users revisit their POIs, so the extraction step
+agglomerates nearby stay points — in the spirit of DJ-Cluster and of
+the POI-Attack used by the paper's group — into clusters whose
+centroids are the user's POIs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..geo import LatLon, haversine_m_arrays
+from ..mobility import Trace
+from .staypoints import StayPoint, extract_stay_points
+
+__all__ = ["Poi", "PoiExtractionConfig", "cluster_stay_points", "extract_pois"]
+
+
+@dataclass(frozen=True)
+class Poi:
+    """A Point of Interest: a recurrent significant place of one user."""
+
+    lat: float
+    lon: float
+    n_visits: int
+    total_dwell_s: float
+
+    @property
+    def point(self) -> LatLon:
+        """The POI centroid as a :class:`LatLon`."""
+        return LatLon(self.lat, self.lon)
+
+
+@dataclass(frozen=True)
+class PoiExtractionConfig:
+    """Parameters of the stay-point and POI extraction pipeline.
+
+    ``roam_m``/``min_dwell_s`` drive stay-point detection, ``merge_m``
+    the agglomeration of stays into POIs, and ``min_visits`` filters
+    places visited too rarely to be meaningful.
+    """
+
+    roam_m: float = 200.0
+    min_dwell_s: float = 900.0
+    merge_m: float = 100.0
+    min_visits: int = 1
+
+    def __post_init__(self) -> None:
+        if self.merge_m <= 0:
+            raise ValueError("merge radius must be positive")
+        if self.min_visits < 1:
+            raise ValueError("minimum visit count must be at least 1")
+
+
+def cluster_stay_points(
+    stays: Sequence[StayPoint],
+    merge_m: float = 100.0,
+    min_visits: int = 1,
+) -> List[Poi]:
+    """Greedy agglomeration of stay points into POIs.
+
+    Stay points are taken longest-dwell first; each joins the nearest
+    existing cluster within ``merge_m`` of its centroid (dwell-weighted
+    running mean) or founds a new one.  Deterministic given its input.
+    """
+    if merge_m <= 0:
+        raise ValueError("merge radius must be positive")
+    ordered = sorted(stays, key=lambda s: (-s.duration_s, s.t_start_s))
+    lats: List[float] = []
+    lons: List[float] = []
+    visits: List[int] = []
+    dwells: List[float] = []
+    for stay in ordered:
+        if lats:
+            d = haversine_m_arrays(
+                np.asarray(lats), np.asarray(lons), stay.lat, stay.lon
+            )
+            k = int(np.argmin(d))
+            if float(d[k]) <= merge_m:
+                w_old = dwells[k]
+                w_new = stay.duration_s
+                total = w_old + w_new
+                if total > 0:
+                    lats[k] = (lats[k] * w_old + stay.lat * w_new) / total
+                    lons[k] = (lons[k] * w_old + stay.lon * w_new) / total
+                visits[k] += 1
+                dwells[k] += stay.duration_s
+                continue
+        lats.append(stay.lat)
+        lons.append(stay.lon)
+        visits.append(1)
+        dwells.append(stay.duration_s)
+    pois = [
+        Poi(lat=la, lon=lo, n_visits=v, total_dwell_s=dw)
+        for la, lo, v, dw in zip(lats, lons, visits, dwells)
+        if v >= min_visits
+    ]
+    # Most significant first: by dwell, then visits.
+    return sorted(pois, key=lambda p: (-p.total_dwell_s, -p.n_visits))
+
+
+def extract_pois(
+    trace: Trace, config: PoiExtractionConfig = PoiExtractionConfig()
+) -> List[Poi]:
+    """Full pipeline: stay points then clustering, for one trace."""
+    stays = extract_stay_points(trace, config.roam_m, config.min_dwell_s)
+    return cluster_stay_points(stays, config.merge_m, config.min_visits)

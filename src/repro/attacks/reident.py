@@ -1,0 +1,88 @@
+"""POI-based re-identification attack.
+
+Beyond the paper's POI-retrieval metric, a natural stronger adversary
+links *anonymised* protected traces back to known users by comparing
+POI fingerprints (the approach of AP-Attack-style de-anonymisers from
+the same research group).  This module implements that attack so the
+library can expose re-identification rate as an alternative privacy
+metric — exercising the framework's claim of metric modularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..mobility import Dataset
+from .matching import poi_distance_matrix
+from .poi import Poi, PoiExtractionConfig, extract_pois
+
+__all__ = ["fingerprint_distance_m", "ReidentificationResult", "reidentify"]
+
+#: Distance assigned when one side has no POIs at all (effectively inf).
+_NO_POI_PENALTY_M = 1.0e7
+
+
+def fingerprint_distance_m(a: Sequence[Poi], b: Sequence[Poi]) -> float:
+    """Symmetric mean nearest-neighbour distance between POI sets.
+
+    Small when the two sets describe the same places.  Dwell-weighted on
+    each side so a user's dominant places (home, work) count most.
+    """
+    if not a or not b:
+        return _NO_POI_PENALTY_M
+    d = poi_distance_matrix(a, b)
+    w_a = np.asarray([max(p.total_dwell_s, 1.0) for p in a])
+    w_b = np.asarray([max(p.total_dwell_s, 1.0) for p in b])
+    forward = float(np.average(np.min(d, axis=1), weights=w_a))
+    backward = float(np.average(np.min(d, axis=0), weights=w_b))
+    return (forward + backward) / 2.0
+
+
+@dataclass(frozen=True)
+class ReidentificationResult:
+    """Outcome of the linking attack."""
+
+    assignment: Dict[str, str]
+    n_correct: int
+    n_total: int
+
+    @property
+    def rate(self) -> float:
+        """Fraction of protected traces correctly linked."""
+        return self.n_correct / self.n_total if self.n_total else 0.0
+
+
+def reidentify(
+    actual: Dataset,
+    protected: Dataset,
+    config: PoiExtractionConfig = PoiExtractionConfig(),
+) -> ReidentificationResult:
+    """Link every protected trace to its most likely actual user.
+
+    The adversary knows each actual user's POI fingerprint (background
+    knowledge) and sees the protected traces stripped of identity; each
+    protected trace is assigned to the actual user whose fingerprint is
+    nearest.  Ties break towards the lexicographically first user so
+    the attack is deterministic.
+    """
+    actual_prints: Dict[str, List[Poi]] = {
+        user: extract_pois(trace, config) for user, trace in actual.items()
+    }
+    users = sorted(actual_prints)
+    if not users:
+        raise ValueError("actual dataset has no users")
+    assignment: Dict[str, str] = {}
+    correct = 0
+    for user, trace in protected.items():
+        found = extract_pois(trace, config)
+        distances = [fingerprint_distance_m(actual_prints[u], found) for u in users]
+        guess = users[int(np.argmin(distances))]
+        assignment[user] = guess
+        if guess == user:
+            correct += 1
+    return ReidentificationResult(
+        assignment=assignment, n_correct=correct, n_total=len(assignment)
+    )

@@ -1,0 +1,294 @@
+"""Command-line interface: ``repro-lppm <command>``.
+
+The commands cover the library's workflow end to end:
+
+* ``generate`` — synthesise a dataset (taxi fleet or commuters) to CSV;
+* ``protect``  — apply an LPPM to a CSV dataset;
+* ``sweep``    — run the framework's parameter sweep and print/save the
+  response curves (the data behind the paper's Figure 1);
+* ``configure``— fit the model and invert it at privacy/utility
+  objectives (the paper's three automated steps in one command);
+* ``attack``   — run the POI attack (and, given a protected file, the
+  retrieval and re-identification measurements) against a dataset;
+* ``alp``      — configure via the ALP greedy baseline instead;
+* ``stats``    — dataset and per-user statistics;
+* ``list``     — available mechanisms and metrics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .attacks import extract_pois, reidentify, retrieved_fraction
+from .framework import (
+    Configurator,
+    ExperimentRunner,
+    Objective,
+    alp_configure,
+    geo_ind_system,
+)
+from .lppm import available_lppms, lppm_class
+from .metrics import available_metrics
+from .mobility import dataset_stats, read_csv, trace_stats, write_csv
+from .report import (
+    format_table,
+    model_summary,
+    recommendation_summary,
+    sweep_table,
+)
+from .synth import (
+    CommuterConfig,
+    TaxiFleetConfig,
+    generate_commuters,
+    generate_taxi_fleet,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lppm",
+        description="Automated configuration of location privacy mechanisms",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesise a mobility dataset")
+    gen.add_argument("output", help="CSV file to write")
+    gen.add_argument(
+        "--workload", choices=["taxi", "commuters"], default="taxi",
+        help="generator to use (default: taxi)",
+    )
+    gen.add_argument("--users", type=int, default=20, help="number of users")
+    gen.add_argument("--seed", type=int, default=0, help="generator seed")
+
+    prot = sub.add_parser("protect", help="apply an LPPM to a CSV dataset")
+    prot.add_argument("input", help="CSV dataset to protect")
+    prot.add_argument("output", help="CSV file to write")
+    prot.add_argument(
+        "--lppm", choices=available_lppms(), default="geo_ind",
+        help="mechanism name (default: geo_ind)",
+    )
+    prot.add_argument(
+        "--param", type=float, default=0.01,
+        help="the mechanism's parameter value (default: 0.01)",
+    )
+    prot.add_argument("--seed", type=int, default=0, help="protection seed")
+
+    sweep = sub.add_parser("sweep", help="sweep epsilon and print the curves")
+    sweep.add_argument("input", help="CSV dataset to analyse")
+    sweep.add_argument("--points", type=int, default=10, help="sweep resolution")
+    sweep.add_argument("--replications", type=int, default=2, help="seeds per point")
+    sweep.add_argument("--csv", help="also write the sweep to this CSV file")
+
+    conf = sub.add_parser("configure", help="fit the model and invert objectives")
+    conf.add_argument("input", help="CSV dataset to analyse")
+    conf.add_argument(
+        "--max-privacy", type=float, default=0.1,
+        help="privacy objective: retrieved POI fraction at most this "
+             "(default: 0.1, the paper's example)",
+    )
+    conf.add_argument(
+        "--min-utility", type=float, default=0.8,
+        help="utility objective: area coverage at least this "
+             "(default: 0.8, the paper's example)",
+    )
+    conf.add_argument("--points", type=int, default=10, help="sweep resolution")
+    conf.add_argument("--replications", type=int, default=2, help="seeds per point")
+
+    attack = sub.add_parser("attack", help="run the POI attack on a dataset")
+    attack.add_argument("input", help="CSV dataset (the ground truth)")
+    attack.add_argument(
+        "--protected",
+        help="protected CSV; adds POI retrieval and re-identification measures",
+    )
+
+    alp = sub.add_parser("alp", help="configure via the ALP greedy baseline")
+    alp.add_argument("input", help="CSV dataset to configure for")
+    alp.add_argument("--max-privacy", type=float, default=0.1,
+                     help="privacy objective (default: 0.1)")
+    alp.add_argument("--min-utility", type=float, default=0.8,
+                     help="utility objective (default: 0.8)")
+    alp.add_argument("--start", type=float, default=0.01,
+                     help="initial epsilon (default: 0.01)")
+
+    stats = sub.add_parser("stats", help="dataset and per-user statistics")
+    stats.add_argument("input", help="CSV dataset to describe")
+
+    sub.add_parser("list", help="available mechanisms and metrics")
+    return parser
+
+
+_PARAM_NAMES = {
+    "geo_ind": "epsilon",
+    "elastic_geo_ind": "epsilon",
+    "gaussian": "sigma_m",
+    "uniform_disk": "radius_m",
+    "rounding": "cell_size_m",
+    "subsampling": "keep_fraction",
+    "time_perturbation": "sigma_s",
+    "promesse": "alpha_m",
+}
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.workload == "taxi":
+        dataset = generate_taxi_fleet(TaxiFleetConfig(n_cabs=args.users, seed=args.seed))
+    else:
+        dataset = generate_commuters(CommuterConfig(n_users=args.users, seed=args.seed))
+    write_csv(dataset, args.output)
+    print(f"wrote {dataset.n_records} records for {len(dataset)} users to {args.output}")
+    return 0
+
+
+def _cmd_protect(args: argparse.Namespace) -> int:
+    dataset = read_csv(args.input)
+    param_name = _PARAM_NAMES[args.lppm]
+    lppm = lppm_class(args.lppm)(**{param_name: args.param})
+    protected = lppm.protect(dataset, seed=args.seed)
+    write_csv(protected, args.output)
+    print(f"protected {len(dataset)} users with {lppm!r} -> {args.output}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    dataset = read_csv(args.input)
+    configurator = Configurator(
+        geo_ind_system(), dataset,
+        n_points=args.points, n_replications=args.replications,
+    )
+    model = configurator.fit()
+    print(sweep_table(configurator.sweep))
+    print()
+    print(model_summary(model))
+    if args.csv:
+        configurator.sweep.write_csv(args.csv)
+        print(f"\nsweep written to {args.csv}")
+    return 0
+
+
+def _cmd_configure(args: argparse.Namespace) -> int:
+    dataset = read_csv(args.input)
+    configurator = Configurator(
+        geo_ind_system(), dataset,
+        n_points=args.points, n_replications=args.replications,
+    )
+    model = configurator.fit()
+    print(model_summary(model))
+    objectives = [
+        Objective("privacy", "<=", args.max_privacy),
+        Objective("utility", ">=", args.min_utility),
+    ]
+    recommendation = configurator.recommend(objectives)
+    print()
+    print(recommendation_summary(recommendation))
+    return 0 if recommendation.feasible else 1
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    dataset = read_csv(args.input)
+    pois_by_user = {u: extract_pois(t) for u, t in dataset.items()}
+    rows = [
+        (u, len(t), len(pois_by_user[u]))
+        for u, t in dataset.items()
+    ]
+    print(format_table(["user", "records", "POIs found"], rows))
+    if not args.protected:
+        return 0
+    protected = read_csv(args.protected)
+    common = [u for u in dataset.users if u in protected]
+    if not common:
+        print("no users in common with the protected dataset")
+        return 1
+    retrieval_rows = []
+    for user in common:
+        found = extract_pois(protected[user])
+        actual = pois_by_user[user]
+        if not actual:
+            continue
+        retrieval_rows.append(
+            (user, f"{retrieved_fraction(actual, found):.2f}")
+        )
+    print()
+    print(format_table(["user", "POIs retrieved"], retrieval_rows))
+    result = reidentify(dataset.subset(common), protected.subset(common))
+    print(f"\nre-identification: {result.n_correct}/{result.n_total} "
+          f"users linked ({result.rate:.0%})")
+    return 0
+
+
+def _cmd_alp(args: argparse.Namespace) -> int:
+    dataset = read_csv(args.input)
+    system = geo_ind_system()
+    runner = ExperimentRunner(system, dataset, n_replications=1)
+    objectives = [
+        Objective("privacy", "<=", args.max_privacy),
+        Objective("utility", ">=", args.min_utility),
+    ]
+    result = alp_configure(system, runner, objectives, initial=args.start)
+    rows = [
+        (i, f"{s.value:.4g}", f"{s.privacy:.3f}", f"{s.utility:.3f}")
+        for i, s in enumerate(result.trajectory)
+    ]
+    print(format_table(["step", "epsilon", "privacy", "utility"], rows))
+    if result.satisfied:
+        print(f"\nconverged: epsilon = {result.final_value:.4g} "
+              f"after {result.n_evaluations} evaluations")
+        return 0
+    print(f"\ndid not converge within {result.n_evaluations} evaluations")
+    return 1
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    dataset = read_csv(args.input)
+    aggregate = dataset_stats(dataset)
+    print(format_table(
+        ["statistic", "value"],
+        [(k, f"{v:.4g}") for k, v in aggregate.items()],
+    ))
+    print()
+    rows = []
+    for trace in dataset.traces:
+        s = trace_stats(trace)
+        rows.append((
+            s.user, s.n_records, f"{s.duration_s / 3600.0:.1f} h",
+            f"{s.length_m / 1000.0:.1f} km",
+            f"{s.radius_of_gyration_m:.0f} m",
+        ))
+    print(format_table(
+        ["user", "records", "duration", "length", "radius of gyration"], rows
+    ))
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("mechanisms:")
+    for name in available_lppms():
+        print(f"  {name}  (parameter: {_PARAM_NAMES.get(name, '?')})")
+    print("metrics:")
+    for name in available_metrics():
+        print(f"  {name}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "protect": _cmd_protect,
+        "sweep": _cmd_sweep,
+        "configure": _cmd_configure,
+        "attack": _cmd_attack,
+        "alp": _cmd_alp,
+        "stats": _cmd_stats,
+        "list": _cmd_list,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

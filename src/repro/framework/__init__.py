@@ -1,0 +1,59 @@
+"""The configuration framework — the paper's contribution.
+
+Step 1 lives in :mod:`.spec` (plus ``repro.properties`` for the PCA
+property selection), step 2 in :mod:`.runner`/:mod:`.saturation`/
+:mod:`.models`, step 3 in :mod:`.configurator`.  :mod:`.alp` implements
+the greedy baseline the paper compares against.
+"""
+
+from .alp import AlpConfig, AlpResult, AlpStep, alp_configure
+from .configurator import Configurator, Objective, Recommendation
+from .models import LogLinearMetricModel, SystemModel, fit_system_model
+from .multi import (
+    GridSweepResult,
+    MultiLinearMetricModel,
+    MultiSystemModel,
+    fit_multi_system_model,
+    grid_sweep,
+)
+from .refine import RefinementResult, refine_recommendation
+from .runner import ExperimentRunner, SweepPoint, SweepResult
+from .saturation import ActiveRegion, find_active_region, smooth
+from .spec import ParameterSpec, SystemDefinition, geo_ind_system
+from .store import load_model, load_sweep, save_model, save_sweep
+from .transfer import ModelTransfer, TransferredModel
+
+__all__ = [
+    "ParameterSpec",
+    "SystemDefinition",
+    "geo_ind_system",
+    "ExperimentRunner",
+    "SweepPoint",
+    "SweepResult",
+    "ActiveRegion",
+    "find_active_region",
+    "smooth",
+    "LogLinearMetricModel",
+    "SystemModel",
+    "fit_system_model",
+    "GridSweepResult",
+    "MultiLinearMetricModel",
+    "MultiSystemModel",
+    "grid_sweep",
+    "fit_multi_system_model",
+    "ModelTransfer",
+    "TransferredModel",
+    "RefinementResult",
+    "refine_recommendation",
+    "save_sweep",
+    "load_sweep",
+    "save_model",
+    "load_model",
+    "Configurator",
+    "Objective",
+    "Recommendation",
+    "AlpConfig",
+    "AlpStep",
+    "AlpResult",
+    "alp_configure",
+]

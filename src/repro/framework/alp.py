@@ -1,0 +1,190 @@
+"""ALP-style greedy configuration — the paper's baseline.
+
+ALP (Primault, Boutet, Ben Mokhtar, Brunie — *Adaptive Location Privacy
+with ALP*, SRDS 2016) is the one prior system the paper credits with
+automating LPPM configuration: it "uses a greedy solution to possibly
+make the configuration parameters converge to values which aim to
+maximize or minimize given privacy or utility metrics".  This module
+implements that strategy so the benchmarks can compare its online cost
+(metric evaluations until convergence) against the framework's one-shot
+model inversion.
+
+The search is a multiplicative hill-climb: probe the parameter's effect
+direction once, then move the parameter by a step factor towards the
+violated objective, shrinking the step whenever the move direction
+flips, until all objectives hold or the step underflows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .configurator import Objective
+from .runner import ExperimentRunner
+from .spec import SystemDefinition
+
+__all__ = ["AlpConfig", "AlpStep", "AlpResult", "alp_configure"]
+
+
+@dataclass(frozen=True)
+class AlpConfig:
+    """Knobs of the greedy search."""
+
+    step_factor: float = 4.0
+    min_step_factor: float = 1.05
+    max_iterations: int = 30
+    shrink: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.step_factor <= 1.0:
+            raise ValueError("step factor must exceed 1")
+        if not 0.0 < self.shrink < 1.0:
+            raise ValueError("shrink must be in (0, 1)")
+        if self.max_iterations < 1:
+            raise ValueError("need at least one iteration")
+
+
+@dataclass(frozen=True)
+class AlpStep:
+    """One probe of the greedy search."""
+
+    value: float
+    privacy: float
+    utility: float
+
+
+@dataclass
+class AlpResult:
+    """Outcome of a greedy configuration run."""
+
+    param_name: str
+    trajectory: List[AlpStep] = field(default_factory=list)
+    final_value: Optional[float] = None
+    satisfied: bool = False
+    n_evaluations: int = 0
+
+    @property
+    def n_iterations(self) -> int:
+        """Number of probes performed."""
+        return len(self.trajectory)
+
+
+def _violations(
+    objectives: Sequence[Objective], privacy: float, utility: float
+) -> List[Objective]:
+    """Objectives not met at the given metric values."""
+    out = []
+    for objective in objectives:
+        value = privacy if objective.kind == "privacy" else utility
+        if not objective.satisfied_by(value):
+            out.append(objective)
+    return out
+
+
+def _desired_direction(objective: Objective, slope_sign: float) -> float:
+    """+1 to increase the parameter, -1 to decrease it, for one objective.
+
+    ``slope_sign`` is the sign of d(metric)/d(param) measured by the
+    probe: to lower a growing metric, lower the parameter, and so on.
+    """
+    wants_lower_metric = objective.op == "<="
+    if slope_sign == 0:
+        return 0.0
+    move_down = wants_lower_metric == (slope_sign > 0)
+    return -1.0 if move_down else 1.0
+
+
+def alp_configure(
+    system: SystemDefinition,
+    runner: ExperimentRunner,
+    objectives: Sequence[Objective],
+    param_name: Optional[str] = None,
+    initial: Optional[float] = None,
+    config: AlpConfig = AlpConfig(),
+) -> AlpResult:
+    """Run the greedy search until the objectives hold (or give up).
+
+    ``runner`` is shared with other machinery so evaluation counts are
+    comparable; every probe is one full (protect + measure) evaluation,
+    which is exactly the online cost the paper's framework avoids.
+    """
+    if not objectives:
+        raise ValueError("need at least one objective")
+    if param_name is None:
+        if len(system.parameters) != 1:
+            raise ValueError("param_name is required for multi-parameter systems")
+        param_name = system.parameters[0].name
+    spec = system.parameter(param_name)
+    value = float(initial) if initial is not None else system.defaults()[param_name]
+    if not spec.contains(value):
+        raise ValueError(f"initial value {value!r} outside the parameter range")
+
+    result = AlpResult(param_name=param_name)
+    evals_before = runner.n_evaluations
+
+    def probe(v: float) -> Tuple[float, float]:
+        point = runner.evaluate({param_name: v}, n_replications=1)
+        step = AlpStep(value=v, privacy=point.privacy_mean, utility=point.utility_mean)
+        result.trajectory.append(step)
+        return point.privacy_mean, point.utility_mean
+
+    # Direction probe: measure at the start value and one step up.
+    pr0, ut0 = probe(value)
+    if not _violations(objectives, pr0, ut0):
+        result.final_value = value
+        result.satisfied = True
+        result.n_evaluations = runner.n_evaluations - evals_before
+        return result
+    probe_value = min(value * config.step_factor, spec.high)
+    if probe_value == value:
+        probe_value = max(value / config.step_factor, spec.low)
+    pr1, ut1 = probe(probe_value)
+    pr_slope = (pr1 - pr0) * (1.0 if probe_value > value else -1.0)
+    ut_slope = (ut1 - ut0) * (1.0 if probe_value > value else -1.0)
+
+    factor = config.step_factor
+    last_direction = 0.0
+    current, pr, ut = probe_value, pr1, ut1
+    for _ in range(config.max_iterations):
+        violated = _violations(objectives, pr, ut)
+        if not violated:
+            result.final_value = current
+            result.satisfied = True
+            break
+        # Privacy violations dominate, as in ALP's privacy-first mode.
+        violated.sort(key=lambda o: 0 if o.kind == "privacy" else 1)
+        slope = pr_slope if violated[0].kind == "privacy" else ut_slope
+        direction = _desired_direction(violated[0], slope)
+        if direction == 0.0:
+            # The initial probe straddled a flat stretch of this metric;
+            # fall back to the other metric's direction (the mechanisms
+            # this search targets move both metrics the same way).
+            other = ut_slope if violated[0].kind == "privacy" else pr_slope
+            direction = _desired_direction(violated[0], other)
+        if direction == 0.0:
+            break
+        if last_direction and direction != last_direction:
+            factor = max(config.min_step_factor, 1.0 + (factor - 1.0) * config.shrink)
+        last_direction = direction
+        proposal = current * factor if direction > 0 else current / factor
+        proposal = min(max(proposal, spec.low), spec.high)
+        if proposal == current:
+            break  # Pinned at a range edge; objectives unreachable.
+        previous_value, previous_pr, previous_ut = current, pr, ut
+        current = proposal
+        pr, ut = probe(current)
+        # Refresh the slope estimates with the freshest local evidence:
+        # the initial probe pair may sit on a plateau of one metric.
+        sgn = 1.0 if current > previous_value else -1.0
+        if pr != previous_pr:
+            pr_slope = (pr - previous_pr) * sgn
+        if ut != previous_ut:
+            ut_slope = (ut - previous_ut) * sgn
+    else:
+        violated = _violations(objectives, pr, ut)
+        if not violated:
+            result.final_value = current
+            result.satisfied = True
+    result.n_evaluations = runner.n_evaluations - evals_before
+    return result

@@ -1,0 +1,189 @@
+"""Invertible metric models — step 2 of the framework (model side).
+
+The paper approximates the experimental curves, inside their
+non-saturated zone, with the linear-in-``ln(eps)`` equations (2):
+
+    ln(eps) = (Pr - a)/b = (Ut - alpha)/beta
+
+:class:`LogLinearMetricModel` fits one metric as ``y = a + b*ln(x)``
+(ordinary least squares) and inverts in closed form;
+:class:`SystemModel` pairs the privacy and utility models into the
+invertible ``f`` of the paper's equation (1) for the single-parameter
+case the illustration covers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .runner import SweepResult
+from .saturation import ActiveRegion, find_active_region
+
+__all__ = ["LogLinearMetricModel", "SystemModel", "fit_system_model"]
+
+
+@dataclass(frozen=True)
+class LogLinearMetricModel:
+    """The fitted line ``y = intercept + slope * ln(x)``.
+
+    ``x_low``/``x_high`` record the fit domain (the active zone); the
+    model predicts outside it but :meth:`predict` clamps to the fitted
+    metric range so extrapolation never promises impossible values.
+    """
+
+    intercept: float
+    slope: float
+    x_low: float
+    x_high: float
+    y_low: float
+    y_high: float
+    r2: float
+
+    def predict(self, x) -> np.ndarray:
+        """Metric value(s) at parameter value(s) ``x``, clamped."""
+        x = np.asarray(x, dtype=float)
+        if np.any(x <= 0):
+            raise ValueError("log-linear models are defined for positive x")
+        raw = self.intercept + self.slope * np.log(x)
+        return np.clip(raw, min(self.y_low, self.y_high),
+                       max(self.y_low, self.y_high))
+
+    def invert(self, y: float) -> float:
+        """Parameter value at which the model predicts ``y``.
+
+        Exact inverse of the line; raises on a flat model because a
+        non-responding metric cannot be used to choose a parameter.
+        """
+        if self.slope == 0:
+            raise ValueError("cannot invert a flat model (slope is zero)")
+        return float(np.exp((y - self.intercept) / self.slope))
+
+    def invert_clamped(self, y: float) -> float:
+        """Like :meth:`invert` but clamped into the fit domain."""
+        return float(np.clip(self.invert(y), self.x_low, self.x_high))
+
+    @classmethod
+    def fit(cls, xs, ys) -> "LogLinearMetricModel":
+        """Least-squares fit of ``ys`` on ``ln(xs)``."""
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        if xs.shape != ys.shape or xs.ndim != 1:
+            raise ValueError("xs and ys must be equal-length vectors")
+        if xs.size < 2:
+            raise ValueError("need at least two points to fit a line")
+        if np.any(xs <= 0):
+            raise ValueError("log-linear models need positive x values")
+        lx = np.log(xs)
+        slope, intercept = np.polyfit(lx, ys, 1)
+        pred = intercept + slope * lx
+        ss_res = float(np.sum((ys - pred) ** 2))
+        ss_tot = float(np.sum((ys - np.mean(ys)) ** 2))
+        r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+        return cls(
+            intercept=float(intercept),
+            slope=float(slope),
+            x_low=float(np.min(xs)),
+            x_high=float(np.max(xs)),
+            y_low=float(np.min(ys)),
+            y_high=float(np.max(ys)),
+            r2=r2,
+        )
+
+
+@dataclass(frozen=True)
+class SystemModel:
+    """The invertible ``(Pr, Ut) = f(param)`` of the paper's equation (1).
+
+    In the paper's notation the privacy model carries ``(a, b)`` and the
+    utility model ``(alpha, beta)``.
+    """
+
+    system_name: str
+    param_name: str
+    privacy: LogLinearMetricModel
+    utility: LogLinearMetricModel
+    privacy_region: ActiveRegion
+    utility_region: ActiveRegion
+    #: Full swept parameter range; model predictions outside each fit's
+    #: active zone clamp to the measured plateaus, so the model remains
+    #: meaningful (and invertible objectives remain answerable) on all
+    #: of it.
+    param_low: float = 0.0
+    param_high: float = 0.0
+
+    def predict(self, value: float) -> Tuple[float, float]:
+        """``f``: (privacy, utility) predicted at a parameter value."""
+        return (
+            float(self.privacy.predict(value)),
+            float(self.utility.predict(value)),
+        )
+
+    def invert_privacy(self, target: float) -> float:
+        """Parameter value achieving privacy metric ``target``."""
+        return self.privacy.invert(target)
+
+    def invert_utility(self, target: float) -> float:
+        """Parameter value achieving utility metric ``target``."""
+        return self.utility.invert(target)
+
+    @property
+    def coefficients(self) -> Tuple[float, float, float, float]:
+        """``(a, b, alpha, beta)`` in the paper's equation-(2) notation."""
+        return (
+            self.privacy.intercept,
+            self.privacy.slope,
+            self.utility.intercept,
+            self.utility.slope,
+        )
+
+    def domain(self) -> Tuple[float, float]:
+        """Parameter range the model answers for.
+
+        The full sweep range when known (predictions clamp to the
+        plateaus outside the active zones); otherwise the intersection
+        of the two fit domains.
+        """
+        if self.param_low > 0 and self.param_high > self.param_low:
+            return (self.param_low, self.param_high)
+        low = max(self.privacy.x_low, self.utility.x_low)
+        high = min(self.privacy.x_high, self.utility.x_high)
+        return (low, high)
+
+
+def fit_system_model(
+    sweep: SweepResult,
+    use_active_region: bool = True,
+    rel_tol: float = 0.05,
+    window: int = 3,
+) -> SystemModel:
+    """Fit the paper's equation (2) from a sweep.
+
+    With ``use_active_region`` (the paper's approach) each metric is
+    fitted only inside its own non-saturated zone; switching it off
+    fits the full sweep — the A2 ablation benchmark quantifies how much
+    that costs.
+    """
+    xs = sweep.param_values()
+    pr = sweep.privacy()
+    ut = sweep.utility()
+    if use_active_region:
+        pr_region = find_active_region(pr, rel_tol, window)
+        ut_region = find_active_region(ut, rel_tol, window)
+    else:
+        pr_region = ActiveRegion(0, len(xs) - 1, float(np.min(pr)), float(np.max(pr)))
+        ut_region = ActiveRegion(0, len(xs) - 1, float(np.min(ut)), float(np.max(ut)))
+    pr_idx = pr_region.indices()
+    ut_idx = ut_region.indices()
+    return SystemModel(
+        system_name=sweep.system_name,
+        param_name=sweep.param_name,
+        privacy=LogLinearMetricModel.fit(xs[pr_idx], pr[pr_idx]),
+        utility=LogLinearMetricModel.fit(xs[ut_idx], ut[ut_idx]),
+        privacy_region=pr_region,
+        utility_region=ut_region,
+        param_low=float(np.min(xs)),
+        param_high=float(np.max(xs)),
+    )

@@ -1,0 +1,204 @@
+"""Multi-parameter metric models — equation (1) in its general form.
+
+The paper's equation (1) is ``(Pr, Ut) = f(p_1..p_n, d_1..d_m)``; the
+illustration only instantiates the single-parameter case (GEO-I's ε).
+This module provides the general mechanism side: grid sweeps over
+several parameters and the multi-linear model
+
+    y = a + sum_i b_i * t_i(p_i)
+
+where ``t_i`` is ``ln`` for log-scaled parameters and identity for
+linear ones (matching each :class:`ParameterSpec`).  The model stays
+invertible *per axis*: fixing all parameters but one yields the same
+closed-form inversion the configurator uses in the 1-D case.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..mobility import Dataset
+from .runner import ExperimentRunner, SweepPoint
+from .spec import ParameterSpec, SystemDefinition
+
+__all__ = [
+    "GridSweepResult",
+    "MultiLinearMetricModel",
+    "MultiSystemModel",
+    "grid_sweep",
+    "fit_multi_system_model",
+]
+
+
+@dataclass
+class GridSweepResult:
+    """Measurements over a cartesian grid of parameter settings."""
+
+    system_name: str
+    param_names: List[str]
+    points: List[SweepPoint]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def param_matrix(self) -> np.ndarray:
+        """(n_points, n_params) matrix of swept values, in name order."""
+        return np.asarray(
+            [[p.params[name] for name in self.param_names] for p in self.points]
+        )
+
+    def privacy(self) -> np.ndarray:
+        """Mean privacy metric per grid point."""
+        return np.asarray([p.privacy_mean for p in self.points])
+
+    def utility(self) -> np.ndarray:
+        """Mean utility metric per grid point."""
+        return np.asarray([p.utility_mean for p in self.points])
+
+
+def grid_sweep(
+    runner: ExperimentRunner,
+    n_points: int = 5,
+    param_names: Optional[Sequence[str]] = None,
+) -> GridSweepResult:
+    """Evaluate the full cartesian grid of the system's parameters.
+
+    ``n_points`` values per axis (spec-spaced); the grid grows
+    exponentially in the number of parameters, which is exactly the
+    cost argument for the paper's model-based approach.
+    """
+    system = runner.system
+    names = list(param_names or system.parameter_names)
+    axes = [system.parameter(name).values(n_points) for name in names]
+    fixed = {
+        name: value
+        for name, value in system.defaults().items()
+        if name not in names
+    }
+    result = GridSweepResult(system.name, names, [])
+    for combo in itertools.product(*axes):
+        params = dict(fixed)
+        params.update(zip(names, map(float, combo)))
+        result.points.append(runner.evaluate(params))
+    return result
+
+
+def _transform(spec: ParameterSpec, values: np.ndarray) -> np.ndarray:
+    """The model-space coordinate of a parameter axis."""
+    if spec.scale == "log":
+        return np.log(values)
+    return values
+
+
+@dataclass(frozen=True)
+class MultiLinearMetricModel:
+    """The fitted plane ``y = intercept + sum_i slopes[i] * t_i(p_i)``."""
+
+    param_names: Tuple[str, ...]
+    scales: Tuple[str, ...]
+    intercept: float
+    slopes: Tuple[float, ...]
+    y_low: float
+    y_high: float
+    r2: float
+
+    def _coords(self, params: Mapping[str, float]) -> np.ndarray:
+        values = []
+        for name, scale in zip(self.param_names, self.scales):
+            if name not in params:
+                raise KeyError(f"missing parameter {name!r}")
+            v = float(params[name])
+            values.append(np.log(v) if scale == "log" else v)
+        return np.asarray(values)
+
+    def predict(self, params: Mapping[str, float]) -> float:
+        """Metric value at a full parameter assignment, clamped."""
+        raw = self.intercept + float(np.dot(self.slopes, self._coords(params)))
+        return float(np.clip(raw, min(self.y_low, self.y_high),
+                             max(self.y_low, self.y_high)))
+
+    def invert_for(
+        self, name: str, target: float, fixed: Mapping[str, float]
+    ) -> float:
+        """The value of parameter ``name`` reaching ``target``, others fixed."""
+        if name not in self.param_names:
+            raise KeyError(f"unknown parameter {name!r}")
+        i = self.param_names.index(name)
+        if self.slopes[i] == 0:
+            raise ValueError(f"metric does not respond to {name!r}")
+        rest = target - self.intercept
+        for j, other in enumerate(self.param_names):
+            if j == i:
+                continue
+            if other not in fixed:
+                raise KeyError(f"missing fixed value for {other!r}")
+            v = float(fixed[other])
+            coord = np.log(v) if self.scales[j] == "log" else v
+            rest -= self.slopes[j] * coord
+        coord_i = rest / self.slopes[i]
+        return float(np.exp(coord_i)) if self.scales[i] == "log" else float(coord_i)
+
+    @classmethod
+    def fit(
+        cls,
+        specs: Sequence[ParameterSpec],
+        matrix: np.ndarray,
+        ys: np.ndarray,
+    ) -> "MultiLinearMetricModel":
+        """Least squares of ``ys`` on the transformed parameter matrix."""
+        matrix = np.asarray(matrix, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != ys.size:
+            raise ValueError("matrix rows must match ys length")
+        if matrix.shape[1] != len(specs):
+            raise ValueError("matrix columns must match parameter specs")
+        if ys.size < len(specs) + 1:
+            raise ValueError("need more points than coefficients")
+        columns = [
+            _transform(spec, matrix[:, j]) for j, spec in enumerate(specs)
+        ]
+        design = np.column_stack([np.ones(ys.size)] + columns)
+        coef, _, _, _ = np.linalg.lstsq(design, ys, rcond=None)
+        pred = design @ coef
+        ss_res = float(np.sum((ys - pred) ** 2))
+        ss_tot = float(np.sum((ys - np.mean(ys)) ** 2))
+        r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+        return cls(
+            param_names=tuple(s.name for s in specs),
+            scales=tuple(s.scale for s in specs),
+            intercept=float(coef[0]),
+            slopes=tuple(float(c) for c in coef[1:]),
+            y_low=float(np.min(ys)),
+            y_high=float(np.max(ys)),
+            r2=r2,
+        )
+
+
+@dataclass(frozen=True)
+class MultiSystemModel:
+    """Privacy and utility planes over the full parameter space."""
+
+    system_name: str
+    privacy: MultiLinearMetricModel
+    utility: MultiLinearMetricModel
+
+    def predict(self, params: Mapping[str, float]) -> Tuple[float, float]:
+        """``f``: (privacy, utility) at a full parameter assignment."""
+        return (self.privacy.predict(params), self.utility.predict(params))
+
+
+def fit_multi_system_model(
+    system: SystemDefinition, sweep: GridSweepResult
+) -> MultiSystemModel:
+    """Fit both metric planes from a grid sweep."""
+    specs = [system.parameter(name) for name in sweep.param_names]
+    matrix = sweep.param_matrix()
+    return MultiSystemModel(
+        system_name=sweep.system_name,
+        privacy=MultiLinearMetricModel.fit(specs, matrix, sweep.privacy()),
+        utility=MultiLinearMetricModel.fit(specs, matrix, sweep.utility()),
+    )

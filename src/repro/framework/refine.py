@@ -1,0 +1,108 @@
+"""Measurement-guided refinement of a model recommendation.
+
+The fitted model is an approximation; near a sharp metric transition
+its inversion can land a recommendation slightly on the wrong side of
+an objective.  ``refine_recommendation`` closes the loop with a few
+*real* evaluations: verify the recommended value, and if an objective
+is violated, bisect (in log space) between the recommendation and the
+far end of its feasible interval until every objective holds.
+
+This costs a handful of online evaluations — far fewer than a full ALP
+search, because the model already provides the bracket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .configurator import Objective, Recommendation
+from .runner import ExperimentRunner
+
+__all__ = ["RefinementResult", "refine_recommendation"]
+
+
+@dataclass
+class RefinementResult:
+    """Outcome of the refinement loop."""
+
+    value: float
+    privacy: float
+    utility: float
+    satisfied: bool
+    n_evaluations: int
+    trail: List[Tuple[float, float, float]] = field(default_factory=list)
+
+
+def _check(
+    objectives: Sequence[Objective], privacy: float, utility: float
+) -> bool:
+    return all(
+        o.satisfied_by(privacy if o.kind == "privacy" else utility)
+        for o in objectives
+    )
+
+
+def refine_recommendation(
+    runner: ExperimentRunner,
+    recommendation: Recommendation,
+    objectives: Sequence[Objective],
+    max_evaluations: int = 6,
+    n_replications: int = 1,
+) -> RefinementResult:
+    """Verify and, if needed, bisect the recommendation to feasibility.
+
+    Edge policies place the recommendation near one end of the feasible
+    interval, so when measurement contradicts the model there, the
+    interval's *other* end is the natural safe side: the search
+    log-bisects towards it and stops at the first value that measures
+    feasible.  Returns the last measured point either way.
+    """
+    if not recommendation.feasible or recommendation.value is None:
+        raise ValueError("cannot refine an infeasible recommendation")
+    if max_evaluations < 1:
+        raise ValueError("need at least one evaluation")
+    param = recommendation.param_name
+    lo, hi = recommendation.interval
+    evals_before = runner.n_evaluations
+    trail: List[Tuple[float, float, float]] = []
+
+    def measure(value: float) -> Tuple[float, float]:
+        point = runner.evaluate({param: value}, n_replications=n_replications)
+        trail.append((value, point.privacy_mean, point.utility_mean))
+        return point.privacy_mean, point.utility_mean
+
+    current = recommendation.value
+    privacy, utility = measure(current)
+    satisfied = _check(objectives, privacy, utility)
+    if satisfied or lo >= hi:
+        return RefinementResult(
+            value=current, privacy=privacy, utility=utility,
+            satisfied=satisfied,
+            n_evaluations=runner.n_evaluations - evals_before,
+            trail=trail,
+        )
+
+    # The far end of the interval is the candidate safe side.
+    if abs(np.log(current / lo)) > abs(np.log(current / hi)):
+        safe_side = lo
+    else:
+        safe_side = hi
+    bad = current
+    best = (current, privacy, utility, False)
+    for _ in range(max_evaluations - 1):
+        candidate = float(np.exp((np.log(bad) + np.log(safe_side)) / 2.0))
+        privacy, utility = measure(candidate)
+        if _check(objectives, privacy, utility):
+            best = (candidate, privacy, utility, True)
+            break
+        bad = candidate
+    value, privacy, utility, satisfied = best
+    return RefinementResult(
+        value=value, privacy=privacy, utility=utility,
+        satisfied=satisfied,
+        n_evaluations=runner.n_evaluations - evals_before,
+        trail=trail,
+    )

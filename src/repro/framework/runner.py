@@ -1,0 +1,194 @@
+"""Automated experiment execution — step 2 of the framework (data side).
+
+The runner sweeps an LPPM parameter across its range, protects the
+dataset at every value (several replications with distinct seeds) and
+measures the privacy and utility metrics.  Results are cached by
+``(parameter values, seed)`` so the configurator, ALP and the ablation
+benchmarks can share work and *count* evaluations honestly.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..mobility import Dataset
+from .spec import SystemDefinition
+
+__all__ = ["SweepPoint", "SweepResult", "ExperimentRunner"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Measured metrics at one parameter setting."""
+
+    params: Mapping[str, float]
+    privacy_mean: float
+    privacy_std: float
+    utility_mean: float
+    utility_std: float
+    n_replications: int
+
+
+@dataclass
+class SweepResult:
+    """A full parameter sweep: one :class:`SweepPoint` per value."""
+
+    system_name: str
+    param_name: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def param_values(self) -> np.ndarray:
+        """The swept values, in sweep order."""
+        return np.asarray([p.params[self.param_name] for p in self.points])
+
+    def privacy(self) -> np.ndarray:
+        """Mean privacy metric per swept value."""
+        return np.asarray([p.privacy_mean for p in self.points])
+
+    def utility(self) -> np.ndarray:
+        """Mean utility metric per swept value."""
+        return np.asarray([p.utility_mean for p in self.points])
+
+    def to_rows(self) -> List[Tuple[float, float, float, float, float]]:
+        """(value, Pr mean, Pr std, Ut mean, Ut std) tuples for reporting."""
+        return [
+            (
+                p.params[self.param_name],
+                p.privacy_mean,
+                p.privacy_std,
+                p.utility_mean,
+                p.utility_std,
+            )
+            for p in self.points
+        ]
+
+    def write_csv(self, path) -> None:
+        """Dump the sweep as CSV (the library's figure-data format)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(
+                [self.param_name, "privacy_mean", "privacy_std",
+                 "utility_mean", "utility_std"]
+            )
+            for row in self.to_rows():
+                writer.writerow([repr(v) for v in row])
+
+
+class ExperimentRunner:
+    """Runs metric evaluations for a system on a fixed dataset.
+
+    Parameters
+    ----------
+    system:
+        The :class:`SystemDefinition` under analysis.
+    dataset:
+        The actual (unprotected) dataset.
+    n_replications:
+        Seeds per parameter value; the paper's curves are averages over
+        randomised protection runs.
+    base_seed:
+        Root of the replication seed sequence.
+    """
+
+    def __init__(
+        self,
+        system: SystemDefinition,
+        dataset: Dataset,
+        n_replications: int = 3,
+        base_seed: int = 0,
+    ) -> None:
+        if n_replications < 1:
+            raise ValueError("need at least one replication")
+        self.system = system
+        self.dataset = dataset
+        self.n_replications = n_replications
+        self.base_seed = base_seed
+        self._cache: Dict[Tuple[Tuple[Tuple[str, float], ...], int],
+                          Tuple[float, float]] = {}
+        #: Number of (protect + measure) executions actually performed.
+        self.n_evaluations = 0
+
+    # ------------------------------------------------------------------
+    # Single evaluations
+    # ------------------------------------------------------------------
+    def evaluate_once(
+        self, params: Mapping[str, float], seed: int
+    ) -> Tuple[float, float]:
+        """(privacy, utility) at ``params`` under one protection seed."""
+        key = (tuple(sorted(params.items())), seed)
+        if key in self._cache:
+            return self._cache[key]
+        lppm = self.system.make_lppm(**params)
+        protected = lppm.protect(self.dataset, seed=seed)
+        pr = self.system.privacy_metric.evaluate(self.dataset, protected)
+        ut = self.system.utility_metric.evaluate(self.dataset, protected)
+        self._cache[key] = (pr, ut)
+        self.n_evaluations += 1
+        return (pr, ut)
+
+    def evaluate(
+        self, params: Mapping[str, float], n_replications: Optional[int] = None
+    ) -> SweepPoint:
+        """Replicated evaluation at one parameter setting."""
+        reps = n_replications or self.n_replications
+        prs, uts = [], []
+        for r in range(reps):
+            pr, ut = self.evaluate_once(params, seed=self.base_seed + r)
+            prs.append(pr)
+            uts.append(ut)
+        return SweepPoint(
+            params=dict(params),
+            privacy_mean=float(np.mean(prs)),
+            privacy_std=float(np.std(prs)),
+            utility_mean=float(np.mean(uts)),
+            utility_std=float(np.std(uts)),
+            n_replications=reps,
+        )
+
+    # ------------------------------------------------------------------
+    # Sweeps
+    # ------------------------------------------------------------------
+    def sweep(
+        self,
+        param_name: Optional[str] = None,
+        n_points: int = 15,
+        values: Optional[Sequence[float]] = None,
+        fixed: Optional[Mapping[str, float]] = None,
+    ) -> SweepResult:
+        """Sweep one parameter, holding any others at ``fixed`` values.
+
+        ``values`` overrides the spec-derived spacing when given.  For a
+        single-parameter system (the paper's GEO-I case) all arguments
+        are optional.
+        """
+        if param_name is None:
+            if len(self.system.parameters) != 1:
+                raise ValueError("param_name is required for multi-parameter systems")
+            param_name = self.system.parameters[0].name
+        spec = self.system.parameter(param_name)
+        sweep_values = (
+            np.asarray(list(values), dtype=float)
+            if values is not None
+            else spec.values(n_points)
+        )
+        others = {
+            name: value
+            for name, value in (fixed or self.system.defaults()).items()
+            if name != param_name and name in self.system.parameter_names
+        }
+        result = SweepResult(self.system.name, param_name)
+        for value in sweep_values:
+            params = dict(others)
+            params[param_name] = float(value)
+            result.points.append(self.evaluate(params))
+        return result

@@ -1,0 +1,102 @@
+"""Detection of the non-saturated zone of a response curve.
+
+Figure 1 of the paper marks with vertical lines the "zones where
+metrics are not saturated": outside them the metric sits on a plateau
+and carries no information about the parameter, so the model of
+equation (2) is fitted only inside.  This module finds that zone
+automatically from a sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ActiveRegion", "find_active_region", "smooth"]
+
+
+@dataclass(frozen=True)
+class ActiveRegion:
+    """The index range of a sweep where the metric actually responds."""
+
+    start: int           # first active index (inclusive)
+    stop: int            # last active index (inclusive)
+    low_plateau: float
+    high_plateau: float
+
+    @property
+    def n_points(self) -> int:
+        """Number of sweep points inside the region."""
+        return self.stop - self.start + 1
+
+    def indices(self) -> np.ndarray:
+        """Integer indices of the active sweep points."""
+        return np.arange(self.start, self.stop + 1)
+
+    def clip(self, other: "ActiveRegion") -> "ActiveRegion":
+        """Intersection with another region (over the same sweep)."""
+        start = max(self.start, other.start)
+        stop = min(self.stop, other.stop)
+        if start > stop:
+            raise ValueError("active regions do not overlap")
+        return ActiveRegion(
+            start=start,
+            stop=stop,
+            low_plateau=self.low_plateau,
+            high_plateau=self.high_plateau,
+        )
+
+
+def smooth(ys, window: int = 3) -> np.ndarray:
+    """Centred moving average with edge clamping.
+
+    Sweep curves are averages of stochastic metric evaluations;
+    smoothing keeps single noisy points from fragmenting the detected
+    region.  ``window`` must be odd.
+    """
+    ys = np.asarray(ys, dtype=float)
+    if window < 1 or window % 2 == 0:
+        raise ValueError("window must be a positive odd number")
+    if window == 1 or ys.size <= 2:
+        return ys.copy()
+    pad = window // 2
+    padded = np.concatenate([np.full(pad, ys[0]), ys, np.full(pad, ys[-1])])
+    kernel = np.ones(window) / window
+    return np.convolve(padded, kernel, mode="valid")
+
+
+def find_active_region(
+    ys,
+    rel_tol: float = 0.05,
+    window: int = 3,
+) -> ActiveRegion:
+    """Find where the (smoothed) curve is away from both plateaus.
+
+    The plateaus are the smoothed curve's extremes; a point is *active*
+    when its value is more than ``rel_tol`` of the total span away from
+    each plateau.  The region returned is the contiguous run from the
+    first to the last active point (response curves of monotone
+    mechanisms have a single transition, so this is the transition
+    band).  A flat curve yields the full range — there is nothing to
+    exclude, and nothing to fit either (the model layer checks slopes).
+    """
+    ys = np.asarray(ys, dtype=float)
+    if ys.size < 3:
+        raise ValueError("need at least three sweep points")
+    if not 0.0 < rel_tol < 0.5:
+        raise ValueError("rel_tol must be in (0, 0.5)")
+    sm = smooth(ys, window)
+    lo = float(np.min(sm))
+    hi = float(np.max(sm))
+    span = hi - lo
+    if span <= 0:
+        return ActiveRegion(0, ys.size - 1, lo, hi)
+    margin = rel_tol * span
+    active = (sm > lo + margin) & (sm < hi - margin)
+    if not np.any(active):
+        # Curve is a step: keep the two points straddling the jump.
+        jump = int(np.argmax(np.abs(np.diff(sm))))
+        return ActiveRegion(jump, min(jump + 1, ys.size - 1), lo, hi)
+    idx = np.nonzero(active)[0]
+    return ActiveRegion(int(idx[0]), int(idx[-1]), lo, hi)

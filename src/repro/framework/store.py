@@ -1,0 +1,154 @@
+"""Persistence of sweeps and fitted models.
+
+The offline phase (sweep + fit) is the framework's only real cost;
+a deployment runs it once and then answers configuration queries
+forever.  This module serialises both artefacts to JSON so the online
+phase can run in a separate process, machine or release — no pickle,
+no code execution on load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from .models import LogLinearMetricModel, SystemModel
+from .runner import SweepPoint, SweepResult
+from .saturation import ActiveRegion
+
+__all__ = ["save_sweep", "load_sweep", "save_model", "load_model"]
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def save_sweep(sweep: SweepResult, path: PathLike) -> None:
+    """Write a sweep to JSON."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "kind": "sweep",
+        "system_name": sweep.system_name,
+        "param_name": sweep.param_name,
+        "points": [
+            {
+                "params": dict(p.params),
+                "privacy_mean": p.privacy_mean,
+                "privacy_std": p.privacy_std,
+                "utility_mean": p.utility_mean,
+                "utility_std": p.utility_std,
+                "n_replications": p.n_replications,
+            }
+            for p in sweep.points
+        ],
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2))
+
+
+def load_sweep(path: PathLike) -> SweepResult:
+    """Read a sweep written by :func:`save_sweep`."""
+    payload = _load_payload(path, "sweep")
+    sweep = SweepResult(payload["system_name"], payload["param_name"])
+    for entry in payload["points"]:
+        sweep.points.append(
+            SweepPoint(
+                params={k: float(v) for k, v in entry["params"].items()},
+                privacy_mean=float(entry["privacy_mean"]),
+                privacy_std=float(entry["privacy_std"]),
+                utility_mean=float(entry["utility_mean"]),
+                utility_std=float(entry["utility_std"]),
+                n_replications=int(entry["n_replications"]),
+            )
+        )
+    return sweep
+
+
+def _metric_model_to_dict(model: LogLinearMetricModel) -> dict:
+    return {
+        "intercept": model.intercept,
+        "slope": model.slope,
+        "x_low": model.x_low,
+        "x_high": model.x_high,
+        "y_low": model.y_low,
+        "y_high": model.y_high,
+        "r2": model.r2,
+    }
+
+
+def _metric_model_from_dict(data: dict) -> LogLinearMetricModel:
+    return LogLinearMetricModel(**{k: float(v) for k, v in data.items()})
+
+
+def _region_to_dict(region: ActiveRegion) -> dict:
+    return {
+        "start": region.start,
+        "stop": region.stop,
+        "low_plateau": region.low_plateau,
+        "high_plateau": region.high_plateau,
+    }
+
+
+def _region_from_dict(data: dict) -> ActiveRegion:
+    return ActiveRegion(
+        start=int(data["start"]),
+        stop=int(data["stop"]),
+        low_plateau=float(data["low_plateau"]),
+        high_plateau=float(data["high_plateau"]),
+    )
+
+
+def save_model(model: SystemModel, path: PathLike) -> None:
+    """Write a fitted system model to JSON."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "kind": "system_model",
+        "system_name": model.system_name,
+        "param_name": model.param_name,
+        "privacy": _metric_model_to_dict(model.privacy),
+        "utility": _metric_model_to_dict(model.utility),
+        "privacy_region": _region_to_dict(model.privacy_region),
+        "utility_region": _region_to_dict(model.utility_region),
+        "param_low": model.param_low,
+        "param_high": model.param_high,
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2))
+
+
+def load_model(path: PathLike) -> SystemModel:
+    """Read a model written by :func:`save_model`."""
+    payload = _load_payload(path, "system_model")
+    return SystemModel(
+        system_name=payload["system_name"],
+        param_name=payload["param_name"],
+        privacy=_metric_model_from_dict(payload["privacy"]),
+        utility=_metric_model_from_dict(payload["utility"]),
+        privacy_region=_region_from_dict(payload["privacy_region"]),
+        utility_region=_region_from_dict(payload["utility_region"]),
+        param_low=float(payload["param_low"]),
+        param_high=float(payload["param_high"]),
+    )
+
+
+def _load_payload(path: PathLike, expected_kind: str) -> dict:
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("kind") != expected_kind:
+        raise ValueError(
+            f"{path}: expected a {expected_kind!r} file, "
+            f"got kind={payload.get('kind')!r}"
+        )
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported format version {version!r} "
+            f"(this library reads version {_FORMAT_VERSION})"
+        )
+    return payload

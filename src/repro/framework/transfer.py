@@ -1,0 +1,163 @@
+"""Cross-dataset model transfer — the dataset-property side of eq. (1).
+
+The paper's equation (1) makes ``f`` a function of dataset properties
+``d_1..d_m`` as well as of the LPPM parameters, so that a model learned
+on a *population of datasets* can configure the mechanism for a new
+dataset without sweeping it.  This module implements that ambition:
+
+1. sweep + fit equation (2) on each training dataset (the usual
+   offline phase, once per dataset);
+2. regress each coefficient (a, b, alpha, beta) linearly on the chosen
+   dataset properties;
+3. for a new dataset, extract its properties, predict the
+   coefficients, and assemble a ready-to-invert :class:`SystemModel` —
+   zero protection runs on the new data.
+
+With few training datasets the property vector should be small; use
+``repro.properties.select_properties`` (PCA, as the paper prescribes)
+to pick the most variance-carrying ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..mobility import Dataset
+from ..properties import PropertyExtractor
+from .configurator import Configurator
+from .models import LogLinearMetricModel, SystemModel
+from .saturation import ActiveRegion
+from .spec import SystemDefinition
+
+__all__ = ["TransferredModel", "ModelTransfer"]
+
+_COEFF_NAMES = ("a", "b", "alpha", "beta")
+
+
+@dataclass(frozen=True)
+class TransferredModel:
+    """A :class:`SystemModel` predicted from dataset properties alone."""
+
+    model: SystemModel
+    properties: Tuple[float, ...]
+    coefficients: Tuple[float, float, float, float]
+
+
+class ModelTransfer:
+    """Learns how equation-(2) coefficients vary with dataset properties.
+
+    Parameters
+    ----------
+    system:
+        The system definition shared by all datasets.
+    extractors:
+        The dataset properties ``d_i`` to regress on (keep this list
+        short relative to the number of training datasets).
+    n_points, n_replications:
+        Sweep resolution of the per-dataset offline phase.
+    """
+
+    def __init__(
+        self,
+        system: SystemDefinition,
+        extractors: Sequence[PropertyExtractor],
+        n_points: int = 12,
+        n_replications: int = 1,
+    ) -> None:
+        if len(system.parameters) != 1:
+            raise ValueError("model transfer supports single-parameter systems")
+        if not extractors:
+            raise ValueError("need at least one property extractor")
+        self.system = system
+        self.extractors = list(extractors)
+        self.n_points = n_points
+        self.n_replications = n_replications
+        self._weights: Optional[np.ndarray] = None   # (n_props+1, 4)
+        self._training_models: List[SystemModel] = []
+        self.residual_rms: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def _properties_of(self, dataset: Dataset) -> np.ndarray:
+        return np.asarray([e(dataset) for e in self.extractors])
+
+    def fit(self, datasets: Sequence[Dataset]) -> None:
+        """Sweep every training dataset and regress the coefficients."""
+        needed = len(self.extractors) + 1
+        if len(datasets) < needed:
+            raise ValueError(
+                f"need at least {needed} datasets for "
+                f"{len(self.extractors)} properties"
+            )
+        rows = []
+        targets = []
+        self._training_models = []
+        for dataset in datasets:
+            configurator = Configurator(
+                self.system, dataset,
+                n_points=self.n_points, n_replications=self.n_replications,
+            )
+            model = configurator.fit()
+            self._training_models.append(model)
+            rows.append(np.concatenate([[1.0], self._properties_of(dataset)]))
+            targets.append(model.coefficients)
+        design = np.asarray(rows)
+        target_matrix = np.asarray(targets)          # (n_datasets, 4)
+        self._weights, _, _, _ = np.linalg.lstsq(design, target_matrix, rcond=None)
+        predictions = design @ self._weights
+        self.residual_rms = np.sqrt(
+            np.mean((predictions - target_matrix) ** 2, axis=0)
+        )
+
+    @property
+    def training_models(self) -> List[SystemModel]:
+        """The per-dataset models the regression was trained on."""
+        if not self._training_models:
+            raise RuntimeError("call fit() before using the transfer model")
+        return list(self._training_models)
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def predict_model(self, dataset: Dataset) -> TransferredModel:
+        """Equation (2) for a new dataset, with zero protection runs."""
+        if self._weights is None:
+            raise RuntimeError("call fit() before predicting")
+        props = self._properties_of(dataset)
+        coeffs = np.concatenate([[1.0], props]) @ self._weights
+        a, b, alpha, beta = (float(c) for c in coeffs)
+        spec = self.system.parameters[0]
+
+        def _metric_model(intercept: float, slope: float) -> LogLinearMetricModel:
+            at_low = intercept + slope * np.log(spec.low)
+            at_high = intercept + slope * np.log(spec.high)
+            return LogLinearMetricModel(
+                intercept=intercept,
+                slope=slope,
+                x_low=spec.low,
+                x_high=spec.high,
+                y_low=float(min(at_low, at_high)),
+                y_high=float(max(at_low, at_high)),
+                r2=float("nan"),   # no data was fitted for this dataset
+            )
+
+        placeholder = ActiveRegion(0, 0, 0.0, 0.0)
+        model = SystemModel(
+            system_name=self.system.name,
+            param_name=spec.name,
+            privacy=_metric_model(a, b),
+            utility=_metric_model(alpha, beta),
+            privacy_region=placeholder,
+            utility_region=placeholder,
+            param_low=spec.low,
+            param_high=spec.high,
+        )
+        return TransferredModel(
+            model=model,
+            properties=tuple(float(p) for p in props),
+            coefficients=(a, b, alpha, beta),
+        )

@@ -1,0 +1,144 @@
+"""Geodesic primitives on the WGS-84 sphere.
+
+All distances are in metres, all angles in degrees unless stated
+otherwise.  Functions come in two flavours: scalar helpers working on
+:class:`LatLon` values and vectorised helpers working on numpy arrays of
+latitudes/longitudes.  The vectorised forms are what the metrics and
+LPPMs use on whole traces; the scalar forms keep call sites readable in
+tests and examples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Mean Earth radius in metres (IUGG value), used by all haversine math.
+EARTH_RADIUS_M = 6_371_008.8
+
+__all__ = [
+    "EARTH_RADIUS_M",
+    "LatLon",
+    "haversine_m",
+    "haversine_m_arrays",
+    "pairwise_haversine_m",
+    "initial_bearing_deg",
+    "destination_point",
+    "destination_points_arrays",
+]
+
+
+@dataclass(frozen=True)
+class LatLon:
+    """A WGS-84 coordinate pair, latitude and longitude in degrees."""
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError(f"latitude {self.lat!r} outside [-90, 90]")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ValueError(f"longitude {self.lon!r} outside [-180, 180]")
+
+    def distance_m(self, other: "LatLon") -> float:
+        """Great-circle distance to ``other`` in metres."""
+        return haversine_m(self, other)
+
+    def as_tuple(self) -> tuple:
+        """Return ``(lat, lon)`` as a plain tuple."""
+        return (self.lat, self.lon)
+
+
+def haversine_m(a: LatLon, b: LatLon) -> float:
+    """Great-circle distance between two points in metres."""
+    return float(
+        haversine_m_arrays(
+            np.asarray([a.lat]), np.asarray([a.lon]),
+            np.asarray([b.lat]), np.asarray([b.lon]),
+        )[0]
+    )
+
+
+def haversine_m_arrays(lat1, lon1, lat2, lon2) -> np.ndarray:
+    """Element-wise great-circle distance between coordinate arrays.
+
+    Inputs broadcast against each other like normal numpy operands, so a
+    single reference point against a whole trace is a valid call.
+    """
+    lat1 = np.radians(np.asarray(lat1, dtype=float))
+    lon1 = np.radians(np.asarray(lon1, dtype=float))
+    lat2 = np.radians(np.asarray(lat2, dtype=float))
+    lon2 = np.radians(np.asarray(lon2, dtype=float))
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = (
+        np.sin(dlat / 2.0) ** 2
+        + np.cos(lat1) * np.cos(lat2) * np.sin(dlon / 2.0) ** 2
+    )
+    # Clip guards against tiny negative values from floating-point noise.
+    h = np.clip(h, 0.0, 1.0)
+    return 2.0 * EARTH_RADIUS_M * np.arcsin(np.sqrt(h))
+
+
+def pairwise_haversine_m(lats, lons) -> np.ndarray:
+    """Full ``(n, n)`` distance matrix for the given coordinate arrays."""
+    lats = np.asarray(lats, dtype=float)
+    lons = np.asarray(lons, dtype=float)
+    return haversine_m_arrays(
+        lats[:, None], lons[:, None], lats[None, :], lons[None, :]
+    )
+
+
+def initial_bearing_deg(a: LatLon, b: LatLon) -> float:
+    """Initial bearing from ``a`` to ``b`` in degrees, clockwise from north.
+
+    The result is normalised to ``[0, 360)``.
+    """
+    lat1 = math.radians(a.lat)
+    lat2 = math.radians(b.lat)
+    dlon = math.radians(b.lon - a.lon)
+    x = math.sin(dlon) * math.cos(lat2)
+    y = math.cos(lat1) * math.sin(lat2) - math.sin(lat1) * math.cos(
+        lat2
+    ) * math.cos(dlon)
+    bearing = math.degrees(math.atan2(x, y))
+    return bearing % 360.0
+
+
+def destination_point(origin: LatLon, bearing_deg: float, distance_m: float) -> LatLon:
+    """Point reached from ``origin`` along ``bearing_deg`` for ``distance_m``."""
+    lat, lon = destination_points_arrays(
+        np.asarray([origin.lat]),
+        np.asarray([origin.lon]),
+        np.asarray([bearing_deg]),
+        np.asarray([distance_m]),
+    )
+    return LatLon(float(lat[0]), float(lon[0]))
+
+
+def destination_points_arrays(lats, lons, bearings_deg, distances_m):
+    """Vectorised great-circle destination points.
+
+    Returns a ``(lat, lon)`` pair of arrays in degrees; longitudes are
+    normalised to ``[-180, 180)``.
+    """
+    lat1 = np.radians(np.asarray(lats, dtype=float))
+    lon1 = np.radians(np.asarray(lons, dtype=float))
+    theta = np.radians(np.asarray(bearings_deg, dtype=float))
+    delta = np.asarray(distances_m, dtype=float) / EARTH_RADIUS_M
+
+    sin_lat2 = np.sin(lat1) * np.cos(delta) + np.cos(lat1) * np.sin(
+        delta
+    ) * np.cos(theta)
+    sin_lat2 = np.clip(sin_lat2, -1.0, 1.0)
+    lat2 = np.arcsin(sin_lat2)
+    y = np.sin(theta) * np.sin(delta) * np.cos(lat1)
+    x = np.cos(delta) - np.sin(lat1) * sin_lat2
+    lon2 = lon1 + np.arctan2(y, x)
+
+    lat_deg = np.degrees(lat2)
+    lon_deg = (np.degrees(lon2) + 180.0) % 360.0 - 180.0
+    return lat_deg, lon_deg

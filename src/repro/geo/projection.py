@@ -1,0 +1,104 @@
+"""Map projections used to do metric-space geometry on lat/lon data.
+
+The library's LPPMs and metrics reason in metres.  Rather than carrying
+geodesic math everywhere, traces are projected to a local tangent plane
+(an equirectangular projection centred on a reference point), perturbed
+or measured there, and mapped back.  For city-scale data the projection
+error is far below GPS noise (< 0.1 % across ~50 km).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .point import EARTH_RADIUS_M, LatLon
+
+__all__ = ["LocalProjection", "WebMercator"]
+
+
+@dataclass(frozen=True)
+class LocalProjection:
+    """Equirectangular projection around a fixed reference point.
+
+    ``to_xy`` maps (lat, lon) degrees to (x, y) metres east/north of the
+    reference; ``to_latlon`` is its exact inverse.  The cosine of the
+    reference latitude is frozen at construction so the projection is a
+    bijection (apart from pole degeneracies, which city data never hits).
+    """
+
+    ref: LatLon
+
+    @property
+    def _cos_ref(self) -> float:
+        return math.cos(math.radians(self.ref.lat))
+
+    @classmethod
+    def for_data(cls, lats, lons) -> "LocalProjection":
+        """Projection centred on the centroid of the given coordinates."""
+        lats = np.asarray(lats, dtype=float)
+        lons = np.asarray(lons, dtype=float)
+        if lats.size == 0:
+            raise ValueError("cannot centre a projection on empty data")
+        return cls(LatLon(float(np.mean(lats)), float(np.mean(lons))))
+
+    def to_xy(self, lats, lons):
+        """Project coordinate arrays to ``(x, y)`` metres."""
+        lats = np.asarray(lats, dtype=float)
+        lons = np.asarray(lons, dtype=float)
+        k = math.pi / 180.0 * EARTH_RADIUS_M
+        x = (lons - self.ref.lon) * k * self._cos_ref
+        y = (lats - self.ref.lat) * k
+        return x, y
+
+    def to_latlon(self, x, y):
+        """Inverse of :meth:`to_xy`; returns ``(lat, lon)`` degree arrays."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        k = math.pi / 180.0 * EARTH_RADIUS_M
+        lon = self.ref.lon + x / (k * self._cos_ref)
+        lat = self.ref.lat + y / k
+        return lat, lon
+
+    def point_to_xy(self, p: LatLon) -> tuple:
+        """Scalar convenience wrapper around :meth:`to_xy`."""
+        x, y = self.to_xy(np.asarray([p.lat]), np.asarray([p.lon]))
+        return (float(x[0]), float(y[0]))
+
+    def point_to_latlon(self, x: float, y: float) -> LatLon:
+        """Scalar convenience wrapper around :meth:`to_latlon`."""
+        lat, lon = self.to_latlon(np.asarray([x]), np.asarray([y]))
+        return LatLon(float(lat[0]), float(lon[0]))
+
+
+class WebMercator:
+    """Spherical Web-Mercator (EPSG:3857) forward/inverse transform.
+
+    Provided for interoperability with tile-based tooling; the library
+    itself uses :class:`LocalProjection` for metric math because Mercator
+    distorts distances away from the equator.
+    """
+
+    MAX_LAT = 85.051128779806604  # atan(sinh(pi)) in degrees
+
+    @staticmethod
+    def to_xy(lats, lons):
+        """Project coordinate arrays to Web-Mercator metres."""
+        lats = np.clip(
+            np.asarray(lats, dtype=float), -WebMercator.MAX_LAT, WebMercator.MAX_LAT
+        )
+        lons = np.asarray(lons, dtype=float)
+        x = np.radians(lons) * EARTH_RADIUS_M
+        y = np.log(np.tan(np.pi / 4.0 + np.radians(lats) / 2.0)) * EARTH_RADIUS_M
+        return x, y
+
+    @staticmethod
+    def to_latlon(x, y):
+        """Inverse of :meth:`to_xy`."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        lon = np.degrees(x / EARTH_RADIUS_M)
+        lat = np.degrees(2.0 * np.arctan(np.exp(y / EARTH_RADIUS_M)) - np.pi / 2.0)
+        return lat, lon

@@ -1,0 +1,35 @@
+"""Location Privacy Protection Mechanisms.
+
+``GeoIndistinguishability`` is the mechanism configured in the paper's
+illustration; the rest are the comparators its future work calls for.
+All mechanisms share the :class:`LPPM` interface and live in a registry
+keyed by short names (``geo_ind``, ``gaussian``, ...).
+"""
+
+from .base import LPPM, available_lppms, lppm_class, register_lppm
+from .elastic import DensityMap, ElasticGeoIndistinguishability
+from .geo_ind import GeoIndistinguishability, planar_laplace_radii
+from .noise import GaussianPerturbation, UniformDiskNoise
+from .pipeline import Pipeline
+from .promesse import Promesse, resample_polyline
+from .rounding import GridRounding
+from .sampling import Subsampling, TimePerturbation
+
+__all__ = [
+    "LPPM",
+    "register_lppm",
+    "lppm_class",
+    "available_lppms",
+    "GeoIndistinguishability",
+    "planar_laplace_radii",
+    "ElasticGeoIndistinguishability",
+    "DensityMap",
+    "Promesse",
+    "resample_polyline",
+    "GaussianPerturbation",
+    "UniformDiskNoise",
+    "GridRounding",
+    "Subsampling",
+    "TimePerturbation",
+    "Pipeline",
+]

@@ -1,0 +1,87 @@
+"""Geo-Indistinguishability: the planar Laplace mechanism.
+
+Implements the LPPM of Andrés, Bordenabe, Chatzikokolakis and
+Palamidessi, *Geo-Indistinguishability: Differential Privacy for
+Location-Based Systems* (CCS 2013) — the mechanism the paper's
+illustration configures.  Independent noise drawn from the polar
+(planar) Laplace distribution with parameter ``epsilon`` (in metres⁻¹)
+is added to every location: the density of the noise vector is
+proportional to ``exp(-epsilon * |z|)``, which guarantees
+ε·d-privacy — the log-likelihood ratio of any output between two real
+locations at distance d is bounded by ε·d.
+
+Sampling uses the authors' exact polar method:
+
+* angle ``theta ~ Uniform[0, 2*pi)``;
+* radius ``r = -(1/epsilon) * (W_{-1}((p - 1)/e) + 1)`` with
+  ``p ~ Uniform[0, 1)`` and ``W_{-1}`` the lower real branch of the
+  Lambert W function.
+
+The radius then follows the Gamma(2, 1/ε) distribution, with mean
+``2/epsilon`` — the number to keep in mind when relating ε to metres of
+error (ε = 0.01 m⁻¹ ≈ 200 m mean displacement).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+from scipy.special import lambertw
+
+from ..geo import LocalProjection
+from ..mobility import Trace
+from .base import LPPM, register_lppm
+
+__all__ = ["GeoIndistinguishability", "planar_laplace_radii"]
+
+
+def planar_laplace_radii(
+    epsilon: float, n: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample ``n`` radii of the polar Laplace distribution.
+
+    Uses the inverse-CDF expression with the Lambert-W lower branch;
+    the result is exact (no rejection), and distributed Gamma(2, 1/ε).
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    if n < 0:
+        raise ValueError("sample count must be non-negative")
+    p = rng.uniform(0.0, 1.0, size=n)
+    w = lambertw((p - 1.0) / np.e, k=-1)
+    return -(1.0 / epsilon) * (np.real(w) + 1.0)
+
+
+@register_lppm("geo_ind")
+class GeoIndistinguishability(LPPM):
+    """Planar Laplace noise with privacy parameter ``epsilon`` (m⁻¹).
+
+    The lower the ε, the stronger the noise and the stronger the
+    privacy guarantee — the convention used throughout the paper.
+    """
+
+    def __init__(self, epsilon: float) -> None:
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        self.epsilon = float(epsilon)
+
+    @property
+    def mean_error_m(self) -> float:
+        """Expected displacement ``2/epsilon`` of the added noise."""
+        return 2.0 / self.epsilon
+
+    def params(self) -> Mapping[str, float]:
+        return {"epsilon": self.epsilon}
+
+    def protect_trace(self, trace: Trace, rng: np.random.Generator) -> Trace:
+        if trace.is_empty:
+            return trace
+        projection = LocalProjection.for_data(trace.lats, trace.lons)
+        x, y = projection.to_xy(trace.lats, trace.lons)
+        r = planar_laplace_radii(self.epsilon, len(trace), rng)
+        theta = rng.uniform(0.0, 2.0 * np.pi, size=len(trace))
+        lats, lons = projection.to_latlon(
+            x + r * np.cos(theta), y + r * np.sin(theta)
+        )
+        return trace.with_coords(lats, lons)

@@ -1,0 +1,74 @@
+"""Simple perturbation LPPMs: Gaussian and uniform-disk noise.
+
+These are the obvious baselines to Geo-Indistinguishability: same
+"independent noise per record" shape, different (non differentially
+private) noise distributions.  They exist so the framework's "other
+LPPMs" experiment (paper future work) has mechanisms with the same
+parameter semantics (a length scale in metres) but different response
+curves.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..geo import LocalProjection
+from ..mobility import Trace
+from .base import LPPM, register_lppm
+
+__all__ = ["GaussianPerturbation", "UniformDiskNoise"]
+
+
+@register_lppm("gaussian")
+class GaussianPerturbation(LPPM):
+    """Isotropic Gaussian noise with standard deviation ``sigma_m``."""
+
+    def __init__(self, sigma_m: float) -> None:
+        if sigma_m <= 0:
+            raise ValueError("sigma must be positive")
+        self.sigma_m = float(sigma_m)
+
+    def params(self) -> Mapping[str, float]:
+        return {"sigma_m": self.sigma_m}
+
+    def protect_trace(self, trace: Trace, rng: np.random.Generator) -> Trace:
+        if trace.is_empty:
+            return trace
+        projection = LocalProjection.for_data(trace.lats, trace.lons)
+        x, y = projection.to_xy(trace.lats, trace.lons)
+        dx, dy = rng.normal(0.0, self.sigma_m, size=(2, len(trace)))
+        lats, lons = projection.to_latlon(x + dx, y + dy)
+        return trace.with_coords(lats, lons)
+
+
+@register_lppm("uniform_disk")
+class UniformDiskNoise(LPPM):
+    """Noise uniform over a disk of radius ``radius_m``.
+
+    Unlike Gaussian/Laplace noise the displacement is bounded, which
+    gives a hard utility guarantee but a weaker privacy story (the real
+    location is always within ``radius_m`` of the released one).
+    """
+
+    def __init__(self, radius_m: float) -> None:
+        if radius_m <= 0:
+            raise ValueError("radius must be positive")
+        self.radius_m = float(radius_m)
+
+    def params(self) -> Mapping[str, float]:
+        return {"radius_m": self.radius_m}
+
+    def protect_trace(self, trace: Trace, rng: np.random.Generator) -> Trace:
+        if trace.is_empty:
+            return trace
+        projection = LocalProjection.for_data(trace.lats, trace.lons)
+        x, y = projection.to_xy(trace.lats, trace.lons)
+        # Uniform over the disk: radius ~ R*sqrt(U), angle uniform.
+        r = self.radius_m * np.sqrt(rng.uniform(0.0, 1.0, size=len(trace)))
+        theta = rng.uniform(0.0, 2.0 * np.pi, size=len(trace))
+        lats, lons = projection.to_latlon(
+            x + r * np.cos(theta), y + r * np.sin(theta)
+        )
+        return trace.with_coords(lats, lons)

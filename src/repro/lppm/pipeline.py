@@ -1,0 +1,42 @@
+"""Composition of LPPMs.
+
+Real deployments stack mechanisms (subsample, then add noise); the
+:class:`Pipeline` LPPM applies its stages in order, re-deriving an
+independent generator per stage so stage order does not entangle the
+random streams.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..mobility import Trace
+from .base import LPPM
+
+__all__ = ["Pipeline"]
+
+
+class Pipeline(LPPM):
+    """Apply a sequence of LPPMs left to right."""
+
+    name = "pipeline"
+
+    def __init__(self, stages: Sequence[LPPM]) -> None:
+        if not stages:
+            raise ValueError("a pipeline needs at least one stage")
+        self.stages = list(stages)
+
+    def params(self) -> Mapping[str, float]:
+        merged = {}
+        for i, stage in enumerate(self.stages):
+            for key, value in stage.params().items():
+                merged[f"stage{i}.{stage.name}.{key}"] = value
+        return merged
+
+    def protect_trace(self, trace: Trace, rng: np.random.Generator) -> Trace:
+        children = rng.spawn(len(self.stages))
+        for stage, child in zip(self.stages, children):
+            trace = stage.protect_trace(trace, child)
+        return trace

@@ -1,0 +1,48 @@
+"""Spatial cloaking by grid rounding.
+
+The classic deterministic LPPM: snap every location to the centre of
+its grid cell, releasing locations at a fixed spatial granularity.
+Deterministic mechanisms interact very differently with the POI attack
+than noise mechanisms do (recurrent stops snap to the *same* cell every
+visit), which makes this an instructive comparator in the "other LPPMs"
+experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+import numpy as np
+
+from ..geo import LatLon, LocalProjection, SpatialGrid
+from ..mobility import Trace
+from .base import LPPM, register_lppm
+
+__all__ = ["GridRounding"]
+
+
+@register_lppm("rounding")
+class GridRounding(LPPM):
+    """Snap locations to the centres of ``cell_size_m`` grid cells.
+
+    A fixed reference anchors the grid; if none is given, each trace is
+    snapped on a grid anchored at its own centroid (adequate when traces
+    are processed independently, as in the paper's per-user metrics).
+    """
+
+    def __init__(self, cell_size_m: float, ref: Optional[LatLon] = None) -> None:
+        if cell_size_m <= 0:
+            raise ValueError("cell size must be positive")
+        self.cell_size_m = float(cell_size_m)
+        self.ref = ref
+
+    def params(self) -> Mapping[str, float]:
+        return {"cell_size_m": self.cell_size_m}
+
+    def protect_trace(self, trace: Trace, rng: np.random.Generator) -> Trace:
+        if trace.is_empty:
+            return trace
+        ref = self.ref or trace.centroid()
+        grid = SpatialGrid(LocalProjection(ref), self.cell_size_m)
+        lats, lons = grid.snap(trace.lats, trace.lons)
+        return trace.with_coords(lats, lons)

@@ -1,0 +1,72 @@
+"""Record-dropping and time-perturbing LPPMs.
+
+Protection does not have to move points: releasing *fewer* records, or
+records with blurred timestamps, also degrades an attacker's view.
+These mechanisms give the framework parameter axes with very different
+metric responses (subsampling barely moves spatial utility but starves
+the POI attack of dwell evidence).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..mobility import Trace
+from .base import LPPM, register_lppm
+
+__all__ = ["Subsampling", "TimePerturbation"]
+
+
+@register_lppm("subsampling")
+class Subsampling(LPPM):
+    """Keep each record independently with probability ``keep_fraction``.
+
+    The first record is always kept so protected traces are never empty.
+    """
+
+    def __init__(self, keep_fraction: float) -> None:
+        if not 0.0 < keep_fraction <= 1.0:
+            raise ValueError("keep fraction must be in (0, 1]")
+        self.keep_fraction = float(keep_fraction)
+
+    def params(self) -> Mapping[str, float]:
+        return {"keep_fraction": self.keep_fraction}
+
+    def protect_trace(self, trace: Trace, rng: np.random.Generator) -> Trace:
+        if len(trace) <= 1:
+            return trace
+        keep = rng.uniform(size=len(trace)) < self.keep_fraction
+        keep[0] = True
+        return Trace(
+            trace.user,
+            trace.times_s[keep],
+            trace.lats[keep],
+            trace.lons[keep],
+        )
+
+
+@register_lppm("time_perturbation")
+class TimePerturbation(LPPM):
+    """Add Gaussian noise of scale ``sigma_s`` seconds to timestamps.
+
+    Locations are untouched; the trace is re-sorted by perturbed time
+    (the :class:`~repro.mobility.Trace` constructor does this), which
+    scrambles fine-grained ordering while preserving the spatial
+    footprint exactly.
+    """
+
+    def __init__(self, sigma_s: float) -> None:
+        if sigma_s < 0:
+            raise ValueError("sigma must be non-negative")
+        self.sigma_s = float(sigma_s)
+
+    def params(self) -> Mapping[str, float]:
+        return {"sigma_s": self.sigma_s}
+
+    def protect_trace(self, trace: Trace, rng: np.random.Generator) -> Trace:
+        if trace.is_empty or self.sigma_s == 0.0:
+            return trace
+        jitter = rng.normal(0.0, self.sigma_s, size=len(trace))
+        return trace.with_times(trace.times_s + jitter)

@@ -1,0 +1,49 @@
+"""Privacy and utility metrics, the pluggable objectives of the framework."""
+
+from .base import (
+    Metric,
+    available_metrics,
+    metric_class,
+    paired_coords,
+    register_metric,
+)
+from .homework import HomeIdentificationPrivacy
+from .heatmap import (
+    HeatmapPreservationUtility,
+    jensen_shannon_divergence,
+    visit_distribution,
+)
+from .privacy import (
+    DistortionPrivacy,
+    LogDistortionPrivacy,
+    PoiRetrievalPrivacy,
+    ReidentificationPrivacy,
+)
+from .queries import RangeQueryUtility
+from .temporal import TimePreservationUtility
+from .trajectory import TrajectoryShapeUtility, discrete_frechet_m, dtw_distance_m
+from .utility import AreaCoverageUtility, SameCellFraction, SpatialDistortionUtility
+
+__all__ = [
+    "Metric",
+    "register_metric",
+    "metric_class",
+    "available_metrics",
+    "paired_coords",
+    "PoiRetrievalPrivacy",
+    "DistortionPrivacy",
+    "LogDistortionPrivacy",
+    "ReidentificationPrivacy",
+    "HomeIdentificationPrivacy",
+    "AreaCoverageUtility",
+    "SameCellFraction",
+    "SpatialDistortionUtility",
+    "TrajectoryShapeUtility",
+    "dtw_distance_m",
+    "discrete_frechet_m",
+    "HeatmapPreservationUtility",
+    "visit_distribution",
+    "jensen_shannon_divergence",
+    "RangeQueryUtility",
+    "TimePreservationUtility",
+]

@@ -1,0 +1,116 @@
+"""Metric interface and registry.
+
+A metric compares an actual dataset with its protected counterpart and
+returns one scalar.  The framework is metric-agnostic ("modular: by
+using different metrics" — the paper); it only needs to know the
+metric's *kind* (privacy or utility) and evaluate it at swept parameter
+values.
+
+Conventions, matching the paper's illustration:
+
+* privacy metrics measure *exposure* — lower values mean more privacy
+  (e.g. fraction of POIs retrieved);
+* utility metrics measure *fidelity* in ``[0, 1]`` — higher values mean
+  more useful data.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, List, Tuple, Type
+
+import numpy as np
+
+from ..mobility import Dataset, Trace
+
+__all__ = [
+    "Metric",
+    "register_metric",
+    "metric_class",
+    "available_metrics",
+    "paired_coords",
+]
+
+_REGISTRY: Dict[str, Type["Metric"]] = {}
+
+
+def register_metric(name: str) -> Callable[[Type["Metric"]], Type["Metric"]]:
+    """Class decorator adding a metric to the global registry."""
+
+    def _register(cls: Type["Metric"]) -> Type["Metric"]:
+        if name in _REGISTRY and _REGISTRY[name] is not cls:
+            raise ValueError(f"metric name {name!r} already registered")
+        _REGISTRY[name] = cls
+        cls.name = name
+        return cls
+
+    return _register
+
+
+def metric_class(name: str) -> Type["Metric"]:
+    """Look up a registered metric class by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown metric {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_metrics() -> List[str]:
+    """Sorted names of all registered metrics."""
+    return sorted(_REGISTRY)
+
+
+class Metric(abc.ABC):
+    """Base class of privacy and utility metrics."""
+
+    #: Registry name, set by :func:`register_metric`.
+    name: str = "abstract"
+    #: Either ``"privacy"`` or ``"utility"``.
+    kind: str = "abstract"
+
+    @abc.abstractmethod
+    def evaluate(self, actual: Dataset, protected: Dataset) -> float:
+        """Score ``protected`` against ``actual``."""
+
+    def evaluate_per_user(
+        self, actual: Dataset, protected: Dataset
+    ) -> Dict[str, float]:
+        """Optional per-user breakdown; default raises.
+
+        Metrics that aggregate per-user values override this to expose
+        the distribution behind the mean.
+        """
+        raise NotImplementedError(f"{self.name} has no per-user breakdown")
+
+    def _common_users(self, actual: Dataset, protected: Dataset) -> List[str]:
+        users = [u for u in actual.users if u in protected]
+        if not users:
+            raise ValueError("datasets share no users")
+        return users
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def paired_coords(actual: Trace, protected: Trace) -> Tuple[np.ndarray, ...]:
+    """Align a protected trace against its actual trace, record-wise.
+
+    Returns ``(a_lat, a_lon, p_lat, p_lon)`` arrays of equal length.
+    When lengths match (noise LPPMs preserve timestamps) the pairing is
+    positional; otherwise (e.g. subsampling) each protected record is
+    paired with the actual record nearest in time.
+    """
+    if len(actual) == 0 or len(protected) == 0:
+        raise ValueError("cannot pair empty traces")
+    if len(actual) == len(protected):
+        return actual.lats, actual.lons, protected.lats, protected.lons
+    idx = np.searchsorted(actual.times_s, protected.times_s)
+    idx = np.clip(idx, 0, len(actual) - 1)
+    left = np.clip(idx - 1, 0, len(actual) - 1)
+    choose_left = np.abs(actual.times_s[left] - protected.times_s) < np.abs(
+        actual.times_s[idx] - protected.times_s
+    )
+    idx = np.where(choose_left, left, idx)
+    return actual.lats[idx], actual.lons[idx], protected.lats, protected.lons

@@ -1,0 +1,65 @@
+"""Home-identification privacy metric.
+
+Runs the home/work inference on the actual and the protected trace of
+each user: a user is *exposed* when the protected-data guess lands
+within ``match_m`` of the actual-data guess.  The metric is the exposed
+fraction — the most concrete reading of the paper's "location records
+reveal home/work places" threat.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..attacks import PoiExtractionConfig
+from ..attacks.homework import infer_home_work
+from ..geo import haversine_m
+from ..mobility import Dataset
+from .base import Metric, register_metric
+
+__all__ = ["HomeIdentificationPrivacy"]
+
+
+@register_metric("home_identification")
+class HomeIdentificationPrivacy(Metric):
+    """Fraction of users whose home survives protection (lower = better).
+
+    Users whose home cannot be inferred even from the actual data are
+    skipped — they carry no evidence either way.
+    """
+
+    kind = "privacy"
+
+    def __init__(
+        self,
+        extraction: PoiExtractionConfig = PoiExtractionConfig(),
+        match_m: float = 300.0,
+    ) -> None:
+        if match_m <= 0:
+            raise ValueError("matching radius must be positive")
+        self.extraction = extraction
+        self.match_m = float(match_m)
+
+    def evaluate_per_user(
+        self, actual: Dataset, protected: Dataset
+    ) -> Dict[str, float]:
+        values: Dict[str, float] = {}
+        for user in self._common_users(actual, protected):
+            truth = infer_home_work(actual[user], self.extraction)
+            if truth.home is None:
+                continue
+            guess = infer_home_work(protected[user], self.extraction)
+            if guess.home is None:
+                values[user] = 0.0
+                continue
+            exposed = haversine_m(guess.home, truth.home) <= self.match_m
+            values[user] = 1.0 if exposed else 0.0
+        return values
+
+    def evaluate(self, actual: Dataset, protected: Dataset) -> float:
+        per_user = self.evaluate_per_user(actual, protected)
+        if not per_user:
+            return 0.0
+        return float(np.mean(list(per_user.values())))

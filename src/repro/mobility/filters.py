@@ -1,0 +1,130 @@
+"""Trace cleaning and reshaping operations.
+
+Real mobility datasets arrive noisy: duplicated timestamps, GPS spikes
+implying impossible speeds, multi-day gaps.  These filters are the
+pre-processing stage applied before extraction of POIs or metric
+evaluation, mirroring the cleaning the original Cabspotting/GeoLife
+studies perform.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..geo import BoundingBox, haversine_m_arrays
+from .dataset import Dataset
+from .trace import Trace
+
+__all__ = [
+    "dedupe_timestamps",
+    "resample_min_interval",
+    "split_by_gap",
+    "clip_to_bbox",
+    "remove_speed_spikes",
+    "clean_dataset",
+]
+
+
+def dedupe_timestamps(trace: Trace) -> Trace:
+    """Keep the first record of every duplicated timestamp."""
+    if len(trace) < 2:
+        return trace
+    keep = np.concatenate([[True], np.diff(trace.times_s) > 0])
+    return Trace(
+        trace.user, trace.times_s[keep], trace.lats[keep], trace.lons[keep]
+    )
+
+
+def resample_min_interval(trace: Trace, min_interval_s: float) -> Trace:
+    """Thin a trace so consecutive records are >= ``min_interval_s`` apart.
+
+    Keeps the first record, then greedily keeps every record at least the
+    interval after the last kept one — the standard way of normalising
+    datasets with heterogeneous sampling cadence.
+    """
+    if min_interval_s <= 0:
+        raise ValueError("minimum interval must be positive")
+    if len(trace) < 2:
+        return trace
+    keep_idx: List[int] = [0]
+    last = trace.times_s[0]
+    for i in range(1, len(trace)):
+        if trace.times_s[i] - last >= min_interval_s:
+            keep_idx.append(i)
+            last = trace.times_s[i]
+    idx = np.asarray(keep_idx, dtype=int)
+    return Trace(trace.user, trace.times_s[idx], trace.lats[idx], trace.lons[idx])
+
+
+def split_by_gap(trace: Trace, max_gap_s: float) -> List[Trace]:
+    """Split a trace wherever consecutive records are > ``max_gap_s`` apart.
+
+    Empty list for an empty trace; segments keep the original user id.
+    """
+    if max_gap_s <= 0:
+        raise ValueError("maximum gap must be positive")
+    if trace.is_empty:
+        return []
+    if len(trace) == 1:
+        return [trace]
+    gap_after = np.where(np.diff(trace.times_s) > max_gap_s)[0]
+    starts = np.concatenate([[0], gap_after + 1])
+    ends = np.concatenate([gap_after + 1, [len(trace)]])
+    return [
+        Trace(trace.user, trace.times_s[s:e], trace.lats[s:e], trace.lons[s:e])
+        for s, e in zip(starts, ends)
+    ]
+
+
+def clip_to_bbox(trace: Trace, box: BoundingBox) -> Trace:
+    """Drop records outside ``box``."""
+    mask = box.contains_arrays(trace.lats, trace.lons)
+    return Trace(trace.user, trace.times_s[mask], trace.lats[mask], trace.lons[mask])
+
+
+def remove_speed_spikes(trace: Trace, max_speed_mps: float = 70.0) -> Trace:
+    """Drop records reachable from their predecessor only above ``max_speed_mps``.
+
+    A single greedy forward pass: a record is kept if the speed from the
+    last *kept* record is feasible.  70 m/s (~250 km/h) comfortably
+    exceeds urban vehicle speeds while catching GPS teleports.
+    """
+    if max_speed_mps <= 0:
+        raise ValueError("maximum speed must be positive")
+    if len(trace) < 2:
+        return trace
+    keep_idx: List[int] = [0]
+    for i in range(1, len(trace)):
+        j = keep_idx[-1]
+        dt = trace.times_s[i] - trace.times_s[j]
+        dist = float(
+            haversine_m_arrays(
+                trace.lats[j], trace.lons[j], trace.lats[i], trace.lons[i]
+            )
+        )
+        if dt <= 0:
+            continue
+        if dist / dt <= max_speed_mps:
+            keep_idx.append(i)
+    idx = np.asarray(keep_idx, dtype=int)
+    return Trace(trace.user, trace.times_s[idx], trace.lats[idx], trace.lons[idx])
+
+
+def clean_dataset(
+    dataset: Dataset,
+    min_interval_s: float = 1.0,
+    max_speed_mps: float = 70.0,
+    min_records: int = 2,
+) -> Dataset:
+    """Standard cleaning pipeline: dedupe, de-spike, drop tiny traces."""
+    def _clean(trace: Trace) -> Trace:
+        trace = dedupe_timestamps(trace)
+        trace = remove_speed_spikes(trace, max_speed_mps)
+        if min_interval_s > 0:
+            trace = resample_min_interval(trace, min_interval_s)
+        return trace
+
+    cleaned = dataset.map_traces(_clean)
+    return cleaned.filter_users(lambda t: len(t) >= min_records)

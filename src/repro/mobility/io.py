@@ -1,0 +1,198 @@
+"""Readers and writers for on-disk mobility-trace formats.
+
+Three formats are supported:
+
+* a simple CSV interchange format (``user,time_s,lat,lon``) used by this
+  library's own tools;
+* the **GeoLife** PLT layout (``<root>/<user>/Trajectory/*.plt``) of the
+  Microsoft Research GeoLife dataset;
+* the **Cabspotting** layout (``new_<cab>.txt`` with
+  ``lat lon occupancy time`` lines, newest first) of the San Francisco
+  taxi dataset the paper evaluates on.
+
+The experiments in this reproduction run on synthetic data (see
+``repro.synth`` and DESIGN.md), but these parsers let anyone with the
+real datasets re-run every experiment unchanged.
+"""
+
+from __future__ import annotations
+
+import csv
+import datetime as _dt
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from .dataset import Dataset
+from .trace import Trace
+
+__all__ = [
+    "read_csv",
+    "write_csv",
+    "read_geolife",
+    "write_geolife",
+    "read_cabspotting",
+    "write_cabspotting",
+]
+
+PathLike = Union[str, Path]
+
+_GEOLIFE_EPOCH = _dt.datetime(1899, 12, 30, tzinfo=_dt.timezone.utc)
+_GEOLIFE_HEADER_LINES = 6
+
+
+# ----------------------------------------------------------------------
+# CSV interchange format
+# ----------------------------------------------------------------------
+def write_csv(dataset: Dataset, path: PathLike) -> None:
+    """Write ``dataset`` as ``user,time_s,lat,lon`` rows (with header)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["user", "time_s", "lat", "lon"])
+        for trace in dataset.traces:
+            for rec in trace:
+                writer.writerow(
+                    [rec.user, repr(rec.time_s), repr(rec.lat), repr(rec.lon)]
+                )
+
+
+def read_csv(path: PathLike) -> Dataset:
+    """Read a dataset written by :func:`write_csv`."""
+    path = Path(path)
+    rows: Dict[str, List[List[float]]] = {}
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header != ["user", "time_s", "lat", "lon"]:
+            raise ValueError(f"{path}: unexpected CSV header {header!r}")
+        for lineno, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != 4:
+                raise ValueError(f"{path}:{lineno}: expected 4 columns, got {len(row)}")
+            user, t, lat, lon = row
+            rows.setdefault(user, []).append([float(t), float(lat), float(lon)])
+    traces = []
+    for user, triples in rows.items():
+        arr = np.asarray(triples, dtype=float)
+        traces.append(Trace(user, arr[:, 0], arr[:, 1], arr[:, 2]))
+    return Dataset.from_traces(traces)
+
+
+# ----------------------------------------------------------------------
+# GeoLife PLT
+# ----------------------------------------------------------------------
+def _geolife_days_to_unix(days: float) -> float:
+    return (_GEOLIFE_EPOCH + _dt.timedelta(days=days)).timestamp()
+
+
+def _unix_to_geolife_fields(time_s: float):
+    moment = _dt.datetime.fromtimestamp(time_s, tz=_dt.timezone.utc)
+    days = (moment - _GEOLIFE_EPOCH).total_seconds() / 86400.0
+    return days, moment.strftime("%Y-%m-%d"), moment.strftime("%H:%M:%S")
+
+
+def read_geolife(root: PathLike) -> Dataset:
+    """Read a GeoLife-layout directory tree into a dataset.
+
+    Every ``.plt`` file of a user is concatenated into that user's single
+    trace (the :class:`Trace` constructor re-sorts by time).
+    """
+    root = Path(root)
+    if not root.is_dir():
+        raise FileNotFoundError(f"not a directory: {root}")
+    traces = []
+    for user_dir in sorted(p for p in root.iterdir() if p.is_dir()):
+        plt_dir = user_dir / "Trajectory"
+        if not plt_dir.is_dir():
+            continue
+        times: List[float] = []
+        lats: List[float] = []
+        lons: List[float] = []
+        for plt_file in sorted(plt_dir.glob("*.plt")):
+            with plt_file.open() as fh:
+                lines = fh.read().splitlines()
+            for lineno, line in enumerate(
+                lines[_GEOLIFE_HEADER_LINES:], start=_GEOLIFE_HEADER_LINES + 1
+            ):
+                if not line.strip():
+                    continue
+                fields = line.split(",")
+                if len(fields) < 7:
+                    raise ValueError(
+                        f"{plt_file}:{lineno}: expected 7 PLT fields, got {len(fields)}"
+                    )
+                lats.append(float(fields[0]))
+                lons.append(float(fields[1]))
+                times.append(_geolife_days_to_unix(float(fields[4])))
+        if times:
+            traces.append(Trace(user_dir.name, times, lats, lons))
+    return Dataset.from_traces(traces)
+
+
+def write_geolife(dataset: Dataset, root: PathLike) -> None:
+    """Write ``dataset`` in GeoLife PLT layout (one file per user)."""
+    root = Path(root)
+    for trace in dataset.traces:
+        plt_dir = root / trace.user / "Trajectory"
+        plt_dir.mkdir(parents=True, exist_ok=True)
+        out = plt_dir / "trajectory0.plt"
+        with out.open("w") as fh:
+            fh.write("Geolife trajectory\nWGS 84\nAltitude is in Feet\n")
+            fh.write("Reserved 3\n0,2,255,My Track,0,0,2,8421376\n0\n")
+            for rec in trace:
+                days, date_str, time_str = _unix_to_geolife_fields(rec.time_s)
+                fh.write(
+                    f"{rec.lat:.6f},{rec.lon:.6f},0,0,{days:.10f},"
+                    f"{date_str},{time_str}\n"
+                )
+
+
+# ----------------------------------------------------------------------
+# Cabspotting
+# ----------------------------------------------------------------------
+def read_cabspotting(directory: PathLike) -> Dataset:
+    """Read a Cabspotting-layout directory into a dataset.
+
+    Each ``new_<cab>.txt`` file holds ``lat lon occupancy unix_time``
+    lines, newest first; occupancy is ignored here (the paper's metrics
+    do not use it).
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise FileNotFoundError(f"not a directory: {directory}")
+    traces = []
+    for cab_file in sorted(directory.glob("new_*.txt")):
+        user = cab_file.stem[len("new_"):]
+        times: List[float] = []
+        lats: List[float] = []
+        lons: List[float] = []
+        with cab_file.open() as fh:
+            for lineno, line in enumerate(fh, start=1):
+                if not line.strip():
+                    continue
+                fields = line.split()
+                if len(fields) != 4:
+                    raise ValueError(
+                        f"{cab_file}:{lineno}: expected 4 fields, got {len(fields)}"
+                    )
+                lats.append(float(fields[0]))
+                lons.append(float(fields[1]))
+                times.append(float(fields[3]))
+        if times:
+            traces.append(Trace(user, times, lats, lons))
+    return Dataset.from_traces(traces)
+
+
+def write_cabspotting(dataset: Dataset, directory: PathLike) -> None:
+    """Write ``dataset`` in Cabspotting layout (newest record first)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for trace in dataset.traces:
+        out = directory / f"new_{trace.user}.txt"
+        with out.open("w") as fh:
+            for rec in reversed(list(trace)):
+                fh.write(f"{rec.lat:.6f} {rec.lon:.6f} 0 {int(rec.time_s)}\n")

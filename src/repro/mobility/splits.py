@@ -1,0 +1,73 @@
+"""Dataset splitting for honest attack evaluation.
+
+Re-identification experiments need the adversary's background knowledge
+to come from a *different* observation period than the protected
+release (training on the very traces under attack overstates the
+attacker).  These helpers carve datasets along time or across users.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .dataset import Dataset
+from .trace import Trace
+
+__all__ = ["split_by_time_fraction", "split_users"]
+
+
+def split_by_time_fraction(
+    dataset: Dataset, fraction: float
+) -> Tuple[Dataset, Dataset]:
+    """Split every trace at its ``fraction`` time quantile.
+
+    Returns ``(head, tail)`` datasets over the same users; the head
+    holds each user's records before their personal cut instant, the
+    tail the rest.  Users whose trace would end up empty on either side
+    are dropped from both (the pair stays user-aligned).
+    """
+    if not 0.0 < fraction < 1.0:
+        raise ValueError("fraction must be strictly between 0 and 1")
+    heads = []
+    tails = []
+    for trace in dataset.traces:
+        if len(trace) < 2:
+            continue
+        cut = trace.times_s[0] + fraction * trace.duration_s
+        mask = trace.times_s < cut
+        if not mask.any() or mask.all():
+            continue
+        heads.append(
+            Trace(trace.user, trace.times_s[mask], trace.lats[mask],
+                  trace.lons[mask])
+        )
+        tails.append(
+            Trace(trace.user, trace.times_s[~mask], trace.lats[~mask],
+                  trace.lons[~mask])
+        )
+    return Dataset.from_traces(heads), Dataset.from_traces(tails)
+
+
+def split_users(
+    dataset: Dataset, fraction: float, seed: int = 0
+) -> Tuple[Dataset, Dataset]:
+    """Randomly partition users into two disjoint datasets.
+
+    ``fraction`` of the users (rounded, at least one on each side for
+    datasets with two or more users) land in the first split.
+    """
+    if not 0.0 < fraction < 1.0:
+        raise ValueError("fraction must be strictly between 0 and 1")
+    users = dataset.users
+    if len(users) < 2:
+        raise ValueError("need at least two users to split")
+    rng = np.random.default_rng(seed)
+    shuffled = list(users)
+    rng.shuffle(shuffled)
+    k = int(round(fraction * len(users)))
+    k = min(max(k, 1), len(users) - 1)
+    first = sorted(shuffled[:k])
+    second = sorted(shuffled[k:])
+    return dataset.subset(first), dataset.subset(second)

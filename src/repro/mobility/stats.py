@@ -1,0 +1,88 @@
+"""Descriptive statistics of traces and datasets.
+
+These are both reporting helpers (examples/CLI) and the raw material
+for the dataset properties ``d_i`` of the framework (``repro.properties``
+builds its feature extractors on top of them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..geo import LatLon, SpatialGrid, haversine_m_arrays
+from .dataset import Dataset
+from .trace import Trace
+
+__all__ = ["TraceStats", "trace_stats", "dataset_stats", "radius_of_gyration_m"]
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary numbers for a single trace."""
+
+    user: str
+    n_records: int
+    duration_s: float
+    length_m: float
+    mean_speed_mps: float
+    median_interval_s: float
+    radius_of_gyration_m: float
+
+
+def radius_of_gyration_m(trace: Trace) -> float:
+    """Root-mean-square distance of the trace from its centroid.
+
+    The classic mobility-science measure of how far a user roams.
+    """
+    if trace.is_empty:
+        return 0.0
+    c = trace.centroid()
+    d = haversine_m_arrays(trace.lats, trace.lons, c.lat, c.lon)
+    return float(np.sqrt(np.mean(d**2)))
+
+
+def trace_stats(trace: Trace) -> TraceStats:
+    """Compute :class:`TraceStats` for one trace."""
+    duration = trace.duration_s
+    length = trace.length_m
+    intervals = np.diff(trace.times_s) if len(trace) > 1 else np.asarray([])
+    return TraceStats(
+        user=trace.user,
+        n_records=len(trace),
+        duration_s=duration,
+        length_m=length,
+        mean_speed_mps=(length / duration) if duration > 0 else 0.0,
+        median_interval_s=float(np.median(intervals)) if intervals.size else 0.0,
+        radius_of_gyration_m=radius_of_gyration_m(trace),
+    )
+
+
+def dataset_stats(dataset: Dataset, cell_size_m: float = 200.0) -> Dict[str, float]:
+    """Aggregate statistics of a dataset as a plain dictionary.
+
+    Includes the total covered area (in grid cells of ``cell_size_m``),
+    which the paper's utility story is built on.
+    """
+    if len(dataset) == 0:
+        raise ValueError("dataset has no users")
+    per_trace = [trace_stats(t) for t in dataset.traces]
+    grid = SpatialGrid.around(dataset.centroid(), cell_size_m)
+    covered = set()
+    for t in dataset.traces:
+        if not t.is_empty:
+            covered |= grid.covered_cells(t.lats, t.lons)
+    return {
+        "n_users": float(len(dataset)),
+        "n_records": float(dataset.n_records),
+        "mean_records_per_user": float(np.mean([s.n_records for s in per_trace])),
+        "mean_duration_s": float(np.mean([s.duration_s for s in per_trace])),
+        "mean_length_m": float(np.mean([s.length_m for s in per_trace])),
+        "mean_speed_mps": float(np.mean([s.mean_speed_mps for s in per_trace])),
+        "mean_radius_of_gyration_m": float(
+            np.mean([s.radius_of_gyration_m for s in per_trace])
+        ),
+        "covered_cells": float(len(covered)),
+    }

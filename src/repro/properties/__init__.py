@@ -1,0 +1,20 @@
+"""Dataset properties (the framework's d_i) and their PCA selection."""
+
+from .features import (
+    DEFAULT_EXTRACTORS,
+    PropertyExtractor,
+    extract_features,
+    feature_matrix,
+)
+from .pca import PcaResult, rank_properties, run_pca, select_properties
+
+__all__ = [
+    "PropertyExtractor",
+    "extract_features",
+    "feature_matrix",
+    "DEFAULT_EXTRACTORS",
+    "PcaResult",
+    "run_pca",
+    "rank_properties",
+    "select_properties",
+]

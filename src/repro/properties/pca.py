@@ -1,0 +1,100 @@
+"""PCA-based ranking of dataset properties.
+
+The framework's step 1 picks the dataset properties ``d_i`` "soundly
+... using a principal component analysis": properties that dominate the
+leading components of dataset-to-dataset variation are the ones worth
+feeding into the model.  Implemented directly on the SVD of the
+standardised feature matrix (no sklearn dependency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..mobility import Dataset
+from .features import DEFAULT_EXTRACTORS, PropertyExtractor, feature_matrix
+
+__all__ = ["PcaResult", "run_pca", "rank_properties", "select_properties"]
+
+
+@dataclass(frozen=True)
+class PcaResult:
+    """Outcome of a principal component analysis on dataset features."""
+
+    feature_names: List[str]
+    components: np.ndarray           # (n_components, n_features) loadings
+    explained_variance_ratio: np.ndarray
+    mean: np.ndarray
+    std: np.ndarray
+
+    @property
+    def n_components(self) -> int:
+        """Number of retained components."""
+        return self.components.shape[0]
+
+    def importance(self) -> np.ndarray:
+        """Per-feature importance: |loading| weighted by variance ratio."""
+        return np.abs(self.components.T) @ self.explained_variance_ratio
+
+    def ranked_features(self) -> List[str]:
+        """Feature names, most important first."""
+        order = np.argsort(-self.importance())
+        return [self.feature_names[i] for i in order]
+
+
+def run_pca(
+    matrix: np.ndarray, feature_names: Sequence[str], n_components: int = 0
+) -> PcaResult:
+    """PCA of a (datasets x features) matrix via SVD.
+
+    Columns are standardised first; constant columns are kept with unit
+    scale (zero loading falls out naturally).  ``n_components`` of zero
+    keeps every non-degenerate component.
+    """
+    x = np.asarray(matrix, dtype=float)
+    if x.ndim != 2:
+        raise ValueError("feature matrix must be two-dimensional")
+    if x.shape[0] < 2:
+        raise ValueError("PCA needs at least two datasets")
+    if x.shape[1] != len(feature_names):
+        raise ValueError("feature_names length does not match matrix columns")
+    mean = x.mean(axis=0)
+    std = x.std(axis=0)
+    safe_std = np.where(std > 0, std, 1.0)
+    z = (x - mean) / safe_std
+    _, s, vt = np.linalg.svd(z, full_matrices=False)
+    var = s**2
+    total = var.sum()
+    ratio = var / total if total > 0 else np.zeros_like(var)
+    keep = n_components if n_components > 0 else len(s)
+    keep = min(keep, len(s))
+    return PcaResult(
+        feature_names=list(feature_names),
+        components=vt[:keep],
+        explained_variance_ratio=ratio[:keep],
+        mean=mean,
+        std=safe_std,
+    )
+
+
+def rank_properties(
+    datasets: Sequence[Dataset],
+    extractors: Sequence[PropertyExtractor] = tuple(DEFAULT_EXTRACTORS),
+) -> PcaResult:
+    """Extract features from ``datasets`` and PCA-rank the extractors."""
+    matrix = feature_matrix(datasets, extractors)
+    return run_pca(matrix, [e.name for e in extractors])
+
+
+def select_properties(
+    datasets: Sequence[Dataset],
+    n_select: int,
+    extractors: Sequence[PropertyExtractor] = tuple(DEFAULT_EXTRACTORS),
+) -> List[str]:
+    """The ``n_select`` most variance-carrying property names."""
+    if n_select <= 0:
+        raise ValueError("must select at least one property")
+    return rank_properties(datasets, extractors).ranked_features()[:n_select]

@@ -1,0 +1,15 @@
+"""Reporting helpers: plain-text tables and summaries."""
+
+from .tables import (
+    format_table,
+    model_summary,
+    recommendation_summary,
+    sweep_table,
+)
+
+__all__ = [
+    "format_table",
+    "sweep_table",
+    "model_summary",
+    "recommendation_summary",
+]

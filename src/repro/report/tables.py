@@ -1,0 +1,78 @@
+"""Plain-text tables for examples, benchmarks and the CLI.
+
+The paper's figures become printed series here (no plotting
+dependency): a sweep renders as the rows behind Figure 1, a model as
+the coefficient line of equation (2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..framework import Recommendation, SweepResult, SystemModel
+
+__all__ = ["format_table", "sweep_table", "model_summary", "recommendation_summary"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render rows as a fixed-width text table with a header rule."""
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        cells.append([_fmt(v) for v in row])
+    widths = [max(len(r[c]) for r in cells) for c in range(len(headers))]
+    lines = []
+    for i, row in enumerate(cells):
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 1e-3 or abs(value) >= 1e5:
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def sweep_table(sweep: SweepResult) -> str:
+    """The sweep as a printed series (the data behind Figure 1)."""
+    headers = [sweep.param_name, "privacy", "+-", "utility", "+-"]
+    return format_table(headers, sweep.to_rows())
+
+
+def model_summary(model: SystemModel) -> str:
+    """Equation (2) of the paper, with this fit's coefficients."""
+    a, b, alpha, beta = model.coefficients
+    lines = [
+        f"ln({model.param_name}) = (Pr - a)/b = (Ut - alpha)/beta",
+        f"  a     = {a: .4f}   (paper: 0.84)",
+        f"  b     = {b: .4f}   (paper: 0.17)",
+        f"  alpha = {alpha: .4f}   (paper: 1.21)",
+        f"  beta  = {beta: .4f}   (paper: 0.09)",
+        f"  privacy fit: R^2 = {model.privacy.r2:.3f} on "
+        f"[{model.privacy.x_low:.3e}, {model.privacy.x_high:.3e}]",
+        f"  utility fit: R^2 = {model.utility.r2:.3f} on "
+        f"[{model.utility.x_low:.3e}, {model.utility.x_high:.3e}]",
+    ]
+    return "\n".join(lines)
+
+
+def recommendation_summary(rec: Recommendation) -> str:
+    """Human-readable configurator verdict."""
+    if not rec.feasible or rec.value is None:
+        return (
+            f"{rec.param_name}: INFEASIBLE ({rec.notes}); "
+            f"empty interval [{rec.interval[0]:.3e}, {rec.interval[1]:.3e}]"
+        )
+    return (
+        f"{rec.param_name} = {rec.value:.4g} "
+        f"(feasible interval [{rec.interval[0]:.3e}, {rec.interval[1]:.3e}], "
+        f"predicted privacy {rec.predicted_privacy:.3f}, "
+        f"predicted utility {rec.predicted_utility:.3f}; {rec.notes})"
+    )

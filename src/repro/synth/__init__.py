@@ -1,0 +1,35 @@
+"""Synthetic mobility workloads standing in for Cabspotting and GeoLife.
+
+See DESIGN.md §2 for the substitution rationale: the paper's datasets
+are public but unreachable offline, so the benchmarks run on these
+generators; the real-data parsers in ``repro.mobility.io`` accept the
+originals unchanged.
+"""
+
+from .base import PathSampler, TrackBuilder
+from .city import BEIJING_CENTER, SAN_FRANCISCO_CENTER, CityModel
+from .commuter import CommuterConfig, beijing_city, generate_commuters
+from .taxi import TaxiFleetConfig, generate_taxi_fleet
+from .waypoint import (
+    LevyFlightConfig,
+    RandomWaypointConfig,
+    generate_levy_flight,
+    generate_random_waypoint,
+)
+
+__all__ = [
+    "CityModel",
+    "SAN_FRANCISCO_CENTER",
+    "BEIJING_CENTER",
+    "PathSampler",
+    "TrackBuilder",
+    "TaxiFleetConfig",
+    "generate_taxi_fleet",
+    "CommuterConfig",
+    "generate_commuters",
+    "beijing_city",
+    "RandomWaypointConfig",
+    "generate_random_waypoint",
+    "LevyFlightConfig",
+    "generate_levy_flight",
+]

@@ -1,0 +1,129 @@
+"""Shared building blocks for the synthetic mobility generators.
+
+Generators work in a local tangent plane (metres) and convert to
+lat/lon only when emitting a :class:`~repro.mobility.Trace`.  Two
+primitives cover almost everything: sampling timestamped positions along
+a polyline at a travel speed, and emitting jittered positions during a
+stationary dwell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..geo import LocalProjection
+from ..mobility import Trace
+
+__all__ = ["PathSampler", "TrackBuilder"]
+
+XY = Tuple[float, float]
+
+
+@dataclass
+class TrackBuilder:
+    """Accumulates ``(t, x, y)`` samples and emits a :class:`Trace`.
+
+    The builder owns the simulation clock: movement and dwell segments
+    advance ``now_s`` as a side effect, which keeps generator code linear
+    and readable.
+    """
+
+    user: str
+    projection: LocalProjection
+    rng: np.random.Generator
+    gps_noise_m: float = 10.0
+    now_s: float = 0.0
+    _times: List[float] = field(default_factory=list)
+    _xs: List[float] = field(default_factory=list)
+    _ys: List[float] = field(default_factory=list)
+
+    def emit(self, x: float, y: float) -> None:
+        """Record one GPS fix at the current clock, with receiver noise."""
+        nx, ny = self.rng.normal(0.0, self.gps_noise_m, size=2)
+        self._times.append(self.now_s)
+        self._xs.append(x + nx)
+        self._ys.append(y + ny)
+
+    def dwell(self, x: float, y: float, duration_s: float, interval_s: float) -> None:
+        """Stay at ``(x, y)`` for ``duration_s``, emitting fixes regularly."""
+        if duration_s < 0 or interval_s <= 0:
+            raise ValueError("dwell needs non-negative duration, positive interval")
+        end = self.now_s + duration_s
+        while self.now_s < end:
+            self.emit(x, y)
+            self.now_s += interval_s
+        self.now_s = end
+
+    def travel(
+        self,
+        waypoints: Sequence[XY],
+        speed_mps: float,
+        interval_s: float,
+    ) -> None:
+        """Move along ``waypoints`` at ``speed_mps``, emitting fixes regularly."""
+        sampler = PathSampler(waypoints)
+        if speed_mps <= 0 or interval_s <= 0:
+            raise ValueError("travel needs positive speed and interval")
+        total_time = sampler.length_m / speed_mps
+        end = self.now_s + total_time
+        elapsed = 0.0
+        while self.now_s < end:
+            x, y = sampler.at(elapsed * speed_mps)
+            self.emit(x, y)
+            self.now_s += interval_s
+            elapsed += interval_s
+        self.now_s = end
+
+    def skip(self, duration_s: float) -> None:
+        """Advance the clock without emitting (device off / no signal)."""
+        if duration_s < 0:
+            raise ValueError("cannot skip a negative duration")
+        self.now_s += duration_s
+
+    def build(self) -> Trace:
+        """Convert accumulated samples into a :class:`Trace`."""
+        if not self._times:
+            raise ValueError(f"track for {self.user!r} has no samples")
+        lats, lons = self.projection.to_latlon(
+            np.asarray(self._xs), np.asarray(self._ys)
+        )
+        return Trace(self.user, np.asarray(self._times), lats, lons)
+
+
+class PathSampler:
+    """Arc-length parametrisation of a polyline in the local plane."""
+
+    def __init__(self, waypoints: Sequence[XY]) -> None:
+        if len(waypoints) < 1:
+            raise ValueError("a path needs at least one waypoint")
+        pts = np.asarray(waypoints, dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise ValueError("waypoints must be (n, 2) shaped")
+        self._pts = pts
+        seg = np.diff(pts, axis=0)
+        seg_len = np.hypot(seg[:, 0], seg[:, 1]) if len(pts) > 1 else np.asarray([])
+        self._cum = np.concatenate([[0.0], np.cumsum(seg_len)])
+
+    @property
+    def length_m(self) -> float:
+        """Total polyline length."""
+        return float(self._cum[-1])
+
+    def at(self, distance_m: float) -> XY:
+        """Position after travelling ``distance_m`` along the path.
+
+        Clamped to the endpoints outside ``[0, length_m]``.
+        """
+        if self._pts.shape[0] == 1 or self.length_m == 0.0:
+            return (float(self._pts[0, 0]), float(self._pts[0, 1]))
+        d = float(np.clip(distance_m, 0.0, self.length_m))
+        i = int(np.searchsorted(self._cum, d, side="right") - 1)
+        i = min(i, self._pts.shape[0] - 2)
+        seg_start = self._cum[i]
+        seg_len = self._cum[i + 1] - seg_start
+        frac = 0.0 if seg_len == 0 else (d - seg_start) / seg_len
+        p = self._pts[i] + frac * (self._pts[i + 1] - self._pts[i])
+        return (float(p[0]), float(p[1]))

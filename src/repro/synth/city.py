@@ -1,0 +1,115 @@
+"""A synthetic city: block grid, street routing and weighted hotspots.
+
+The model is deliberately simple — a Manhattan grid of square blocks
+with Zipf-popular hotspots at intersections — because the paper's
+metrics only need (i) meaningful recurrent stop places and (ii) a
+coverage footprint at block granularity.  Defaults approximate downtown
+San Francisco (the Cabspotting area the paper evaluates on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..geo import LatLon, LocalProjection
+
+__all__ = ["CityModel", "SAN_FRANCISCO_CENTER", "BEIJING_CENTER"]
+
+XY = Tuple[float, float]
+
+#: Downtown San Francisco, the Cabspotting area.
+SAN_FRANCISCO_CENTER = LatLon(37.7749, -122.4194)
+#: Beijing, the GeoLife area (used by the commuter generator preset).
+BEIJING_CENTER = LatLon(39.9042, 116.4074)
+
+
+@dataclass(frozen=True)
+class CityModel:
+    """Square city of side ``2 * half_extent_m`` on a Manhattan block grid."""
+
+    center: LatLon = SAN_FRANCISCO_CENTER
+    half_extent_m: float = 4000.0
+    block_m: float = 200.0
+
+    def __post_init__(self) -> None:
+        if self.half_extent_m <= 0 or self.block_m <= 0:
+            raise ValueError("city extents and block size must be positive")
+        if self.block_m > self.half_extent_m:
+            raise ValueError("blocks larger than the city make no sense")
+
+    @property
+    def projection(self) -> LocalProjection:
+        """Local tangent plane centred on the city centre."""
+        return LocalProjection(self.center)
+
+    def contains_xy(self, x: float, y: float) -> bool:
+        """Whether a plane point lies within the city square."""
+        return abs(x) <= self.half_extent_m and abs(y) <= self.half_extent_m
+
+    def clamp_xy(self, x: float, y: float) -> XY:
+        """Project a plane point back into the city square."""
+        h = self.half_extent_m
+        return (float(np.clip(x, -h, h)), float(np.clip(y, -h, h)))
+
+    def snap_to_intersection(self, x: float, y: float) -> XY:
+        """Nearest street intersection (multiples of the block size)."""
+        bx = round(x / self.block_m) * self.block_m
+        by = round(y / self.block_m) * self.block_m
+        return self.clamp_xy(bx, by)
+
+    def random_point(self, rng: np.random.Generator) -> XY:
+        """Uniform point in the city square."""
+        h = self.half_extent_m
+        return (float(rng.uniform(-h, h)), float(rng.uniform(-h, h)))
+
+    def random_intersection(self, rng: np.random.Generator) -> XY:
+        """Uniform street intersection."""
+        return self.snap_to_intersection(*self.random_point(rng))
+
+    def street_route(self, a: XY, b: XY) -> List[XY]:
+        """L-shaped Manhattan route from ``a`` to ``b`` along streets.
+
+        The route snaps both endpoints' street legs to the grid: move
+        along x on ``a``'s street, then along y on ``b``'s avenue.  The
+        actual endpoints are kept so buildings need not sit exactly on
+        intersections.
+        """
+        ax, ay = a
+        bx, by = b
+        a_street_y = round(ay / self.block_m) * self.block_m
+        b_avenue_x = round(bx / self.block_m) * self.block_m
+        route: List[XY] = [a]
+        for waypoint in (
+            (ax, a_street_y),
+            (b_avenue_x, a_street_y),
+            (b_avenue_x, by),
+            b,
+        ):
+            if waypoint != route[-1]:
+                route.append(waypoint)
+        return route
+
+    def hotspots(
+        self,
+        rng: np.random.Generator,
+        n: int = 25,
+        zipf_s: float = 1.1,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sample ``n`` hotspot intersections with Zipf popularity weights.
+
+        Returns ``(locations, weights)`` with locations shaped ``(n, 2)``
+        and weights summing to 1.  Hotspots model taxi stands, offices,
+        restaurants — the attractors recurrent mobility revolves around.
+        """
+        if n <= 0:
+            raise ValueError("need at least one hotspot")
+        locations = np.asarray(
+            [self.random_intersection(rng) for _ in range(n)], dtype=float
+        )
+        ranks = np.arange(1, n + 1, dtype=float)
+        weights = ranks ** (-zipf_s)
+        weights /= weights.sum()
+        return locations, weights

@@ -1,0 +1,104 @@
+"""Tests of the home/work inference attack."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import infer_home_work, overlap_with_hours_s
+from repro.geo import LatLon, LocalProjection, haversine_m
+from repro.mobility import Trace
+
+SF = LatLon(37.7749, -122.4194)
+PROJ = LocalProjection(SF)
+
+NIGHT = (22.0, 6.0)
+DAY = (9.0, 17.0)
+HOUR = 3600.0
+
+
+class TestOverlap:
+    def test_fully_inside_plain_window(self):
+        # 10:00 to 12:00 inside working hours.
+        assert overlap_with_hours_s(10 * HOUR, 12 * HOUR, DAY) == 2 * HOUR
+
+    def test_fully_outside(self):
+        assert overlap_with_hours_s(7 * HOUR, 8 * HOUR, DAY) == 0.0
+
+    def test_partial_overlap(self):
+        # 8:00 to 10:00 overlaps working hours by one hour.
+        assert overlap_with_hours_s(8 * HOUR, 10 * HOUR, DAY) == 1 * HOUR
+
+    def test_wrapping_night_window(self):
+        # 23:00 to 07:00: covers 23-06 of the night window = 7 hours.
+        assert overlap_with_hours_s(23 * HOUR, 31 * HOUR, NIGHT) == 7 * HOUR
+
+    def test_multi_day_interval(self):
+        # Two full days contain 2 * 8 h of night.
+        assert overlap_with_hours_s(0.0, 2 * 86400.0, NIGHT) == pytest.approx(
+            2 * 8 * HOUR
+        )
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            overlap_with_hours_s(10.0, 5.0, DAY)
+
+
+def _synthetic_day_trace() -> Trace:
+    """Night at 'home' (0,0), working hours at 'work' (3000, 0)."""
+    times = []
+    xs = []
+    for day in range(2):
+        base = day * 86400.0
+        # Home 0:00-07:00 (sampled every 20 min).
+        for t in np.arange(0.0, 7 * HOUR, 1200.0):
+            times.append(base + t)
+            xs.append(0.0)
+        # Work 9:00-17:00.
+        for t in np.arange(9 * HOUR, 17 * HOUR, 1200.0):
+            times.append(base + t)
+            xs.append(3000.0)
+        # Evening home 20:00-24:00.
+        for t in np.arange(20 * HOUR, 24 * HOUR, 1200.0):
+            times.append(base + t)
+            xs.append(0.0)
+    lats, lons = PROJ.to_latlon(np.asarray(xs), np.zeros(len(xs)))
+    return Trace("u", times, lats, lons)
+
+
+class TestInference:
+    def test_home_and_work_found(self):
+        guess = infer_home_work(_synthetic_day_trace())
+        assert guess.home is not None
+        assert guess.work is not None
+        home_x, _ = PROJ.point_to_xy(guess.home)
+        work_x, _ = PROJ.point_to_xy(guess.work)
+        assert abs(home_x - 0.0) < 100.0
+        assert abs(work_x - 3000.0) < 100.0
+        assert guess.home_dwell_s > 0
+        assert guess.work_dwell_s > 0
+
+    def test_work_requires_separation_from_home(self):
+        # A user who never leaves home has no distinct workplace.
+        n = 100
+        lats, lons = PROJ.to_latlon(np.zeros(n), np.zeros(n))
+        trace = Trace("u", np.arange(n) * 1200.0, lats, lons)
+        guess = infer_home_work(trace)
+        assert guess.home is not None
+        assert guess.work is None
+
+    def test_empty_trace_no_guess(self):
+        guess = infer_home_work(Trace("u", [], [], []))
+        assert guess.home is None
+        assert guess.work is None
+
+    def test_commuter_homes_are_stable(self, commuter_dataset):
+        # The generator's home anchor dominates nights; the guess from
+        # the first half of the trace must match the second half.
+        from repro.mobility import split_by_time_fraction
+
+        head, tail = split_by_time_fraction(commuter_dataset, 0.5)
+        for user in head.users:
+            a = infer_home_work(head[user])
+            b = infer_home_work(tail[user])
+            if a.home is None or b.home is None:
+                continue
+            assert haversine_m(a.home, b.home) < 300.0

@@ -1,0 +1,88 @@
+"""Tests of POI matching (the core of the privacy metric)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    Poi,
+    poi_distance_matrix,
+    retrieved_count,
+    retrieved_fraction,
+)
+
+
+def _poi(lat: float, lon: float) -> Poi:
+    return Poi(lat=lat, lon=lon, n_visits=1, total_dwell_s=1000.0)
+
+
+HOME = _poi(37.7749, -122.4194)
+WORK = _poi(37.7949, -122.4000)
+NEAR_HOME = _poi(37.7750, -122.4194)     # ~11 m from home
+FAR = _poi(37.70, -122.50)
+
+
+class TestDistanceMatrix:
+    def test_shape(self):
+        m = poi_distance_matrix([HOME, WORK], [NEAR_HOME, FAR, WORK])
+        assert m.shape == (2, 3)
+
+    def test_empty_sides(self):
+        assert poi_distance_matrix([], [HOME]).shape == (0, 1)
+        assert poi_distance_matrix([HOME], []).shape == (1, 0)
+
+    def test_values(self):
+        m = poi_distance_matrix([HOME], [HOME, NEAR_HOME])
+        assert m[0, 0] == pytest.approx(0.0, abs=1e-6)
+        assert 5.0 < m[0, 1] < 20.0
+
+
+class TestRetrievedCount:
+    def test_exact_match_retrieved(self):
+        assert retrieved_count([HOME], [HOME]) == 1
+
+    def test_near_match_within_radius(self):
+        assert retrieved_count([HOME], [NEAR_HOME], match_m=200.0) == 1
+
+    def test_far_poi_not_retrieved(self):
+        assert retrieved_count([HOME], [FAR], match_m=200.0) == 0
+
+    def test_empty_sides(self):
+        assert retrieved_count([], [HOME]) == 0
+        assert retrieved_count([HOME], []) == 0
+
+    def test_one_found_poi_covers_two_actual_by_default(self):
+        close_pair = [_poi(37.7749, -122.4194), _poi(37.7750, -122.4194)]
+        assert retrieved_count(close_pair, [HOME], match_m=200.0) == 2
+
+    def test_one_to_one_restricts_coverage(self):
+        close_pair = [_poi(37.7749, -122.4194), _poi(37.7750, -122.4194)]
+        assert (
+            retrieved_count(close_pair, [HOME], match_m=200.0, one_to_one=True)
+            == 1
+        )
+
+    def test_one_to_one_optimal_for_disjoint_pairs(self):
+        actual = [HOME, WORK]
+        found = [NEAR_HOME, WORK]
+        assert retrieved_count(actual, found, one_to_one=True) == 2
+
+    def test_invalid_radius_rejected(self):
+        with pytest.raises(ValueError):
+            retrieved_count([HOME], [HOME], match_m=0.0)
+
+
+class TestRetrievedFraction:
+    def test_fraction_values(self):
+        assert retrieved_fraction([HOME, WORK], [NEAR_HOME]) == pytest.approx(0.5)
+        assert retrieved_fraction([HOME, WORK], [FAR]) == 0.0
+        assert retrieved_fraction([HOME], [HOME]) == 1.0
+
+    def test_no_actual_pois_is_zero(self):
+        assert retrieved_fraction([], [HOME]) == 0.0
+
+    def test_fraction_bounded(self):
+        rng = np.random.default_rng(0)
+        actual = [_poi(37.7 + rng.uniform(0, 0.05), -122.4) for _ in range(5)]
+        found = [_poi(37.7 + rng.uniform(0, 0.05), -122.4) for _ in range(8)]
+        frac = retrieved_fraction(actual, found)
+        assert 0.0 <= frac <= 1.0

@@ -1,0 +1,88 @@
+"""Tests of POI clustering and end-to-end extraction."""
+
+import pytest
+
+from repro.attacks import (
+    Poi,
+    PoiExtractionConfig,
+    StayPoint,
+    cluster_stay_points,
+    extract_pois,
+)
+from repro.geo import LatLon, haversine_m
+
+
+def _stay(lat: float, lon: float, dwell_s: float = 1800.0, t0: float = 0.0) -> StayPoint:
+    return StayPoint(
+        lat=lat, lon=lon, t_start_s=t0, t_end_s=t0 + dwell_s, n_records=10
+    )
+
+
+class TestClustering:
+    def test_nearby_stays_merge(self):
+        # ~50 m apart: inside the 100 m merge radius.
+        stays = [_stay(37.7749, -122.4194), _stay(37.77535, -122.4194, t0=10_000)]
+        pois = cluster_stay_points(stays, merge_m=100.0)
+        assert len(pois) == 1
+        assert pois[0].n_visits == 2
+        assert pois[0].total_dwell_s == pytest.approx(3600.0)
+
+    def test_distant_stays_stay_separate(self):
+        stays = [_stay(37.7749, -122.4194), _stay(37.7849, -122.4194, t0=10_000)]
+        pois = cluster_stay_points(stays, merge_m=100.0)
+        assert len(pois) == 2
+
+    def test_centroid_dwell_weighted(self):
+        a = _stay(37.7749, -122.4194, dwell_s=3000.0)
+        b = _stay(37.77535, -122.4194, dwell_s=1000.0, t0=10_000)
+        poi = cluster_stay_points([a, b], merge_m=200.0)[0]
+        # Weighted centroid sits 1/4 of the way from a to b.
+        expected_lat = (a.lat * 3000 + b.lat * 1000) / 4000
+        assert poi.lat == pytest.approx(expected_lat, abs=1e-6)
+
+    def test_min_visits_filter(self):
+        stays = [
+            _stay(37.7749, -122.4194),
+            _stay(37.7749, -122.4194, t0=10_000),
+            _stay(37.7949, -122.4194, t0=20_000),  # visited once
+        ]
+        pois = cluster_stay_points(stays, merge_m=100.0, min_visits=2)
+        assert len(pois) == 1
+        assert pois[0].n_visits == 2
+
+    def test_sorted_by_significance(self):
+        stays = [
+            _stay(37.70, -122.40, dwell_s=600.0),
+            _stay(37.75, -122.40, dwell_s=7200.0, t0=10_000),
+        ]
+        pois = cluster_stay_points(stays, merge_m=50.0)
+        assert pois[0].total_dwell_s > pois[1].total_dwell_s
+
+    def test_empty_input(self):
+        assert cluster_stay_points([]) == []
+
+    def test_invalid_merge_radius_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_stay_points([], merge_m=0.0)
+
+
+class TestConfig:
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            PoiExtractionConfig(merge_m=0.0)
+        with pytest.raises(ValueError):
+            PoiExtractionConfig(min_visits=0)
+
+
+class TestEndToEnd:
+    def test_commuter_home_work_found(self, commuter_dataset):
+        trace = commuter_dataset.traces[0]
+        pois = extract_pois(trace)
+        assert len(pois) >= 2
+        # Home and work must be far apart (independent random anchors).
+        d = haversine_m(pois[0].point, pois[1].point)
+        assert d > 100.0
+
+    def test_poi_point_accessor(self):
+        poi = Poi(lat=37.0, lon=-122.0, n_visits=1, total_dwell_s=100.0)
+        assert poi.point == LatLon(37.0, -122.0)

@@ -1,0 +1,60 @@
+"""Tests of the POI-fingerprint re-identification attack."""
+
+import pytest
+
+from repro.attacks import (
+    Poi,
+    fingerprint_distance_m,
+    reidentify,
+)
+from repro.lppm import GaussianPerturbation
+from repro.mobility import Dataset
+
+
+def _poi(lat: float, lon: float, dwell: float = 1000.0) -> Poi:
+    return Poi(lat=lat, lon=lon, n_visits=1, total_dwell_s=dwell)
+
+
+class TestFingerprintDistance:
+    def test_identical_sets_zero(self):
+        prints = [_poi(37.77, -122.41), _poi(37.79, -122.40)]
+        assert fingerprint_distance_m(prints, prints) == pytest.approx(0.0, abs=1e-6)
+
+    def test_symmetric(self):
+        a = [_poi(37.77, -122.41)]
+        b = [_poi(37.79, -122.40), _poi(37.70, -122.45)]
+        assert fingerprint_distance_m(a, b) == pytest.approx(
+            fingerprint_distance_m(b, a)
+        )
+
+    def test_empty_side_penalised(self):
+        a = [_poi(37.77, -122.41)]
+        assert fingerprint_distance_m(a, []) > 1e6
+        assert fingerprint_distance_m([], []) > 1e6
+
+    def test_dwell_weighting(self):
+        # The long-dwell POI dominates: matching it matters more.
+        anchor = [_poi(37.77, -122.41, dwell=10_000.0), _poi(37.70, -122.30, dwell=10.0)]
+        match_dominant = [_poi(37.77, -122.41)]
+        match_minor = [_poi(37.70, -122.30)]
+        assert fingerprint_distance_m(anchor, match_dominant) < fingerprint_distance_m(
+            anchor, match_minor
+        )
+
+
+class TestReidentify:
+    def test_unprotected_data_fully_linked(self, commuter_dataset):
+        result = reidentify(commuter_dataset, commuter_dataset)
+        assert result.rate == 1.0
+        assert result.n_total == len(commuter_dataset)
+        assert all(u == g for u, g in result.assignment.items())
+
+    def test_heavy_noise_breaks_linking(self, commuter_dataset):
+        # 10 km Gaussian noise wipes out POI structure entirely.
+        protected = GaussianPerturbation(10_000.0).protect(commuter_dataset, seed=0)
+        result = reidentify(commuter_dataset, protected)
+        assert result.rate < 1.0
+
+    def test_empty_actual_rejected(self):
+        with pytest.raises(ValueError):
+            reidentify(Dataset({}), Dataset({}))

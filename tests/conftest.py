@@ -1,0 +1,53 @@
+"""Shared fixtures: small, fast synthetic datasets and generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    CommuterConfig,
+    Dataset,
+    TaxiFleetConfig,
+    Trace,
+    generate_commuters,
+    generate_taxi_fleet,
+)
+from repro.synth import CityModel
+
+
+@pytest.fixture(scope="session")
+def small_city() -> CityModel:
+    """A compact city so routes and sweeps stay fast."""
+    return CityModel(half_extent_m=2000.0, block_m=200.0)
+
+
+@pytest.fixture(scope="session")
+def taxi_dataset(small_city) -> Dataset:
+    """A small taxi fleet shared by integration-flavoured tests."""
+    return generate_taxi_fleet(
+        TaxiFleetConfig(n_cabs=6, shift_hours=5.0, seed=7), small_city
+    )
+
+
+@pytest.fixture(scope="session")
+def commuter_dataset() -> Dataset:
+    """A small commuter population (GeoLife-like)."""
+    return generate_commuters(CommuterConfig(n_users=5, n_days=2, seed=7))
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def simple_trace() -> Trace:
+    """A tiny hand-built trace around San Francisco."""
+    return Trace(
+        "alice",
+        times_s=[0.0, 60.0, 120.0, 180.0],
+        lats=[37.7749, 37.7750, 37.7751, 37.7752],
+        lons=[-122.4194, -122.4193, -122.4192, -122.4191],
+    )

@@ -1,0 +1,171 @@
+"""Fast deterministic mock system for framework tests.
+
+The mock LPPM shifts every point east by exactly ``shift_m`` metres;
+the mock metrics are closed-form functions of the measured mean
+displacement, chosen to be *exactly* linear in ``ln(shift_m)`` so the
+model layer can be tested against known coefficients without running
+the (slower) POI machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+import pytest
+
+from repro.framework import ExperimentRunner, ParameterSpec, SystemDefinition
+from repro.geo import LocalProjection, haversine_m_arrays
+from repro.lppm import LPPM
+from repro.metrics import Metric
+from repro.mobility import Dataset, Trace
+
+#: Ground-truth coefficients of the mock system (paper notation).
+MOCK_A, MOCK_B = 0.05, 0.10      # privacy = a + b ln(shift)
+MOCK_ALPHA, MOCK_BETA = 1.00, -0.08   # utility = alpha + beta ln(shift)
+
+
+class ShiftEast(LPPM):
+    """Deterministically translate every point ``shift_m`` metres east."""
+
+    name = "shift_east"
+
+    def __init__(self, shift_m: float) -> None:
+        if shift_m <= 0:
+            raise ValueError("shift must be positive")
+        self.shift_m = float(shift_m)
+
+    def params(self) -> Mapping[str, float]:
+        return {"shift_m": self.shift_m}
+
+    def protect_trace(self, trace: Trace, rng: np.random.Generator) -> Trace:
+        projection = LocalProjection.for_data(trace.lats, trace.lons)
+        x, y = projection.to_xy(trace.lats, trace.lons)
+        lats, lons = projection.to_latlon(x + self.shift_m, y)
+        return trace.with_coords(lats, lons)
+
+
+def _mean_displacement_m(actual: Dataset, protected: Dataset) -> float:
+    values = []
+    for user in actual.users:
+        a, p = actual[user], protected[user]
+        values.append(
+            float(np.mean(haversine_m_arrays(a.lats, a.lons, p.lats, p.lons)))
+        )
+    return float(np.mean(values))
+
+
+class LogPrivacy(Metric):
+    """privacy = MOCK_A + MOCK_B * ln(mean displacement)."""
+
+    name = "mock_log_privacy"
+    kind = "privacy"
+
+    def evaluate(self, actual: Dataset, protected: Dataset) -> float:
+        return MOCK_A + MOCK_B * np.log(_mean_displacement_m(actual, protected))
+
+
+class LogUtility(Metric):
+    """utility = MOCK_ALPHA + MOCK_BETA * ln(mean displacement)."""
+
+    name = "mock_log_utility"
+    kind = "utility"
+
+    def evaluate(self, actual: Dataset, protected: Dataset) -> float:
+        return MOCK_ALPHA + MOCK_BETA * np.log(
+            _mean_displacement_m(actual, protected)
+        )
+
+
+class ShiftScale(LPPM):
+    """Two-parameter mock: translate east by ``shift_m * factor``.
+
+    The displacement is multiplicative in the parameters, so both mock
+    metrics are exactly linear in ``ln(shift_m) + ln(factor)`` — the
+    ground truth the multi-parameter model must recover.
+    """
+
+    name = "shift_scale"
+
+    def __init__(self, shift_m: float, factor: float) -> None:
+        if shift_m <= 0 or factor <= 0:
+            raise ValueError("shift and factor must be positive")
+        self.shift_m = float(shift_m)
+        self.factor = float(factor)
+
+    def params(self) -> Mapping[str, float]:
+        return {"shift_m": self.shift_m, "factor": self.factor}
+
+    def protect_trace(self, trace: Trace, rng: np.random.Generator) -> Trace:
+        return ShiftEast(self.shift_m * self.factor).protect_trace(trace, rng)
+
+
+class SizeAwarePrivacy(Metric):
+    """privacy = 0.01 * n_users + MOCK_B * ln(mean displacement).
+
+    The intercept depends linearly on a dataset property (user count),
+    which is what the transfer regression must learn.
+    """
+
+    name = "mock_size_privacy"
+    kind = "privacy"
+
+    def evaluate(self, actual: Dataset, protected: Dataset) -> float:
+        return 0.01 * len(actual) + MOCK_B * np.log(
+            _mean_displacement_m(actual, protected)
+        )
+
+
+def make_tiny_dataset(n_users: int = 3) -> Dataset:
+    traces = []
+    for i in range(n_users):
+        n = 10
+        traces.append(
+            Trace(
+                f"u{i}",
+                np.arange(n, dtype=float) * 60.0,
+                np.full(n, 37.77 + 0.01 * i),
+                np.full(n, -122.42),
+            )
+        )
+    return Dataset.from_traces(traces)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> Dataset:
+    return make_tiny_dataset(3)
+
+
+@pytest.fixture
+def mock_system() -> SystemDefinition:
+    return SystemDefinition(
+        name="mock",
+        lppm_factory=ShiftEast,
+        parameters=[ParameterSpec("shift_m", 1.0, 10_000.0, scale="log")],
+        privacy_metric=LogPrivacy(),
+        utility_metric=LogUtility(),
+    )
+
+
+@pytest.fixture
+def mock_runner(mock_system, tiny_dataset) -> ExperimentRunner:
+    return ExperimentRunner(mock_system, tiny_dataset, n_replications=2)
+
+
+@pytest.fixture
+def two_param_system() -> SystemDefinition:
+    return SystemDefinition(
+        name="mock2",
+        lppm_factory=ShiftScale,
+        parameters=[
+            ParameterSpec("shift_m", 1.0, 10_000.0, scale="log"),
+            ParameterSpec("factor", 0.1, 10.0, scale="log"),
+        ],
+        privacy_metric=LogPrivacy(),
+        utility_metric=LogUtility(),
+    )
+
+
+@pytest.fixture
+def two_param_runner(two_param_system, tiny_dataset) -> ExperimentRunner:
+    return ExperimentRunner(two_param_system, tiny_dataset, n_replications=1)

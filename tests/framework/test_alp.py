@@ -1,0 +1,98 @@
+"""Tests of the ALP-style greedy configuration baseline."""
+
+import numpy as np
+import pytest
+
+from repro.framework import AlpConfig, Objective, alp_configure
+
+from .conftest import MOCK_A, MOCK_B
+
+
+class TestAlpConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AlpConfig(step_factor=1.0)
+        with pytest.raises(ValueError):
+            AlpConfig(shrink=0.0)
+        with pytest.raises(ValueError):
+            AlpConfig(max_iterations=0)
+
+
+class TestConvergence:
+    def test_converges_to_privacy_objective(self, mock_system, mock_runner):
+        # Privacy grows with shift: demanding a low value forces the
+        # search down toward small shifts.
+        target = MOCK_A + MOCK_B * np.log(50.0)
+        result = alp_configure(
+            mock_system,
+            mock_runner,
+            [Objective("privacy", "<=", target)],
+            initial=5000.0,
+        )
+        assert result.satisfied
+        assert result.final_value is not None
+        assert result.final_value <= 50.0 * 1.5
+        assert result.n_iterations >= 2
+
+    def test_already_satisfied_returns_immediately(self, mock_system, mock_runner):
+        target = MOCK_A + MOCK_B * np.log(9000.0)
+        result = alp_configure(
+            mock_system,
+            mock_runner,
+            [Objective("privacy", "<=", target)],
+            initial=100.0,
+        )
+        assert result.satisfied
+        assert result.final_value == 100.0
+        assert result.n_iterations == 1
+
+    def test_trajectory_recorded(self, mock_system, mock_runner):
+        target = MOCK_A + MOCK_B * np.log(50.0)
+        result = alp_configure(
+            mock_system,
+            mock_runner,
+            [Objective("privacy", "<=", target)],
+            initial=5000.0,
+        )
+        assert len(result.trajectory) == result.n_iterations
+        assert result.trajectory[0].value == 5000.0
+        assert all(np.isfinite(s.privacy) for s in result.trajectory)
+
+    def test_infeasible_target_unsatisfied(self, mock_system, mock_runner):
+        # Privacy below the value at the range minimum is unreachable.
+        impossible = MOCK_A + MOCK_B * np.log(0.1)
+        result = alp_configure(
+            mock_system,
+            mock_runner,
+            [Objective("privacy", "<=", impossible)],
+            initial=100.0,
+            config=AlpConfig(max_iterations=10),
+        )
+        assert not result.satisfied
+
+    def test_evaluation_count_positive_and_bounded(self, mock_system, mock_runner):
+        target = MOCK_A + MOCK_B * np.log(50.0)
+        config = AlpConfig(max_iterations=15)
+        result = alp_configure(
+            mock_system,
+            mock_runner,
+            [Objective("privacy", "<=", target)],
+            initial=5000.0,
+            config=config,
+        )
+        assert 0 < result.n_evaluations <= (config.max_iterations + 2)
+
+
+class TestValidation:
+    def test_empty_objectives_rejected(self, mock_system, mock_runner):
+        with pytest.raises(ValueError):
+            alp_configure(mock_system, mock_runner, [])
+
+    def test_initial_out_of_range_rejected(self, mock_system, mock_runner):
+        with pytest.raises(ValueError):
+            alp_configure(
+                mock_system,
+                mock_runner,
+                [Objective("privacy", "<=", 0.5)],
+                initial=99_999.0,
+            )

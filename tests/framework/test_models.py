@@ -1,0 +1,135 @@
+"""Tests of the invertible log-linear metric models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.framework import LogLinearMetricModel, fit_system_model
+
+from .conftest import MOCK_A, MOCK_ALPHA, MOCK_B, MOCK_BETA
+
+
+class TestFit:
+    def test_exact_line_recovered(self):
+        xs = np.geomspace(1e-4, 1.0, 20)
+        ys = 0.84 + 0.17 * np.log(xs)  # the paper's privacy model
+        model = LogLinearMetricModel.fit(xs, ys)
+        assert model.intercept == pytest.approx(0.84, abs=1e-9)
+        assert model.slope == pytest.approx(0.17, abs=1e-9)
+        assert model.r2 == pytest.approx(1.0)
+
+    def test_r2_degrades_with_noise(self):
+        rng = np.random.default_rng(0)
+        xs = np.geomspace(1e-3, 1.0, 40)
+        clean = 0.5 + 0.1 * np.log(xs)
+        noisy = clean + rng.normal(0, 0.2, size=40)
+        assert LogLinearMetricModel.fit(xs, noisy).r2 < LogLinearMetricModel.fit(
+            xs, clean
+        ).r2
+
+    def test_domain_and_range_recorded(self):
+        xs = np.asarray([0.01, 0.1, 1.0])
+        ys = np.asarray([0.2, 0.5, 0.8])
+        model = LogLinearMetricModel.fit(xs, ys)
+        assert model.x_low == 0.01
+        assert model.x_high == 1.0
+        assert model.y_low == 0.2
+        assert model.y_high == 0.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogLinearMetricModel.fit([1.0], [1.0])
+        with pytest.raises(ValueError):
+            LogLinearMetricModel.fit([0.0, 1.0], [0.0, 1.0])
+        with pytest.raises(ValueError):
+            LogLinearMetricModel.fit([1.0, 2.0], [1.0])
+
+
+class TestPredictInvert:
+    @pytest.fixture
+    def model(self) -> LogLinearMetricModel:
+        xs = np.geomspace(1e-4, 1.0, 20)
+        return LogLinearMetricModel.fit(xs, 0.84 + 0.17 * np.log(xs))
+
+    def test_invert_round_trip(self, model):
+        for x in (1e-3, 1e-2, 1e-1):
+            y = float(model.predict(x))
+            assert model.invert(y) == pytest.approx(x, rel=1e-6)
+
+    def test_paper_worked_example(self, model):
+        # Pr = 0.1 with a=0.84, b=0.17 gives eps = exp((0.1-0.84)/0.17).
+        eps = model.invert(0.1)
+        assert eps == pytest.approx(np.exp((0.1 - 0.84) / 0.17), rel=1e-9)
+
+    def test_predict_clamps_to_fitted_range(self, model):
+        below = float(model.predict(1e-8))
+        assert below >= model.y_low - 1e-12
+
+    def test_predict_rejects_nonpositive(self, model):
+        with pytest.raises(ValueError):
+            model.predict(0.0)
+
+    def test_invert_clamped(self, model):
+        assert model.invert_clamped(-10.0) == model.x_low
+        assert model.invert_clamped(10.0) == model.x_high
+
+    def test_flat_model_invert_rejected(self):
+        model = LogLinearMetricModel(
+            intercept=0.5, slope=0.0, x_low=0.1, x_high=1.0,
+            y_low=0.5, y_high=0.5, r2=1.0,
+        )
+        with pytest.raises(ValueError):
+            model.invert(0.5)
+
+    @given(st.floats(min_value=0.01, max_value=0.99))
+    @settings(max_examples=30)
+    def test_invert_predict_consistency_property(self, y):
+        xs = np.geomspace(1e-4, 1.0, 10)
+        model = LogLinearMetricModel.fit(xs, 0.5 + 0.12 * np.log(xs))
+        x = model.invert(y)
+        if model.x_low <= x <= model.x_high:
+            assert float(model.predict(x)) == pytest.approx(y, abs=1e-9)
+
+
+class TestSystemModel:
+    def test_fit_recovers_mock_coefficients(self, mock_runner):
+        sweep = mock_runner.sweep(n_points=12)
+        model = fit_system_model(sweep, use_active_region=False)
+        a, b, alpha, beta = model.coefficients
+        assert a == pytest.approx(MOCK_A, abs=0.02)
+        assert b == pytest.approx(MOCK_B, abs=0.01)
+        assert alpha == pytest.approx(MOCK_ALPHA, abs=0.02)
+        assert beta == pytest.approx(MOCK_BETA, abs=0.01)
+        assert model.privacy.r2 > 0.999
+        assert model.utility.r2 > 0.999
+
+    def test_predict_pair(self, mock_runner):
+        sweep = mock_runner.sweep(n_points=8)
+        model = fit_system_model(sweep, use_active_region=False)
+        pr, ut = model.predict(100.0)
+        assert pr == pytest.approx(MOCK_A + MOCK_B * np.log(100.0), abs=0.02)
+        assert ut == pytest.approx(MOCK_ALPHA + MOCK_BETA * np.log(100.0), abs=0.02)
+
+    def test_inversions(self, mock_runner):
+        sweep = mock_runner.sweep(n_points=8)
+        model = fit_system_model(sweep, use_active_region=False)
+        target_pr = MOCK_A + MOCK_B * np.log(500.0)
+        assert model.invert_privacy(target_pr) == pytest.approx(500.0, rel=0.05)
+        target_ut = MOCK_ALPHA + MOCK_BETA * np.log(500.0)
+        assert model.invert_utility(target_ut) == pytest.approx(500.0, rel=0.05)
+
+    def test_domain_intersection(self, mock_runner):
+        sweep = mock_runner.sweep(n_points=8)
+        model = fit_system_model(sweep, use_active_region=False)
+        lo, hi = model.domain()
+        assert lo >= 1.0
+        assert hi <= 10_000.0
+        assert lo < hi
+
+    def test_active_region_fit_also_accurate(self, mock_runner):
+        # With a strictly linear response the active region trims edges
+        # but the fitted slope is unchanged.
+        sweep = mock_runner.sweep(n_points=12)
+        model = fit_system_model(sweep, use_active_region=True)
+        assert model.privacy.slope == pytest.approx(MOCK_B, abs=0.01)

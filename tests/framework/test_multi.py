@@ -1,0 +1,118 @@
+"""Tests of the multi-parameter grid sweeps and models."""
+
+import numpy as np
+import pytest
+
+from repro.framework import (
+    ParameterSpec,
+    fit_multi_system_model,
+    grid_sweep,
+)
+from repro.framework.multi import MultiLinearMetricModel
+
+from .conftest import MOCK_A, MOCK_ALPHA, MOCK_B, MOCK_BETA
+
+
+class TestGridSweep:
+    def test_grid_size(self, two_param_runner):
+        sweep = grid_sweep(two_param_runner, n_points=4)
+        assert len(sweep) == 16
+        assert sweep.param_names == ["shift_m", "factor"]
+        assert sweep.param_matrix().shape == (16, 2)
+
+    def test_covers_all_combinations(self, two_param_runner):
+        sweep = grid_sweep(two_param_runner, n_points=3)
+        matrix = sweep.param_matrix()
+        assert np.unique(matrix[:, 0]).size == 3
+        assert np.unique(matrix[:, 1]).size == 3
+
+    def test_single_axis_selection(self, two_param_runner):
+        sweep = grid_sweep(two_param_runner, n_points=4, param_names=["factor"])
+        assert len(sweep) == 4
+        assert sweep.param_names == ["factor"]
+
+
+class TestMultiLinearModel:
+    def test_exact_recovery_on_mock(self, two_param_system, two_param_runner):
+        # Displacement = shift * factor, so both slopes equal MOCK_B
+        # (privacy) and MOCK_BETA (utility) exactly.
+        sweep = grid_sweep(two_param_runner, n_points=4)
+        model = fit_multi_system_model(two_param_system, sweep)
+        assert model.privacy.intercept == pytest.approx(MOCK_A, abs=0.02)
+        assert model.privacy.slopes[0] == pytest.approx(MOCK_B, abs=0.01)
+        assert model.privacy.slopes[1] == pytest.approx(MOCK_B, abs=0.01)
+        assert model.utility.intercept == pytest.approx(MOCK_ALPHA, abs=0.02)
+        assert model.utility.slopes[0] == pytest.approx(MOCK_BETA, abs=0.01)
+        assert model.privacy.r2 > 0.999
+        assert model.utility.r2 > 0.999
+
+    def test_predict_matches_ground_truth(self, two_param_system, two_param_runner):
+        sweep = grid_sweep(two_param_runner, n_points=4)
+        model = fit_multi_system_model(two_param_system, sweep)
+        params = {"shift_m": 500.0, "factor": 2.0}
+        pr, ut = model.predict(params)
+        truth_pr = MOCK_A + MOCK_B * np.log(500.0 * 2.0)
+        truth_ut = MOCK_ALPHA + MOCK_BETA * np.log(500.0 * 2.0)
+        assert pr == pytest.approx(truth_pr, abs=0.02)
+        assert ut == pytest.approx(truth_ut, abs=0.02)
+
+    def test_partial_inversion_round_trip(self, two_param_system, two_param_runner):
+        sweep = grid_sweep(two_param_runner, n_points=4)
+        model = fit_multi_system_model(two_param_system, sweep)
+        target = MOCK_A + MOCK_B * np.log(300.0 * 1.5)
+        shift = model.privacy.invert_for(
+            "shift_m", target, fixed={"factor": 1.5}
+        )
+        assert shift == pytest.approx(300.0, rel=0.05)
+        factor = model.privacy.invert_for(
+            "factor", target, fixed={"shift_m": 300.0}
+        )
+        assert factor == pytest.approx(1.5, rel=0.05)
+
+    def test_missing_parameters_rejected(self, two_param_system, two_param_runner):
+        sweep = grid_sweep(two_param_runner, n_points=3)
+        model = fit_multi_system_model(two_param_system, sweep)
+        with pytest.raises(KeyError):
+            model.privacy.predict({"shift_m": 100.0})
+        with pytest.raises(KeyError):
+            model.privacy.invert_for("shift_m", 0.5, fixed={})
+        with pytest.raises(KeyError):
+            model.privacy.invert_for("nope", 0.5, fixed={"factor": 1.0})
+
+    def test_prediction_clamped_to_fitted_range(
+        self, two_param_system, two_param_runner
+    ):
+        sweep = grid_sweep(two_param_runner, n_points=3)
+        model = fit_multi_system_model(two_param_system, sweep)
+        extreme = model.utility.predict({"shift_m": 10_000.0, "factor": 10.0})
+        assert extreme >= model.utility.y_low - 1e-9
+
+    def test_linear_scale_axis_uses_identity_transform(self):
+        # y = 1 + 2*x exactly, on a linear-scale parameter.
+        spec = ParameterSpec("k", 0.0, 10.0, scale="linear")
+        xs = np.linspace(0.0, 10.0, 12).reshape(-1, 1)
+        ys = 1.0 + 2.0 * xs[:, 0]
+        model = MultiLinearMetricModel.fit([spec], xs, ys)
+        assert model.intercept == pytest.approx(1.0, abs=1e-9)
+        assert model.slopes[0] == pytest.approx(2.0, abs=1e-9)
+        assert model.invert_for("k", 7.0, fixed={}) == pytest.approx(3.0)
+
+    def test_fit_validation(self):
+        spec = ParameterSpec("k", 1.0, 10.0)
+        with pytest.raises(ValueError):
+            MultiLinearMetricModel.fit([spec], np.ones((1, 1)), np.ones(1))
+        with pytest.raises(ValueError):
+            MultiLinearMetricModel.fit([spec], np.ones((5, 2)), np.ones(5))
+
+    def test_flat_axis_inversion_rejected(self):
+        model = MultiLinearMetricModel(
+            param_names=("a", "b"),
+            scales=("log", "log"),
+            intercept=0.5,
+            slopes=(0.2, 0.0),   # the metric ignores parameter b
+            y_low=0.0,
+            y_high=1.0,
+            r2=1.0,
+        )
+        with pytest.raises(ValueError):
+            model.invert_for("b", 0.6, fixed={"a": 2.0})

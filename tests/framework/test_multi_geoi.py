@@ -1,0 +1,82 @@
+"""Multi-parameter end-to-end on a real mechanism stack.
+
+A Subsampling -> GEO-I pipeline has two knobs (keep fraction, epsilon);
+both raise exposure and utility as they grow, so the fitted planes must
+show two positive slopes, and per-axis inversion must give sensible
+trade-offs.  This is the smallest real instance of the paper's
+``f(p_1..p_n)``.
+"""
+
+import pytest
+
+from repro.framework import (
+    ExperimentRunner,
+    ParameterSpec,
+    SystemDefinition,
+    fit_multi_system_model,
+    grid_sweep,
+)
+from repro.lppm import GeoIndistinguishability, Pipeline, Subsampling
+from repro.metrics import AreaCoverageUtility, PoiRetrievalPrivacy
+
+
+def _pipeline_lppm(keep_fraction: float, epsilon: float) -> Pipeline:
+    return Pipeline([Subsampling(keep_fraction), GeoIndistinguishability(epsilon)])
+
+
+@pytest.fixture(scope="module")
+def pipeline_model(taxi_dataset):
+    system = SystemDefinition(
+        name="subsample_geoi",
+        lppm_factory=_pipeline_lppm,
+        parameters=[
+            ParameterSpec("keep_fraction", 0.1, 1.0, scale="log"),
+            ParameterSpec("epsilon", 1e-3, 1e-1, scale="log"),
+        ],
+        privacy_metric=PoiRetrievalPrivacy(),
+        utility_metric=AreaCoverageUtility(cell_size_m=600.0),
+    )
+    runner = ExperimentRunner(system, taxi_dataset, n_replications=1)
+    sweep = grid_sweep(runner, n_points=4)
+    return system, fit_multi_system_model(system, sweep)
+
+
+class TestPipelineGrid:
+    def test_both_axes_raise_exposure(self, pipeline_model):
+        _, model = pipeline_model
+        keep_slope, eps_slope = model.privacy.slopes
+        assert keep_slope > 0, "keeping more records must expose more POIs"
+        assert eps_slope > 0, "less noise must expose more POIs"
+
+    def test_both_axes_raise_utility(self, pipeline_model):
+        _, model = pipeline_model
+        keep_slope, eps_slope = model.utility.slopes
+        assert keep_slope > 0
+        assert eps_slope > 0
+
+    def test_fit_quality(self, pipeline_model):
+        _, model = pipeline_model
+        # Grid fits include the saturated corners (no per-axis active
+        # zone detection yet), so planes are rougher than the 1-D fits;
+        # they must still capture a clear majority of the variance.
+        assert model.utility.r2 > 0.7
+        assert model.privacy.r2 > 0.5
+
+    def test_tradeoff_inversion(self, pipeline_model):
+        _, model = pipeline_model
+        # For a fixed utility target, keeping fewer records must be
+        # compensated by a larger epsilon (less noise).
+        target = (model.utility.y_low + model.utility.y_high) / 2.0
+        eps_at_low_keep = model.utility.invert_for(
+            "epsilon", target, fixed={"keep_fraction": 0.2}
+        )
+        eps_at_high_keep = model.utility.invert_for(
+            "epsilon", target, fixed={"keep_fraction": 0.9}
+        )
+        assert eps_at_low_keep > eps_at_high_keep
+
+    def test_predictions_bounded(self, pipeline_model):
+        _, model = pipeline_model
+        pr, ut = model.predict({"keep_fraction": 0.5, "epsilon": 0.01})
+        assert 0.0 <= pr <= 1.0
+        assert 0.0 <= ut <= 1.0

@@ -1,0 +1,92 @@
+"""Tests of measurement-guided recommendation refinement."""
+
+import numpy as np
+import pytest
+
+from repro.framework import (
+    Configurator,
+    Objective,
+    Recommendation,
+    refine_recommendation,
+)
+
+from .conftest import MOCK_A, MOCK_B
+
+
+def _recommendation(value, interval):
+    return Recommendation(
+        param_name="shift_m",
+        value=value,
+        feasible=True,
+        interval=interval,
+        predicted_privacy=None,
+        predicted_utility=None,
+    )
+
+
+class TestRefine:
+    def test_already_satisfied_single_evaluation(self, mock_runner):
+        target = MOCK_A + MOCK_B * np.log(1000.0)
+        rec = _recommendation(200.0, (50.0, 1000.0))
+        result = refine_recommendation(
+            mock_runner, rec, [Objective("privacy", "<=", target)]
+        )
+        assert result.satisfied
+        assert result.value == 200.0
+        assert result.n_evaluations == 1
+        assert len(result.trail) == 1
+
+    def test_violation_bisects_to_feasibility(self, mock_runner):
+        # Objective satisfied only below shift=100; recommendation sits
+        # at 800 near the top of its interval.
+        target = MOCK_A + MOCK_B * np.log(100.0)
+        rec = _recommendation(800.0, (10.0, 1000.0))
+        result = refine_recommendation(
+            mock_runner, rec, [Objective("privacy", "<=", target)],
+            max_evaluations=8,
+        )
+        assert result.satisfied
+        assert result.value < 100.0 * 1.05
+        assert result.n_evaluations >= 2
+        assert result.trail[0][0] == 800.0
+
+    def test_budget_exhaustion_reports_unsatisfied(self, mock_runner):
+        # Feasible only below 20, but the bracket barely reaches there:
+        # with max 2 evaluations the bisection cannot land.
+        target = MOCK_A + MOCK_B * np.log(20.0)
+        rec = _recommendation(900.0, (700.0, 1000.0))
+        result = refine_recommendation(
+            mock_runner, rec, [Objective("privacy", "<=", target)],
+            max_evaluations=2,
+        )
+        assert not result.satisfied
+        assert result.n_evaluations == 2
+
+    def test_infeasible_recommendation_rejected(self, mock_runner):
+        bad = Recommendation(
+            param_name="shift_m", value=None, feasible=False,
+            interval=(1.0, 0.5), predicted_privacy=None, predicted_utility=None,
+        )
+        with pytest.raises(ValueError):
+            refine_recommendation(mock_runner, bad, [Objective("privacy", "<=", 1.0)])
+
+    def test_validation(self, mock_runner):
+        rec = _recommendation(100.0, (10.0, 1000.0))
+        with pytest.raises(ValueError):
+            refine_recommendation(
+                mock_runner, rec, [Objective("privacy", "<=", 1.0)],
+                max_evaluations=0,
+            )
+
+    def test_end_to_end_with_configurator(self, mock_system, tiny_dataset):
+        configurator = Configurator(
+            mock_system, tiny_dataset, n_points=8, n_replications=1
+        )
+        configurator.fit(use_active_region=False)
+        target = MOCK_A + MOCK_B * np.log(150.0)
+        rec = configurator.recommend([Objective("privacy", "<=", target)])
+        result = refine_recommendation(
+            configurator.runner, rec, [Objective("privacy", "<=", target)]
+        )
+        assert result.satisfied
+        assert result.privacy <= target + 1e-6

@@ -1,0 +1,89 @@
+"""Tests of the experiment runner (sweeps, caching, replication)."""
+
+import numpy as np
+import pytest
+
+from repro.framework import ExperimentRunner
+
+
+class TestEvaluate:
+    def test_deterministic_mock_metrics(self, mock_runner):
+        point = mock_runner.evaluate({"shift_m": 100.0})
+        # ShiftEast is deterministic: replications agree exactly.
+        assert point.privacy_std == pytest.approx(0.0, abs=1e-12)
+        assert point.utility_std == pytest.approx(0.0, abs=1e-12)
+        assert point.n_replications == 2
+
+    def test_known_metric_values(self, mock_runner):
+        from .conftest import MOCK_A, MOCK_ALPHA, MOCK_B, MOCK_BETA
+
+        shift = 1000.0
+        point = mock_runner.evaluate({"shift_m": shift})
+        assert point.privacy_mean == pytest.approx(
+            MOCK_A + MOCK_B * np.log(shift), rel=1e-3
+        )
+        assert point.utility_mean == pytest.approx(
+            MOCK_ALPHA + MOCK_BETA * np.log(shift), rel=1e-3
+        )
+
+    def test_out_of_range_rejected(self, mock_runner):
+        with pytest.raises(ValueError):
+            mock_runner.evaluate({"shift_m": 99_999.0})
+
+
+class TestCaching:
+    def test_repeat_evaluations_cached(self, mock_runner):
+        mock_runner.evaluate({"shift_m": 50.0})
+        count = mock_runner.n_evaluations
+        mock_runner.evaluate({"shift_m": 50.0})
+        assert mock_runner.n_evaluations == count
+
+    def test_distinct_values_not_cached(self, mock_runner):
+        mock_runner.evaluate({"shift_m": 50.0})
+        count = mock_runner.n_evaluations
+        mock_runner.evaluate({"shift_m": 51.0})
+        assert mock_runner.n_evaluations == count + 2  # two replications
+
+    def test_sweep_then_evaluate_shares_cache(self, mock_runner):
+        sweep = mock_runner.sweep(n_points=5)
+        count = mock_runner.n_evaluations
+        mock_runner.evaluate({"shift_m": float(sweep.param_values()[0])})
+        assert mock_runner.n_evaluations == count
+
+
+class TestSweep:
+    def test_sweep_length_and_order(self, mock_runner):
+        sweep = mock_runner.sweep(n_points=7)
+        assert len(sweep) == 7
+        values = sweep.param_values()
+        assert np.all(np.diff(values) > 0)
+        assert values[0] == pytest.approx(1.0)
+        assert values[-1] == pytest.approx(10_000.0)
+
+    def test_sweep_custom_values(self, mock_runner):
+        sweep = mock_runner.sweep(values=[10.0, 100.0, 1000.0])
+        assert sweep.param_values().tolist() == [10.0, 100.0, 1000.0]
+
+    def test_sweep_monotone_metrics(self, mock_runner):
+        sweep = mock_runner.sweep(n_points=6)
+        assert np.all(np.diff(sweep.privacy()) > 0)
+        assert np.all(np.diff(sweep.utility()) < 0)
+
+    def test_param_name_required_only_for_multiparam(self, mock_runner):
+        sweep = mock_runner.sweep()
+        assert sweep.param_name == "shift_m"
+
+    def test_to_rows_and_csv(self, mock_runner, tmp_path):
+        sweep = mock_runner.sweep(n_points=4)
+        rows = sweep.to_rows()
+        assert len(rows) == 4
+        assert len(rows[0]) == 5
+        out = tmp_path / "sweep.csv"
+        sweep.write_csv(out)
+        lines = out.read_text().splitlines()
+        assert lines[0].startswith("shift_m,privacy_mean")
+        assert len(lines) == 5
+
+    def test_replication_count_validation(self, mock_system, tiny_dataset):
+        with pytest.raises(ValueError):
+            ExperimentRunner(mock_system, tiny_dataset, n_replications=0)

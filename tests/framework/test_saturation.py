@@ -1,0 +1,103 @@
+"""Tests of non-saturated-zone detection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.framework import find_active_region, smooth
+
+
+def _sigmoid_curve(n: int = 30) -> np.ndarray:
+    """A saturating response like the paper's Figure 1a."""
+    x = np.linspace(-8, 8, n)
+    return 0.45 / (1.0 + np.exp(-x))
+
+
+class TestSmooth:
+    def test_window_one_is_identity(self):
+        ys = np.asarray([1.0, 5.0, 2.0])
+        assert np.array_equal(smooth(ys, window=1), ys)
+
+    def test_preserves_length(self):
+        ys = np.random.default_rng(0).normal(size=20)
+        assert smooth(ys, window=5).shape == ys.shape
+
+    def test_reduces_noise(self):
+        rng = np.random.default_rng(0)
+        ys = np.linspace(0, 1, 50) + rng.normal(0, 0.1, size=50)
+        rough = np.sum(np.abs(np.diff(ys)))
+        smoothed = np.sum(np.abs(np.diff(smooth(ys, window=5))))
+        assert smoothed < rough
+
+    def test_even_window_rejected(self):
+        with pytest.raises(ValueError):
+            smooth(np.zeros(5), window=2)
+
+
+class TestActiveRegion:
+    def test_sigmoid_excludes_plateaus(self):
+        ys = _sigmoid_curve()
+        region = find_active_region(ys, rel_tol=0.05)
+        assert region.start > 0
+        assert region.stop < len(ys) - 1
+        # The transition midpoint must be inside.
+        assert region.start <= len(ys) // 2 <= region.stop
+
+    def test_flat_curve_returns_full_range(self):
+        region = find_active_region(np.full(10, 0.3))
+        assert region.start == 0
+        assert region.stop == 9
+
+    def test_strictly_monotone_line_keeps_interior(self):
+        ys = np.linspace(0.0, 1.0, 20)
+        region = find_active_region(ys, rel_tol=0.05)
+        assert region.n_points >= 15
+
+    def test_step_curve_straddles_jump(self):
+        ys = np.concatenate([np.zeros(10), np.ones(10)])
+        region = find_active_region(ys, rel_tol=0.2, window=1)
+        assert region.start <= 10 <= region.stop + 1
+
+    def test_plateau_values_recorded(self):
+        ys = _sigmoid_curve()
+        region = find_active_region(ys)
+        assert region.low_plateau == pytest.approx(float(ys.min()), abs=0.02)
+        assert region.high_plateau == pytest.approx(float(ys.max()), abs=0.02)
+
+    def test_indices_helper(self):
+        ys = _sigmoid_curve()
+        region = find_active_region(ys)
+        idx = region.indices()
+        assert idx[0] == region.start
+        assert idx[-1] == region.stop
+
+    def test_clip_intersection(self):
+        ys = _sigmoid_curve()
+        a = find_active_region(ys)
+        from repro.framework import ActiveRegion
+
+        b = ActiveRegion(a.start + 2, a.stop + 5, 0.0, 1.0)
+        clipped = a.clip(b)
+        assert clipped.start == a.start + 2
+        assert clipped.stop == a.stop
+
+    def test_disjoint_clip_rejected(self):
+        from repro.framework import ActiveRegion
+
+        with pytest.raises(ValueError):
+            ActiveRegion(0, 3, 0, 1).clip(ActiveRegion(5, 9, 0, 1))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            find_active_region(np.zeros(2))
+        with pytest.raises(ValueError):
+            find_active_region(np.zeros(10), rel_tol=0.6)
+
+    @given(st.integers(min_value=5, max_value=60))
+    @settings(max_examples=25)
+    def test_region_always_within_bounds(self, n):
+        rng = np.random.default_rng(n)
+        ys = np.cumsum(rng.normal(size=n))  # random walk
+        region = find_active_region(ys)
+        assert 0 <= region.start <= region.stop <= n - 1

@@ -1,0 +1,100 @@
+"""Tests of parameter specs and system definitions."""
+
+import numpy as np
+import pytest
+
+from repro.framework import ParameterSpec, SystemDefinition, geo_ind_system
+from repro.lppm import GeoIndistinguishability
+from repro.metrics import AreaCoverageUtility, PoiRetrievalPrivacy
+
+
+class TestParameterSpec:
+    def test_log_values_geometric(self):
+        spec = ParameterSpec("eps", 1e-4, 1.0, scale="log")
+        values = spec.values(5)
+        ratios = values[1:] / values[:-1]
+        assert np.allclose(ratios, ratios[0])
+        assert values[0] == pytest.approx(1e-4)
+        assert values[-1] == pytest.approx(1.0)
+
+    def test_linear_values_arithmetic(self):
+        spec = ParameterSpec("k", 0.0, 1.0, scale="linear")
+        values = spec.values(5)
+        assert np.allclose(np.diff(values), 0.25)
+
+    def test_contains(self):
+        spec = ParameterSpec("eps", 1e-4, 1.0)
+        assert spec.contains(0.01)
+        assert spec.contains(1e-4)
+        assert not spec.contains(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParameterSpec("x", 1.0, 0.5)
+        with pytest.raises(ValueError):
+            ParameterSpec("x", 0.0, 1.0, scale="log")
+        with pytest.raises(ValueError):
+            ParameterSpec("x", 0.0, 1.0, scale="cubic")
+        with pytest.raises(ValueError):
+            ParameterSpec("x", 0.0, 1.0, scale="linear").values(1)
+
+
+class TestSystemDefinition:
+    def test_geo_ind_preset(self):
+        system = geo_ind_system()
+        assert system.parameter_names == ["epsilon"]
+        lppm = system.make_lppm(epsilon=0.01)
+        assert isinstance(lppm, GeoIndistinguishability)
+
+    def test_make_lppm_range_enforced(self):
+        system = geo_ind_system(eps_low=1e-3, eps_high=0.1)
+        with pytest.raises(ValueError):
+            system.make_lppm(epsilon=0.5)
+
+    def test_make_lppm_unknown_param(self):
+        with pytest.raises(KeyError):
+            geo_ind_system().make_lppm(sigma=1.0)
+
+    def test_defaults_are_midpoints(self):
+        system = geo_ind_system(eps_low=1e-4, eps_high=1.0)
+        default = system.defaults()["epsilon"]
+        assert default == pytest.approx(1e-2)  # geometric midpoint
+
+    def test_parameter_lookup(self):
+        system = geo_ind_system()
+        assert system.parameter("epsilon").scale == "log"
+        with pytest.raises(KeyError):
+            system.parameter("nope")
+
+    def test_metric_kind_validation(self):
+        with pytest.raises(ValueError):
+            SystemDefinition(
+                name="bad",
+                lppm_factory=GeoIndistinguishability,
+                parameters=[ParameterSpec("epsilon", 1e-4, 1.0)],
+                privacy_metric=AreaCoverageUtility(),  # wrong kind
+                utility_metric=AreaCoverageUtility(),
+            )
+
+    def test_duplicate_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SystemDefinition(
+                name="bad",
+                lppm_factory=GeoIndistinguishability,
+                parameters=[
+                    ParameterSpec("epsilon", 1e-4, 1.0),
+                    ParameterSpec("epsilon", 1e-4, 1.0),
+                ],
+                privacy_metric=PoiRetrievalPrivacy(),
+                utility_metric=AreaCoverageUtility(),
+            )
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SystemDefinition(
+                name="bad",
+                lppm_factory=GeoIndistinguishability,
+                parameters=[],
+                privacy_metric=PoiRetrievalPrivacy(),
+                utility_metric=AreaCoverageUtility(),
+            )

@@ -1,0 +1,92 @@
+"""Tests of sweep/model JSON persistence."""
+
+import json
+
+import pytest
+
+from repro.framework import (
+    fit_system_model,
+    load_model,
+    load_sweep,
+    save_model,
+    save_sweep,
+)
+
+
+class TestSweepRoundTrip:
+    def test_round_trip(self, mock_runner, tmp_path):
+        sweep = mock_runner.sweep(n_points=6)
+        path = tmp_path / "sweep.json"
+        save_sweep(sweep, path)
+        loaded = load_sweep(path)
+        assert loaded.system_name == sweep.system_name
+        assert loaded.param_name == sweep.param_name
+        assert loaded.param_values().tolist() == sweep.param_values().tolist()
+        assert loaded.privacy().tolist() == sweep.privacy().tolist()
+        assert loaded.points[0].n_replications == sweep.points[0].n_replications
+
+    def test_creates_parent_dirs(self, mock_runner, tmp_path):
+        sweep = mock_runner.sweep(n_points=4)
+        path = tmp_path / "deep" / "dir" / "sweep.json"
+        save_sweep(sweep, path)
+        assert path.exists()
+
+
+class TestModelRoundTrip:
+    def test_round_trip(self, mock_runner, tmp_path):
+        sweep = mock_runner.sweep(n_points=8)
+        model = fit_system_model(sweep)
+        path = tmp_path / "model.json"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert loaded.coefficients == model.coefficients
+        assert loaded.param_name == model.param_name
+        assert loaded.domain() == model.domain()
+        assert loaded.privacy_region.start == model.privacy_region.start
+        # The reloaded model answers inversions identically.
+        mid = (model.privacy.y_low + model.privacy.y_high) / 2.0
+        assert loaded.invert_privacy(mid) == model.invert_privacy(mid)
+
+    def test_loaded_model_drives_configurator(
+        self, mock_system, mock_runner, tiny_dataset, tmp_path
+    ):
+        from repro.framework import Configurator, Objective
+
+        sweep = mock_runner.sweep(n_points=8)
+        model = fit_system_model(sweep, use_active_region=False)
+        path = tmp_path / "model.json"
+        save_model(model, path)
+
+        configurator = Configurator(mock_system, tiny_dataset)
+        configurator._model = load_model(path)
+        rec = configurator.recommend([Objective("privacy", "<=", 0.6)])
+        assert rec.feasible
+
+
+class TestErrorHandling:
+    def test_wrong_kind_rejected(self, mock_runner, tmp_path):
+        sweep = mock_runner.sweep(n_points=4)
+        path = tmp_path / "sweep.json"
+        save_sweep(sweep, path)
+        with pytest.raises(ValueError):
+            load_model(path)
+
+    def test_garbage_json_rejected(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError):
+            load_sweep(path)
+
+    def test_unknown_version_rejected(self, mock_runner, tmp_path):
+        sweep = mock_runner.sweep(n_points=4)
+        path = tmp_path / "sweep.json"
+        save_sweep(sweep, path)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError):
+            load_sweep(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_sweep(tmp_path / "nope.json")

@@ -1,0 +1,82 @@
+"""Tests of cross-dataset coefficient transfer."""
+
+import numpy as np
+import pytest
+
+from repro.framework import ModelTransfer, ParameterSpec, SystemDefinition
+from repro.properties import PropertyExtractor
+
+from .conftest import (
+    MOCK_B,
+    LogUtility,
+    ShiftEast,
+    SizeAwarePrivacy,
+    make_tiny_dataset,
+)
+
+N_USERS = PropertyExtractor("n_users", lambda ds: float(len(ds)))
+
+
+@pytest.fixture
+def size_system() -> SystemDefinition:
+    return SystemDefinition(
+        name="mock_transfer",
+        lppm_factory=ShiftEast,
+        parameters=[ParameterSpec("shift_m", 1.0, 10_000.0, scale="log")],
+        privacy_metric=SizeAwarePrivacy(),
+        utility_metric=LogUtility(),
+    )
+
+
+class TestModelTransfer:
+    def test_validation(self, size_system):
+        with pytest.raises(ValueError):
+            ModelTransfer(size_system, [])
+        transfer = ModelTransfer(size_system, [N_USERS])
+        with pytest.raises(ValueError):
+            transfer.fit([make_tiny_dataset(2)])  # too few datasets
+        with pytest.raises(RuntimeError):
+            transfer.predict_model(make_tiny_dataset(3))
+
+    def test_multi_parameter_system_rejected(self, two_param_system):
+        with pytest.raises(ValueError):
+            ModelTransfer(two_param_system, [N_USERS])
+
+    def test_learns_property_dependence(self, size_system):
+        transfer = ModelTransfer(size_system, [N_USERS], n_points=8)
+        training = [make_tiny_dataset(k) for k in (2, 4, 6, 8)]
+        transfer.fit(training)
+
+        # SizeAwarePrivacy's intercept is 0.01 * n_users by construction:
+        # the held-out prediction must reproduce that.
+        held_out = make_tiny_dataset(5)
+        predicted = transfer.predict_model(held_out)
+        a, b, alpha, beta = predicted.coefficients
+        assert a == pytest.approx(0.01 * 5, abs=0.01)
+        assert b == pytest.approx(MOCK_B, abs=0.01)
+        assert beta == pytest.approx(-0.08, abs=0.01)  # MOCK_BETA
+
+    def test_residuals_small_on_linear_truth(self, size_system):
+        transfer = ModelTransfer(size_system, [N_USERS], n_points=8)
+        transfer.fit([make_tiny_dataset(k) for k in (2, 4, 6, 8)])
+        assert transfer.residual_rms is not None
+        assert np.all(transfer.residual_rms < 0.02)
+
+    def test_predicted_model_is_invertible(self, size_system):
+        transfer = ModelTransfer(size_system, [N_USERS], n_points=8)
+        transfer.fit([make_tiny_dataset(k) for k in (2, 4, 6, 8)])
+        predicted = transfer.predict_model(make_tiny_dataset(5))
+        model = predicted.model
+        # Invert privacy at a mid-range target and check ground truth:
+        # privacy = 0.05 + MOCK_B ln(shift) for 5 users.
+        target = 0.05 + MOCK_B * np.log(700.0)
+        assert model.invert_privacy(target) == pytest.approx(700.0, rel=0.1)
+        lo, hi = model.domain()
+        assert (lo, hi) == (1.0, 10_000.0)
+
+    def test_training_models_exposed(self, size_system):
+        transfer = ModelTransfer(size_system, [N_USERS], n_points=8)
+        with pytest.raises(RuntimeError):
+            transfer.training_models
+        transfer.fit([make_tiny_dataset(k) for k in (2, 4)])
+        assert len(transfer.training_models) == 2

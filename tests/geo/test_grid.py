@@ -1,0 +1,107 @@
+"""Tests of the spatial grid and cell-set similarity measures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import LatLon, SpatialGrid, cell_f1, cell_jaccard, haversine_m
+
+SF = LatLon(37.7749, -122.4194)
+
+
+@pytest.fixture
+def grid() -> SpatialGrid:
+    return SpatialGrid.around(SF, cell_size_m=200.0)
+
+
+class TestCells:
+    def test_reference_point_in_cell_zero(self, grid):
+        assert grid.cell_of(SF) == (0, 0)
+
+    def test_invalid_cell_size_rejected(self):
+        with pytest.raises(ValueError):
+            SpatialGrid.around(SF, cell_size_m=0.0)
+
+    def test_cells_of_shape(self, grid):
+        lats = np.full(5, SF.lat)
+        lons = np.full(5, SF.lon)
+        cells = grid.cells_of(lats, lons)
+        assert cells.shape == (5, 2)
+
+    def test_neighbouring_cells(self, grid):
+        # 300 m east of the reference is cell (1, 0) on a 200 m grid.
+        east = grid.projection.point_to_latlon(300.0, 0.0)
+        assert grid.cell_of(east) == (1, 0)
+        north = grid.projection.point_to_latlon(0.0, 300.0)
+        assert grid.cell_of(north) == (0, 1)
+        southwest = grid.projection.point_to_latlon(-50.0, -50.0)
+        assert grid.cell_of(southwest) == (-1, -1)
+
+    def test_covered_cells_dedup(self, grid):
+        lats = np.full(10, SF.lat)
+        lons = np.full(10, SF.lon)
+        assert grid.covered_cells(lats, lons) == frozenset({(0, 0)})
+
+    def test_cell_center_round_trip(self, grid):
+        centre = grid.cell_center((3, -2))
+        assert grid.cell_of(centre) == (3, -2)
+
+    def test_snap_moves_less_than_half_diagonal(self, grid):
+        p = grid.projection.point_to_latlon(137.0, -263.0)
+        lat, lon = grid.snap(np.asarray([p.lat]), np.asarray([p.lon]))
+        moved = haversine_m(p, LatLon(float(lat[0]), float(lon[0])))
+        assert moved <= 200.0 * np.sqrt(2) / 2 + 1e-6
+
+    def test_snap_idempotent(self, grid):
+        p = grid.projection.point_to_latlon(137.0, -263.0)
+        lat1, lon1 = grid.snap(np.asarray([p.lat]), np.asarray([p.lon]))
+        lat2, lon2 = grid.snap(lat1, lon1)
+        assert np.allclose(lat1, lat2, atol=1e-12)
+        assert np.allclose(lon1, lon2, atol=1e-12)
+
+    @given(
+        st.floats(min_value=-5000, max_value=5000),
+        st.floats(min_value=-5000, max_value=5000),
+    )
+    @settings(max_examples=50)
+    def test_snap_stays_in_cell_property(self, x, y):
+        grid = SpatialGrid.around(SF, cell_size_m=200.0)
+        p = grid.projection.point_to_latlon(x, y)
+        cell_before = grid.cell_of(p)
+        lat, lon = grid.snap(np.asarray([p.lat]), np.asarray([p.lon]))
+        cell_after = grid.cell_of(LatLon(float(lat[0]), float(lon[0])))
+        assert cell_before == cell_after
+
+
+class TestCellSimilarity:
+    def test_both_empty_is_one(self):
+        assert cell_f1([], []) == 1.0
+        assert cell_jaccard([], []) == 1.0
+
+    def test_one_empty_is_zero(self):
+        assert cell_f1([(0, 0)], []) == 0.0
+        assert cell_jaccard([(0, 0)], []) == 0.0
+
+    def test_identical_is_one(self):
+        cells = [(0, 0), (1, 2), (-3, 4)]
+        assert cell_f1(cells, cells) == 1.0
+        assert cell_jaccard(cells, cells) == 1.0
+
+    def test_disjoint_is_zero(self):
+        assert cell_f1([(0, 0)], [(5, 5)]) == 0.0
+        assert cell_jaccard([(0, 0)], [(5, 5)]) == 0.0
+
+    def test_half_overlap_values(self):
+        a = [(0, 0), (0, 1)]
+        b = [(0, 0), (9, 9)]
+        assert cell_jaccard(a, b) == pytest.approx(1 / 3)
+        assert cell_f1(a, b) == pytest.approx(0.5)
+
+    def test_f1_at_least_jaccard(self):
+        a = [(0, 0), (0, 1), (0, 2)]
+        b = [(0, 0), (0, 1), (9, 9)]
+        assert cell_f1(a, b) >= cell_jaccard(a, b)
+
+    def test_duplicates_ignored(self):
+        assert cell_f1([(0, 0), (0, 0)], [(0, 0)]) == 1.0

@@ -1,0 +1,150 @@
+"""Unit and property tests of the geodesic primitives."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import (
+    EARTH_RADIUS_M,
+    LatLon,
+    destination_point,
+    destination_points_arrays,
+    haversine_m,
+    haversine_m_arrays,
+    initial_bearing_deg,
+    pairwise_haversine_m,
+)
+
+SF = LatLon(37.7749, -122.4194)
+LA = LatLon(34.0522, -118.2437)
+
+lat_strategy = st.floats(min_value=-80.0, max_value=80.0)
+lon_strategy = st.floats(min_value=-179.0, max_value=179.0)
+
+
+class TestLatLon:
+    def test_valid_construction(self):
+        p = LatLon(10.5, -20.25)
+        assert p.lat == 10.5
+        assert p.lon == -20.25
+        assert p.as_tuple() == (10.5, -20.25)
+
+    @pytest.mark.parametrize("lat,lon", [(91, 0), (-90.1, 0), (0, 181), (0, -180.5)])
+    def test_out_of_range_rejected(self, lat, lon):
+        with pytest.raises(ValueError):
+            LatLon(lat, lon)
+
+    def test_poles_and_antimeridian_accepted(self):
+        LatLon(90.0, 180.0)
+        LatLon(-90.0, -180.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            SF.lat = 0.0  # type: ignore[misc]
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_m(SF, SF) == 0.0
+
+    def test_sf_to_la_reference_value(self):
+        # Known great-circle distance ~559 km.
+        d = haversine_m(SF, LA)
+        assert d == pytest.approx(559_000, rel=0.01)
+
+    def test_one_degree_longitude_at_equator(self):
+        d = haversine_m(LatLon(0, 0), LatLon(0, 1))
+        assert d == pytest.approx(2 * math.pi * EARTH_RADIUS_M / 360, rel=1e-9)
+
+    def test_symmetry(self):
+        assert haversine_m(SF, LA) == pytest.approx(haversine_m(LA, SF))
+
+    def test_method_matches_function(self):
+        assert SF.distance_m(LA) == haversine_m(SF, LA)
+
+    def test_vectorised_broadcasting(self):
+        lats = np.asarray([37.0, 38.0, 39.0])
+        lons = np.asarray([-122.0, -122.0, -122.0])
+        d = haversine_m_arrays(SF.lat, SF.lon, lats, lons)
+        assert d.shape == (3,)
+        for i in range(3):
+            expected = haversine_m(SF, LatLon(lats[i], lons[i]))
+            assert d[i] == pytest.approx(expected)
+
+    def test_pairwise_matrix_properties(self):
+        lats = np.asarray([37.0, 37.5, 38.0, 38.5])
+        lons = np.asarray([-122.0, -121.5, -121.0, -120.5])
+        m = pairwise_haversine_m(lats, lons)
+        assert m.shape == (4, 4)
+        assert np.allclose(np.diag(m), 0.0)
+        assert np.allclose(m, m.T)
+
+    @given(lat_strategy, lon_strategy, lat_strategy, lon_strategy)
+    @settings(max_examples=50)
+    def test_nonnegative_and_bounded(self, lat1, lon1, lat2, lon2):
+        d = haversine_m(LatLon(lat1, lon1), LatLon(lat2, lon2))
+        assert 0.0 <= d <= math.pi * EARTH_RADIUS_M + 1.0
+
+
+class TestBearing:
+    def test_due_north(self):
+        assert initial_bearing_deg(LatLon(0, 0), LatLon(1, 0)) == pytest.approx(0.0)
+
+    def test_due_east(self):
+        assert initial_bearing_deg(LatLon(0, 0), LatLon(0, 1)) == pytest.approx(90.0)
+
+    def test_due_south(self):
+        assert initial_bearing_deg(LatLon(1, 0), LatLon(0, 0)) == pytest.approx(180.0)
+
+    def test_due_west(self):
+        assert initial_bearing_deg(LatLon(0, 1), LatLon(0, 0)) == pytest.approx(270.0)
+
+    def test_normalised_range(self):
+        b = initial_bearing_deg(SF, LA)
+        assert 0.0 <= b < 360.0
+
+
+class TestDestination:
+    def test_north_moves_latitude(self):
+        p = destination_point(LatLon(0, 0), 0.0, 111_000.0)
+        assert p.lat == pytest.approx(1.0, abs=0.01)
+        assert p.lon == pytest.approx(0.0, abs=1e-9)
+
+    def test_zero_distance_is_identity(self):
+        p = destination_point(SF, 123.0, 0.0)
+        assert p.lat == pytest.approx(SF.lat)
+        assert p.lon == pytest.approx(SF.lon)
+
+    @given(
+        lat_strategy,
+        lon_strategy,
+        st.floats(min_value=0.0, max_value=359.99),
+        st.floats(min_value=1.0, max_value=500_000.0),
+    )
+    @settings(max_examples=50)
+    def test_distance_round_trip(self, lat, lon, bearing, distance):
+        origin = LatLon(lat, lon)
+        dest = destination_point(origin, bearing, distance)
+        assert haversine_m(origin, dest) == pytest.approx(distance, rel=1e-6)
+
+    def test_vectorised_matches_scalar(self):
+        bearings = np.asarray([0.0, 90.0, 225.0])
+        distances = np.asarray([100.0, 5000.0, 20_000.0])
+        lat, lon = destination_points_arrays(
+            np.full(3, SF.lat), np.full(3, SF.lon), bearings, distances
+        )
+        for i in range(3):
+            p = destination_point(SF, float(bearings[i]), float(distances[i]))
+            assert lat[i] == pytest.approx(p.lat)
+            assert lon[i] == pytest.approx(p.lon)
+
+    def test_longitude_normalised(self):
+        # Travel east across the antimeridian.
+        lat, lon = destination_points_arrays(
+            np.asarray([0.0]), np.asarray([179.9]), np.asarray([90.0]),
+            np.asarray([50_000.0]),
+        )
+        assert -180.0 <= float(lon[0]) < 180.0

@@ -1,0 +1,95 @@
+"""Tests of the local tangent-plane and Web-Mercator projections."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import LatLon, LocalProjection, WebMercator, haversine_m
+
+SF = LatLon(37.7749, -122.4194)
+
+
+class TestLocalProjection:
+    def test_reference_maps_to_origin(self):
+        proj = LocalProjection(SF)
+        x, y = proj.point_to_xy(SF)
+        assert x == pytest.approx(0.0, abs=1e-9)
+        assert y == pytest.approx(0.0, abs=1e-9)
+
+    def test_round_trip_exact(self):
+        proj = LocalProjection(SF)
+        lats = SF.lat + np.linspace(-0.2, 0.2, 11)
+        lons = SF.lon + np.linspace(-0.2, 0.2, 11)
+        x, y = proj.to_xy(lats, lons)
+        back_lat, back_lon = proj.to_latlon(x, y)
+        assert np.allclose(back_lat, lats, atol=1e-12)
+        assert np.allclose(back_lon, lons, atol=1e-12)
+
+    def test_distances_close_to_haversine_city_scale(self):
+        proj = LocalProjection(SF)
+        other = LatLon(SF.lat + 0.05, SF.lon + 0.05)  # ~7 km away
+        x1, y1 = proj.point_to_xy(SF)
+        x2, y2 = proj.point_to_xy(other)
+        planar = np.hypot(x2 - x1, y2 - y1)
+        true = haversine_m(SF, other)
+        assert planar == pytest.approx(true, rel=5e-3)
+
+    def test_north_is_positive_y(self):
+        proj = LocalProjection(SF)
+        _, y = proj.point_to_xy(LatLon(SF.lat + 0.01, SF.lon))
+        assert y > 0
+
+    def test_east_is_positive_x(self):
+        proj = LocalProjection(SF)
+        x, _ = proj.point_to_xy(LatLon(SF.lat, SF.lon + 0.01))
+        assert x > 0
+
+    def test_for_data_centres_on_centroid(self):
+        lats = np.asarray([37.0, 38.0])
+        lons = np.asarray([-122.0, -121.0])
+        proj = LocalProjection.for_data(lats, lons)
+        assert proj.ref.lat == pytest.approx(37.5)
+        assert proj.ref.lon == pytest.approx(-121.5)
+
+    def test_for_data_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LocalProjection.for_data(np.asarray([]), np.asarray([]))
+
+    def test_scalar_round_trip(self):
+        proj = LocalProjection(SF)
+        p = proj.point_to_latlon(1500.0, -2500.0)
+        x, y = proj.point_to_xy(p)
+        assert x == pytest.approx(1500.0)
+        assert y == pytest.approx(-2500.0)
+
+    @given(
+        st.floats(min_value=-20_000, max_value=20_000),
+        st.floats(min_value=-20_000, max_value=20_000),
+    )
+    @settings(max_examples=50)
+    def test_round_trip_property(self, x, y):
+        proj = LocalProjection(SF)
+        p = proj.point_to_latlon(x, y)
+        bx, by = proj.point_to_xy(p)
+        assert bx == pytest.approx(x, abs=1e-6)
+        assert by == pytest.approx(y, abs=1e-6)
+
+
+class TestWebMercator:
+    def test_equator_origin(self):
+        x, y = WebMercator.to_xy(np.asarray([0.0]), np.asarray([0.0]))
+        assert float(x[0]) == pytest.approx(0.0, abs=1e-9)
+        assert float(y[0]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_round_trip(self):
+        lats = np.asarray([37.7749, -33.8688, 51.5074])
+        lons = np.asarray([-122.4194, 151.2093, -0.1278])
+        x, y = WebMercator.to_xy(lats, lons)
+        back_lat, back_lon = WebMercator.to_latlon(x, y)
+        assert np.allclose(back_lat, lats, atol=1e-9)
+        assert np.allclose(back_lon, lons, atol=1e-9)
+
+    def test_latitude_clipped_at_projection_limit(self):
+        x, y = WebMercator.to_xy(np.asarray([89.9]), np.asarray([0.0]))
+        assert np.isfinite(y).all()

@@ -1,0 +1,61 @@
+"""Tests of the LPPM interface, registry and seed plumbing."""
+
+import pytest
+
+from repro.lppm import (
+    GeoIndistinguishability,
+    available_lppms,
+    lppm_class,
+)
+
+
+class TestRegistry:
+    def test_expected_mechanisms_registered(self):
+        names = available_lppms()
+        for expected in (
+            "geo_ind",
+            "gaussian",
+            "uniform_disk",
+            "rounding",
+            "subsampling",
+            "time_perturbation",
+        ):
+            assert expected in names
+
+    def test_lookup_returns_class(self):
+        assert lppm_class("geo_ind") is GeoIndistinguishability
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            lppm_class("definitely-not-an-lppm")
+
+    def test_name_attribute_set(self):
+        assert GeoIndistinguishability.name == "geo_ind"
+
+
+class TestSeedPlumbing:
+    def test_protect_deterministic_per_seed(self, taxi_dataset):
+        lppm = GeoIndistinguishability(0.01)
+        a = lppm.protect(taxi_dataset, seed=9)
+        b = lppm.protect(taxi_dataset, seed=9)
+        for user in taxi_dataset.users:
+            assert a[user] == b[user]
+
+    def test_different_seeds_differ(self, taxi_dataset):
+        lppm = GeoIndistinguishability(0.01)
+        a = lppm.protect(taxi_dataset, seed=1)
+        b = lppm.protect(taxi_dataset, seed=2)
+        assert any(a[u] != b[u] for u in taxi_dataset.users)
+
+    def test_subset_invariance(self, taxi_dataset):
+        # Protecting a subset must equal the subset of the protection:
+        # per-user generators must not depend on the other users.
+        lppm = GeoIndistinguishability(0.01)
+        full = lppm.protect(taxi_dataset, seed=5)
+        some_users = taxi_dataset.users[:2]
+        partial = lppm.protect(taxi_dataset.subset(some_users), seed=5)
+        for user in some_users:
+            assert full[user] == partial[user]
+
+    def test_repr_shows_params(self):
+        assert "0.01" in repr(GeoIndistinguishability(0.01))

@@ -1,0 +1,99 @@
+"""Tests of the planar Laplace (Geo-Indistinguishability) mechanism."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import haversine_m_arrays
+from repro.lppm import GeoIndistinguishability, planar_laplace_radii
+
+
+class TestRadii:
+    def test_positive_and_finite(self, rng):
+        r = planar_laplace_radii(0.01, 10_000, rng)
+        assert np.all(r >= 0)
+        assert np.all(np.isfinite(r))
+
+    def test_mean_is_two_over_epsilon(self, rng):
+        # The radius is Gamma(2, 1/eps): mean 2/eps.
+        eps = 0.01
+        r = planar_laplace_radii(eps, 200_000, rng)
+        assert np.mean(r) == pytest.approx(2.0 / eps, rel=0.02)
+
+    def test_analytic_cdf_match(self, rng):
+        # CDF of the polar Laplace radius: 1 - (1 + eps*r) * exp(-eps*r).
+        eps = 0.05
+        r = np.sort(planar_laplace_radii(eps, 50_000, rng))
+        probe = np.quantile(r, [0.1, 0.5, 0.9])
+        empirical = np.searchsorted(r, probe) / r.size
+        analytic = 1.0 - (1.0 + eps * probe) * np.exp(-eps * probe)
+        assert np.allclose(empirical, analytic, atol=0.02)
+
+    def test_scaling_in_epsilon(self, rng):
+        # Radii at eps and 10*eps differ by exactly a factor 10 in law.
+        r1 = planar_laplace_radii(0.001, 100_000, np.random.default_rng(0))
+        r2 = planar_laplace_radii(0.01, 100_000, np.random.default_rng(0))
+        assert np.allclose(r1, 10.0 * r2)
+
+    def test_invalid_arguments_rejected(self, rng):
+        with pytest.raises(ValueError):
+            planar_laplace_radii(0.0, 10, rng)
+        with pytest.raises(ValueError):
+            planar_laplace_radii(0.01, -1, rng)
+
+    @given(st.floats(min_value=1e-4, max_value=1.0))
+    @settings(max_examples=25)
+    def test_radii_valid_across_epsilon_range(self, eps):
+        r = planar_laplace_radii(eps, 100, np.random.default_rng(1))
+        assert np.all(np.isfinite(r))
+        assert np.all(r >= 0)
+
+
+class TestMechanism:
+    def test_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            GeoIndistinguishability(0.0)
+        with pytest.raises(ValueError):
+            GeoIndistinguishability(-0.1)
+
+    def test_params_and_mean_error(self):
+        lppm = GeoIndistinguishability(0.02)
+        assert lppm.params() == {"epsilon": 0.02}
+        assert lppm.mean_error_m == pytest.approx(100.0)
+
+    def test_preserves_structure(self, simple_trace, rng):
+        out = GeoIndistinguishability(0.01).protect_trace(simple_trace, rng)
+        assert out.user == simple_trace.user
+        assert len(out) == len(simple_trace)
+        assert np.array_equal(out.times_s, simple_trace.times_s)
+
+    def test_moves_points(self, simple_trace, rng):
+        out = GeoIndistinguishability(0.01).protect_trace(simple_trace, rng)
+        assert not np.array_equal(out.lats, simple_trace.lats)
+
+    def test_empirical_displacement_matches_theory(self, taxi_dataset):
+        eps = 0.01
+        lppm = GeoIndistinguishability(eps)
+        protected = lppm.protect(taxi_dataset, seed=0)
+        displacements = []
+        for user in taxi_dataset.users:
+            a, p = taxi_dataset[user], protected[user]
+            displacements.append(
+                haversine_m_arrays(a.lats, a.lons, p.lats, p.lons)
+            )
+        mean_disp = float(np.mean(np.concatenate(displacements)))
+        assert mean_disp == pytest.approx(2.0 / eps, rel=0.1)
+
+    def test_high_epsilon_is_nearly_identity(self, simple_trace, rng):
+        out = GeoIndistinguishability(10.0).protect_trace(simple_trace, rng)
+        moved = haversine_m_arrays(
+            simple_trace.lats, simple_trace.lons, out.lats, out.lons
+        )
+        assert np.all(moved < 50.0)  # mean error is 0.2 m at eps=10
+
+    def test_empty_trace_passthrough(self, rng):
+        from repro.mobility import Trace
+
+        empty = Trace("u", [], [], [])
+        assert GeoIndistinguishability(0.01).protect_trace(empty, rng) is empty

@@ -1,0 +1,66 @@
+"""Tests of the Gaussian and uniform-disk noise mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.geo import haversine_m_arrays
+from repro.lppm import GaussianPerturbation, UniformDiskNoise
+from repro.mobility import Dataset, Trace
+
+
+@pytest.fixture
+def stationary_dataset() -> Dataset:
+    # Many records at one spot: ideal for estimating noise statistics.
+    n = 5000
+    return Dataset.from_traces([
+        Trace("u", np.arange(n, dtype=float), np.full(n, 37.7749),
+              np.full(n, -122.4194))
+    ])
+
+
+class TestGaussian:
+    def test_sigma_validation(self):
+        with pytest.raises(ValueError):
+            GaussianPerturbation(0.0)
+
+    def test_displacement_statistics(self, stationary_dataset):
+        sigma = 100.0
+        protected = GaussianPerturbation(sigma).protect(stationary_dataset, seed=0)
+        a = stationary_dataset["u"]
+        p = protected["u"]
+        d = haversine_m_arrays(a.lats, a.lons, p.lats, p.lons)
+        # Isotropic 2D Gaussian: displacement is Rayleigh(sigma),
+        # mean sigma*sqrt(pi/2).
+        assert float(np.mean(d)) == pytest.approx(
+            sigma * np.sqrt(np.pi / 2), rel=0.05
+        )
+
+    def test_params(self):
+        assert GaussianPerturbation(50.0).params() == {"sigma_m": 50.0}
+
+
+class TestUniformDisk:
+    def test_radius_validation(self):
+        with pytest.raises(ValueError):
+            UniformDiskNoise(-1.0)
+
+    def test_displacement_bounded_by_radius(self, stationary_dataset):
+        radius = 150.0
+        protected = UniformDiskNoise(radius).protect(stationary_dataset, seed=0)
+        a = stationary_dataset["u"]
+        p = protected["u"]
+        d = haversine_m_arrays(a.lats, a.lons, p.lats, p.lons)
+        assert np.all(d <= radius * 1.01)
+
+    def test_displacement_mean_of_uniform_disk(self, stationary_dataset):
+        radius = 150.0
+        protected = UniformDiskNoise(radius).protect(stationary_dataset, seed=0)
+        a = stationary_dataset["u"]
+        p = protected["u"]
+        d = haversine_m_arrays(a.lats, a.lons, p.lats, p.lons)
+        # Mean distance from centre of a uniform disk is 2R/3.
+        assert float(np.mean(d)) == pytest.approx(2 * radius / 3, rel=0.05)
+
+    def test_empty_trace_passthrough(self, rng):
+        empty = Trace("u", [], [], [])
+        assert UniformDiskNoise(10.0).protect_trace(empty, rng) is empty

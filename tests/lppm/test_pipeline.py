@@ -1,0 +1,58 @@
+"""Tests of LPPM composition."""
+
+import numpy as np
+import pytest
+
+from repro.lppm import (
+    GaussianPerturbation,
+    GeoIndistinguishability,
+    GridRounding,
+    Pipeline,
+    Subsampling,
+)
+from repro.geo import LatLon
+
+
+class TestPipeline:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Pipeline([])
+
+    def test_single_stage_equivalent_shape(self, simple_trace, rng):
+        single = Pipeline([GaussianPerturbation(50.0)])
+        out = single.protect_trace(simple_trace, rng)
+        assert len(out) == len(simple_trace)
+
+    def test_stage_order_applied(self, simple_trace, rng):
+        # Rounding last: output must sit on grid centres regardless of noise.
+        ref = LatLon(37.7749, -122.4194)
+        pipe = Pipeline([GaussianPerturbation(50.0), GridRounding(200.0, ref=ref)])
+        out = pipe.protect_trace(simple_trace, rng)
+        again = GridRounding(200.0, ref=ref).protect_trace(
+            out, np.random.default_rng(0)
+        )
+        assert np.allclose(out.lats, again.lats, atol=1e-9)
+
+    def test_subsample_then_noise_reduces_count(self, rng):
+        from repro.mobility import Trace
+
+        n = 500
+        t = Trace("u", np.arange(n, dtype=float), np.full(n, 37.0), np.full(n, -122.0))
+        pipe = Pipeline([Subsampling(0.3), GeoIndistinguishability(0.01)])
+        out = pipe.protect_trace(t, rng)
+        assert 0 < len(out) < n
+
+    def test_params_namespaced(self):
+        pipe = Pipeline([
+            Subsampling(0.5),
+            GeoIndistinguishability(0.01),
+        ])
+        params = pipe.params()
+        assert params["stage0.subsampling.keep_fraction"] == 0.5
+        assert params["stage1.geo_ind.epsilon"] == 0.01
+
+    def test_deterministic_given_generator_state(self, simple_trace):
+        pipe = Pipeline([GaussianPerturbation(20.0), GeoIndistinguishability(0.1)])
+        a = pipe.protect_trace(simple_trace, np.random.default_rng(7))
+        b = pipe.protect_trace(simple_trace, np.random.default_rng(7))
+        assert a == b

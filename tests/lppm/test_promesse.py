@@ -1,0 +1,116 @@
+"""Tests of the Promesse speed-smoothing mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import extract_pois
+from repro.lppm import Promesse, resample_polyline
+from repro.metrics import AreaCoverageUtility, PoiRetrievalPrivacy
+from repro.mobility import Dataset, Trace
+
+
+class TestResamplePolyline:
+    def test_straight_line_spacing(self):
+        x = np.asarray([0.0, 1000.0])
+        y = np.asarray([0.0, 0.0])
+        pts = resample_polyline(x, y, 100.0)
+        assert pts.shape == (11, 2)
+        assert np.allclose(np.diff(pts[:, 0]), 100.0)
+        assert np.allclose(pts[:, 1], 0.0)
+
+    def test_multi_segment_path(self):
+        x = np.asarray([0.0, 300.0, 300.0])
+        y = np.asarray([0.0, 0.0, 400.0])
+        pts = resample_polyline(x, y, 100.0)
+        # Total length 700 m -> 8 points (0..700 inclusive).
+        assert pts.shape[0] == 8
+        steps = np.hypot(np.diff(pts[:, 0]), np.diff(pts[:, 1]))
+        assert np.all(steps <= 100.0 * np.sqrt(2) + 1e-6)
+
+    def test_stationary_points_collapse(self):
+        # Dwelling (repeated coordinates) adds no path length, hence no
+        # resampled points — the core of Promesse's POI protection.
+        x = np.asarray([0.0] * 50 + [500.0])
+        y = np.zeros(51)
+        pts = resample_polyline(x, y, 100.0)
+        assert pts.shape[0] == 6
+
+    def test_empty_input(self):
+        assert resample_polyline(np.asarray([]), np.asarray([]), 10.0).shape == (0, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            resample_polyline(np.zeros(3), np.zeros(3), 0.0)
+        with pytest.raises(ValueError):
+            resample_polyline(np.zeros(3), np.zeros(2), 10.0)
+
+
+class TestPromesse:
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            Promesse(0.0)
+
+    def test_params(self):
+        assert Promesse(100.0).params() == {"alpha_m": 100.0}
+
+    def test_deterministic(self, taxi_dataset):
+        a = Promesse(100.0).protect(taxi_dataset, seed=1)
+        b = Promesse(100.0).protect(taxi_dataset, seed=2)
+        for user in taxi_dataset.users:
+            assert a[user] == b[user]  # no randomness involved
+
+    def test_constant_apparent_speed(self, taxi_dataset):
+        protected = Promesse(100.0).protect(taxi_dataset, seed=0)
+        trace = protected[protected.users[0]]
+        intervals = np.diff(trace.times_s)
+        assert np.allclose(intervals, intervals[0])
+
+    def test_time_span_preserved(self, taxi_dataset):
+        user = taxi_dataset.users[0]
+        protected = Promesse(100.0).protect(taxi_dataset, seed=0)
+        assert protected[user].times_s[0] == taxi_dataset[user].times_s[0]
+        assert protected[user].times_s[-1] == pytest.approx(
+            taxi_dataset[user].times_s[-1]
+        )
+
+    def test_hides_pois_on_moving_workload(self, taxi_dataset):
+        # Taxis move most of the shift: apparent speed stays far above
+        # the attack's detection floor and dwell evidence vanishes.
+        protected = Promesse(100.0).protect(taxi_dataset, seed=0)
+        privacy = PoiRetrievalPrivacy().evaluate(taxi_dataset, protected)
+        assert privacy <= 0.1, "speed smoothing must hide dwell-based POIs"
+
+    def test_dwell_heavy_workload_hits_speed_floor(self, commuter_dataset):
+        # Commuters dwell ~16h/day: the smoothed apparent speed drops
+        # below roam/min_dwell and the attack finds stop clusters all
+        # along the route (the documented Promesse caveat).
+        protected = Promesse(100.0).protect(commuter_dataset, seed=0)
+        floor = 200.0 / 900.0  # roam_m / min_dwell_s of the default attack
+        slow_users = [
+            u for u in commuter_dataset.users
+            if protected[u].length_m / protected[u].duration_s < floor
+        ]
+        assert slow_users, "fixture no longer contains a dwell-heavy user"
+        from repro.attacks import extract_pois
+
+        user = slow_users[0]
+        assert len(extract_pois(protected[user])) > len(
+            extract_pois(commuter_dataset[user])
+        )
+
+    def test_preserves_coverage(self, taxi_dataset):
+        protected = Promesse(100.0).protect(taxi_dataset, seed=0)
+        utility = AreaCoverageUtility(cell_size_m=600.0).evaluate(
+            taxi_dataset, protected
+        )
+        assert utility >= 0.6, "the path itself must survive"
+
+    def test_short_trace_passthrough(self, rng):
+        t = Trace("u", [0.0], [37.0], [-122.0])
+        assert Promesse(100.0).protect_trace(t, rng) is t
+
+    def test_coarser_alpha_fewer_points(self, taxi_dataset):
+        user = taxi_dataset.users[0]
+        fine = Promesse(50.0).protect(taxi_dataset, seed=0)[user]
+        coarse = Promesse(500.0).protect(taxi_dataset, seed=0)[user]
+        assert len(coarse) < len(fine)

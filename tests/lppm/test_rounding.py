@@ -1,0 +1,51 @@
+"""Tests of the grid-rounding (spatial cloaking) mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.geo import LatLon, haversine_m_arrays
+from repro.lppm import GridRounding
+
+
+class TestGridRounding:
+    def test_cell_size_validation(self):
+        with pytest.raises(ValueError):
+            GridRounding(0.0)
+
+    def test_deterministic(self, simple_trace, rng):
+        lppm = GridRounding(200.0, ref=LatLon(37.7749, -122.4194))
+        a = lppm.protect_trace(simple_trace, np.random.default_rng(1))
+        b = lppm.protect_trace(simple_trace, np.random.default_rng(999))
+        assert a == b  # randomness is unused
+
+    def test_idempotent_with_fixed_ref(self, simple_trace, rng):
+        lppm = GridRounding(200.0, ref=LatLon(37.7749, -122.4194))
+        once = lppm.protect_trace(simple_trace, rng)
+        twice = lppm.protect_trace(once, rng)
+        assert np.allclose(once.lats, twice.lats, atol=1e-9)
+        assert np.allclose(once.lons, twice.lons, atol=1e-9)
+
+    def test_displacement_bounded_by_half_diagonal(self, simple_trace, rng):
+        cell = 300.0
+        out = GridRounding(cell, ref=LatLon(37.7749, -122.4194)).protect_trace(
+            simple_trace, rng
+        )
+        d = haversine_m_arrays(
+            simple_trace.lats, simple_trace.lons, out.lats, out.lons
+        )
+        assert np.all(d <= cell * np.sqrt(2) / 2 + 1.0)
+
+    def test_collapses_nearby_points(self, simple_trace, rng):
+        # All four fixture points are within ~35 m: one big cell merges them.
+        out = GridRounding(5000.0, ref=LatLon(37.7749, -122.4194)).protect_trace(
+            simple_trace, rng
+        )
+        assert np.unique(out.lats).size == 1
+        assert np.unique(out.lons).size == 1
+
+    def test_default_ref_uses_trace_centroid(self, simple_trace, rng):
+        out = GridRounding(200.0).protect_trace(simple_trace, rng)
+        assert len(out) == len(simple_trace)
+
+    def test_params(self):
+        assert GridRounding(250.0).params() == {"cell_size_m": 250.0}

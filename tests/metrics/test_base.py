@@ -1,0 +1,76 @@
+"""Tests of the metric interface, registry and record pairing."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    AreaCoverageUtility,
+    PoiRetrievalPrivacy,
+    available_metrics,
+    metric_class,
+    paired_coords,
+)
+from repro.mobility import Dataset, Trace
+
+
+class TestRegistry:
+    def test_expected_metrics_registered(self):
+        names = available_metrics()
+        for expected in (
+            "poi_retrieval",
+            "distortion",
+            "reidentification",
+            "area_coverage",
+            "same_cell",
+            "spatial_distortion",
+        ):
+            assert expected in names
+
+    def test_lookup(self):
+        assert metric_class("poi_retrieval") is PoiRetrievalPrivacy
+        assert metric_class("area_coverage") is AreaCoverageUtility
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            metric_class("nope")
+
+    def test_kinds(self):
+        assert PoiRetrievalPrivacy.kind == "privacy"
+        assert AreaCoverageUtility.kind == "utility"
+
+
+class TestPairedCoords:
+    def test_equal_length_positional(self, simple_trace):
+        a_lat, a_lon, p_lat, p_lon = paired_coords(simple_trace, simple_trace)
+        assert np.array_equal(a_lat, simple_trace.lats)
+        assert np.array_equal(p_lat, simple_trace.lats)
+
+    def test_subsampled_aligned_by_time(self):
+        actual = Trace(
+            "u", [0.0, 60.0, 120.0, 180.0], [37.0, 37.1, 37.2, 37.3], [-122.0] * 4
+        )
+        protected = Trace("u", [58.0, 178.0], [39.0, 38.0], [-122.0] * 2)
+        a_lat, a_lon, p_lat, p_lon = paired_coords(actual, protected)
+        assert len(a_lat) == 2
+        # 58 s is nearest to the 60 s record, 178 s to the 180 s one.
+        assert a_lat.tolist() == [37.1, 37.3]
+        assert p_lat.tolist() == [39.0, 38.0]
+
+    def test_empty_rejected(self, simple_trace):
+        with pytest.raises(ValueError):
+            paired_coords(simple_trace, Trace("u", [], [], []))
+
+
+class TestCommonUsers:
+    def test_disjoint_datasets_rejected(self, simple_trace):
+        metric = AreaCoverageUtility()
+        a = Dataset.from_traces([simple_trace])
+        b = Dataset.from_traces([simple_trace.renamed("bob")])
+        with pytest.raises(ValueError):
+            metric.evaluate(a, b)
+
+    def test_partial_overlap_uses_intersection(self, simple_trace):
+        metric = AreaCoverageUtility()
+        a = Dataset.from_traces([simple_trace, simple_trace.renamed("bob")])
+        b = Dataset.from_traces([simple_trace])
+        assert metric.evaluate(a, b) == 1.0

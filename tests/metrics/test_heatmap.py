@@ -1,0 +1,82 @@
+"""Tests of the heatmap-preservation utility."""
+
+import pytest
+
+from repro.geo import LatLon, SpatialGrid
+from repro.lppm import GaussianPerturbation, GeoIndistinguishability, Subsampling
+from repro.metrics import (
+    HeatmapPreservationUtility,
+    jensen_shannon_divergence,
+    visit_distribution,
+)
+from repro.mobility import Dataset, Trace
+
+SF = LatLon(37.7749, -122.4194)
+
+
+class TestVisitDistribution:
+    def test_sums_to_one(self, taxi_dataset):
+        grid = SpatialGrid.around(taxi_dataset.centroid(), 600.0)
+        dist = visit_distribution(taxi_dataset, grid)
+        assert sum(dist.values()) == pytest.approx(1.0)
+        assert all(v > 0 for v in dist.values())
+
+    def test_empty_dataset_rejected(self):
+        grid = SpatialGrid.around(SF, 600.0)
+        with pytest.raises(ValueError):
+            visit_distribution(Dataset({}), grid)
+
+
+class TestJsd:
+    def test_identical_is_zero(self):
+        p = {(0, 0): 0.5, (1, 1): 0.5}
+        assert jensen_shannon_divergence(p, dict(p)) == 0.0
+
+    def test_disjoint_is_one(self):
+        p = {(0, 0): 1.0}
+        q = {(9, 9): 1.0}
+        assert jensen_shannon_divergence(p, q) == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        p = {(0, 0): 0.7, (1, 0): 0.3}
+        q = {(0, 0): 0.2, (2, 2): 0.8}
+        assert jensen_shannon_divergence(p, q) == pytest.approx(
+            jensen_shannon_divergence(q, p)
+        )
+
+    def test_bounded(self):
+        p = {(0, 0): 0.9, (5, 5): 0.1}
+        q = {(0, 0): 0.1, (5, 5): 0.9}
+        assert 0.0 < jensen_shannon_divergence(p, q) < 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            jensen_shannon_divergence({}, {(0, 0): 1.0})
+
+
+class TestHeatmapUtility:
+    def test_identity_is_one(self, taxi_dataset):
+        metric = HeatmapPreservationUtility()
+        assert metric.evaluate(taxi_dataset, taxi_dataset) == pytest.approx(1.0)
+
+    def test_monotone_in_epsilon(self, taxi_dataset):
+        metric = HeatmapPreservationUtility()
+        values = []
+        for eps in (1e-4, 1e-2, 1.0):
+            protected = GeoIndistinguishability(eps).protect(taxi_dataset, seed=0)
+            values.append(metric.evaluate(taxi_dataset, protected))
+        assert values[0] < values[1] < values[2]
+
+    def test_subsampling_preserves_the_aggregate(self, taxi_dataset):
+        # The crowd's heatmap survives heavy subsampling far better
+        # than 2 km noise — the metric's distinguishing judgement.
+        sub = Subsampling(0.3).protect(taxi_dataset, seed=0)
+        noisy = GaussianPerturbation(2000.0).protect(taxi_dataset, seed=0)
+        metric = HeatmapPreservationUtility()
+        assert metric.evaluate(taxi_dataset, sub) > metric.evaluate(
+            taxi_dataset, noisy
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeatmapPreservationUtility(cell_size_m=0.0)

@@ -1,0 +1,42 @@
+"""Tests of the home-identification privacy metric."""
+
+import pytest
+
+from repro.lppm import GaussianPerturbation, GeoIndistinguishability
+from repro.metrics import HomeIdentificationPrivacy, metric_class
+
+
+class TestHomeIdentification:
+    def test_identity_fully_exposed(self, commuter_dataset):
+        metric = HomeIdentificationPrivacy()
+        assert metric.evaluate(commuter_dataset, commuter_dataset) == 1.0
+
+    def test_heavy_noise_hides_homes(self, commuter_dataset):
+        protected = GaussianPerturbation(20_000.0).protect(commuter_dataset, seed=0)
+        metric = HomeIdentificationPrivacy()
+        assert metric.evaluate(commuter_dataset, protected) <= 0.4
+
+    def test_monotone_in_epsilon(self, commuter_dataset):
+        metric = HomeIdentificationPrivacy()
+        values = []
+        for eps in (1e-4, 1e-2, 1.0):
+            protected = GeoIndistinguishability(eps).protect(
+                commuter_dataset, seed=0
+            )
+            values.append(metric.evaluate(commuter_dataset, protected))
+        assert values[0] <= values[2]
+        assert values[2] >= 0.8
+
+    def test_per_user_values_binary(self, commuter_dataset):
+        per_user = HomeIdentificationPrivacy().evaluate_per_user(
+            commuter_dataset, commuter_dataset
+        )
+        assert per_user
+        assert set(per_user.values()) <= {0.0, 1.0}
+
+    def test_registered(self):
+        assert metric_class("home_identification") is HomeIdentificationPrivacy
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HomeIdentificationPrivacy(match_m=0.0)

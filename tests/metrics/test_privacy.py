@@ -1,0 +1,111 @@
+"""Tests of the privacy metrics."""
+
+import pytest
+
+import numpy as np
+
+from repro.lppm import GaussianPerturbation, GeoIndistinguishability
+from repro.metrics import (
+    DistortionPrivacy,
+    LogDistortionPrivacy,
+    PoiRetrievalPrivacy,
+    ReidentificationPrivacy,
+)
+
+
+class TestPoiRetrieval:
+    def test_identity_protection_fully_exposed(self, commuter_dataset):
+        metric = PoiRetrievalPrivacy()
+        assert metric.evaluate(commuter_dataset, commuter_dataset) == 1.0
+
+    def test_heavy_noise_hides_pois(self, commuter_dataset):
+        protected = GaussianPerturbation(20_000.0).protect(commuter_dataset, seed=0)
+        metric = PoiRetrievalPrivacy()
+        assert metric.evaluate(commuter_dataset, protected) <= 0.2
+
+    def test_monotone_in_epsilon(self, commuter_dataset):
+        metric = PoiRetrievalPrivacy()
+        values = []
+        for eps in (1e-4, 1e-2, 1.0):
+            protected = GeoIndistinguishability(eps).protect(commuter_dataset, seed=0)
+            values.append(metric.evaluate(commuter_dataset, protected))
+        assert values[0] <= values[1] <= values[2]
+        assert values[0] < values[2]
+
+    def test_per_user_breakdown(self, commuter_dataset):
+        per_user = PoiRetrievalPrivacy().evaluate_per_user(
+            commuter_dataset, commuter_dataset
+        )
+        assert per_user
+        assert all(v == 1.0 for v in per_user.values())
+
+    def test_users_without_pois_skipped(self, taxi_dataset, commuter_dataset):
+        # Random-waypoint-like users have no POIs; the fixture datasets do,
+        # so simply verify the skip path via an empty result contract.
+        metric = PoiRetrievalPrivacy()
+        value = metric.evaluate(taxi_dataset, taxi_dataset)
+        assert 0.0 <= value <= 1.0
+
+    def test_invalid_radius_rejected(self):
+        with pytest.raises(ValueError):
+            PoiRetrievalPrivacy(match_m=0.0)
+
+
+class TestDistortion:
+    def test_identity_is_zero(self, taxi_dataset):
+        assert DistortionPrivacy().evaluate(taxi_dataset, taxi_dataset) == 0.0
+
+    def test_matches_noise_scale(self, taxi_dataset):
+        eps = 0.01
+        protected = GeoIndistinguishability(eps).protect(taxi_dataset, seed=0)
+        value = DistortionPrivacy().evaluate(taxi_dataset, protected)
+        assert value == pytest.approx(2.0 / eps, rel=0.15)
+
+    def test_higher_noise_more_distortion(self, taxi_dataset):
+        low = GaussianPerturbation(10.0).protect(taxi_dataset, seed=0)
+        high = GaussianPerturbation(1000.0).protect(taxi_dataset, seed=0)
+        metric = DistortionPrivacy()
+        assert metric.evaluate(taxi_dataset, low) < metric.evaluate(taxi_dataset, high)
+
+
+class TestLogDistortion:
+    def test_is_log_of_distortion(self, taxi_dataset):
+        protected = GeoIndistinguishability(0.01).protect(taxi_dataset, seed=0)
+        raw = DistortionPrivacy().evaluate(taxi_dataset, protected)
+        # The aggregate is the mean of per-user logs, so compare against
+        # the per-user values directly.
+        raw_per_user = DistortionPrivacy().evaluate_per_user(
+            taxi_dataset, protected
+        )
+        log_per_user = LogDistortionPrivacy().evaluate_per_user(
+            taxi_dataset, protected
+        )
+        for user, value in raw_per_user.items():
+            assert log_per_user[user] == pytest.approx(np.log(value))
+        assert raw > 0
+
+    def test_linear_in_log_epsilon(self, taxi_dataset):
+        # ln(2/eps): one decade of eps shifts the metric by ln(10).
+        metric = LogDistortionPrivacy()
+        values = []
+        for eps in (1e-3, 1e-2, 1e-1):
+            protected = GeoIndistinguishability(eps).protect(taxi_dataset, seed=0)
+            values.append(metric.evaluate(taxi_dataset, protected))
+        assert values[0] - values[1] == pytest.approx(np.log(10), abs=0.25)
+        assert values[1] - values[2] == pytest.approx(np.log(10), abs=0.25)
+
+    def test_registered(self):
+        from repro.metrics import metric_class
+
+        assert metric_class("log_distortion") is LogDistortionPrivacy
+
+
+class TestReidentification:
+    def test_identity_fully_linked(self, commuter_dataset):
+        metric = ReidentificationPrivacy()
+        assert metric.evaluate(commuter_dataset, commuter_dataset) == 1.0
+
+    def test_noise_reduces_linking(self, commuter_dataset):
+        protected = GaussianPerturbation(20_000.0).protect(commuter_dataset, seed=0)
+        metric = ReidentificationPrivacy()
+        assert metric.evaluate(commuter_dataset, protected) < 1.0

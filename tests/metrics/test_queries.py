@@ -1,0 +1,50 @@
+"""Tests of the range-query utility."""
+
+import pytest
+
+from repro.lppm import GaussianPerturbation, GeoIndistinguishability
+from repro.metrics import RangeQueryUtility
+
+
+class TestRangeQueryUtility:
+    def test_identity_is_one(self, taxi_dataset):
+        metric = RangeQueryUtility(n_queries=20)
+        assert metric.evaluate(taxi_dataset, taxi_dataset) == pytest.approx(1.0)
+
+    def test_deterministic_given_seed(self, taxi_dataset):
+        protected = GaussianPerturbation(300.0).protect(taxi_dataset, seed=0)
+        a = RangeQueryUtility(n_queries=20, seed=5).evaluate(taxi_dataset, protected)
+        b = RangeQueryUtility(n_queries=20, seed=5).evaluate(taxi_dataset, protected)
+        assert a == b
+
+    def test_seed_changes_query_sample(self, taxi_dataset):
+        protected = GaussianPerturbation(300.0).protect(taxi_dataset, seed=0)
+        a = RangeQueryUtility(n_queries=10, seed=1).evaluate(taxi_dataset, protected)
+        b = RangeQueryUtility(n_queries=10, seed=2).evaluate(taxi_dataset, protected)
+        # Different query draws, close but not (generically) identical.
+        assert a == pytest.approx(b, abs=0.3)
+
+    def test_monotone_in_epsilon(self, taxi_dataset):
+        metric = RangeQueryUtility(n_queries=25)
+        values = []
+        for eps in (1e-3, 1e-2, 1e-1):
+            protected = GeoIndistinguishability(eps).protect(taxi_dataset, seed=0)
+            values.append(metric.evaluate(taxi_dataset, protected))
+        assert values[0] < values[2]
+        assert all(0.0 <= v <= 1.0 for v in values)
+
+    def test_larger_radius_more_forgiving(self, taxi_dataset):
+        protected = GaussianPerturbation(400.0).protect(taxi_dataset, seed=0)
+        small = RangeQueryUtility(radius_m=200.0, n_queries=25).evaluate(
+            taxi_dataset, protected
+        )
+        large = RangeQueryUtility(radius_m=2000.0, n_queries=25).evaluate(
+            taxi_dataset, protected
+        )
+        assert large > small
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RangeQueryUtility(radius_m=0.0)
+        with pytest.raises(ValueError):
+            RangeQueryUtility(n_queries=0)

@@ -1,0 +1,38 @@
+"""Tests of the time-preservation utility."""
+
+import pytest
+
+from repro.lppm import GeoIndistinguishability, Promesse, TimePerturbation
+from repro.metrics import TimePreservationUtility
+
+
+class TestTimePreservation:
+    def test_identity_is_one(self, taxi_dataset):
+        metric = TimePreservationUtility()
+        assert metric.evaluate(taxi_dataset, taxi_dataset) == pytest.approx(1.0)
+
+    def test_spatial_noise_leaves_time_untouched(self, taxi_dataset):
+        protected = GeoIndistinguishability(0.01).protect(taxi_dataset, seed=0)
+        metric = TimePreservationUtility()
+        assert metric.evaluate(taxi_dataset, protected) == pytest.approx(1.0)
+
+    def test_time_jitter_degrades(self, taxi_dataset):
+        metric = TimePreservationUtility(scale_s=600.0)
+        small = TimePerturbation(60.0).protect(taxi_dataset, seed=0)
+        large = TimePerturbation(3600.0).protect(taxi_dataset, seed=0)
+        v_small = metric.evaluate(taxi_dataset, small)
+        v_large = metric.evaluate(taxi_dataset, large)
+        assert v_large < v_small < 1.0
+
+    def test_promesse_time_warp_detected(self, taxi_dataset):
+        # Promesse preserves the span but redistributes timestamps —
+        # exactly the distortion this metric exists to expose.
+        protected = Promesse(100.0).protect(taxi_dataset, seed=0)
+        value = TimePreservationUtility(scale_s=600.0).evaluate(
+            taxi_dataset, protected
+        )
+        assert value < 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimePreservationUtility(scale_s=0.0)

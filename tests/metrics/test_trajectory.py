@@ -1,0 +1,107 @@
+"""Tests of the DTW / Fréchet trajectory-shape utilities."""
+
+import numpy as np
+import pytest
+
+from repro.lppm import GaussianPerturbation, GeoIndistinguishability, Subsampling
+from repro.metrics import (
+    TrajectoryShapeUtility,
+    discrete_frechet_m,
+    dtw_distance_m,
+)
+
+LINE = np.asarray([[0.0, 0.0], [100.0, 0.0], [200.0, 0.0], [300.0, 0.0]])
+
+
+class TestDtw:
+    def test_identical_is_zero(self):
+        assert dtw_distance_m(LINE, LINE) == 0.0
+
+    def test_constant_offset(self):
+        shifted = LINE + [0.0, 50.0]
+        assert dtw_distance_m(LINE, shifted) == pytest.approx(50.0)
+
+    def test_symmetric(self):
+        other = LINE * 1.5 + [10.0, -20.0]
+        assert dtw_distance_m(LINE, other) == pytest.approx(
+            dtw_distance_m(other, LINE)
+        )
+
+    def test_resampling_invariance(self):
+        # The same straight segment sampled at different rates must be
+        # nearly free under warping.
+        # Mean per-step cost of aligning 10 m samples to 100 m anchors
+        # is ~spacing/4; warping keeps it well under the spacing itself.
+        dense = np.stack([np.linspace(0, 300, 31), np.zeros(31)], axis=1)
+        assert dtw_distance_m(LINE, dense) < 30.0
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(10, 2)) * 100
+        b = rng.normal(size=(7, 2)) * 100
+        assert dtw_distance_m(a, b) >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dtw_distance_m(np.zeros((0, 2)), LINE)
+        with pytest.raises(ValueError):
+            dtw_distance_m(np.zeros(5), LINE)
+
+
+class TestFrechet:
+    def test_identical_is_zero(self):
+        assert discrete_frechet_m(LINE, LINE) == 0.0
+
+    def test_constant_offset(self):
+        shifted = LINE + [0.0, 50.0]
+        assert discrete_frechet_m(LINE, shifted) == pytest.approx(50.0)
+
+    def test_upper_bounds_dtw_mean(self):
+        rng = np.random.default_rng(1)
+        a = np.cumsum(rng.normal(size=(15, 2)) * 50, axis=0)
+        b = a + rng.normal(size=(15, 2)) * 30
+        assert discrete_frechet_m(a, b) >= dtw_distance_m(a, b) - 1e-9
+
+    def test_single_far_excursion_dominates(self):
+        b = LINE.copy()
+        b[2] = [200.0, 500.0]
+        assert discrete_frechet_m(LINE, b) >= 400.0
+
+
+class TestTrajectoryShapeUtility:
+    def test_identity_is_one(self, taxi_dataset):
+        metric = TrajectoryShapeUtility()
+        assert metric.evaluate(taxi_dataset, taxi_dataset) == pytest.approx(1.0)
+
+    def test_monotone_in_noise(self, taxi_dataset):
+        metric = TrajectoryShapeUtility(max_points=80)
+        low = GaussianPerturbation(20.0).protect(taxi_dataset, seed=0)
+        high = GaussianPerturbation(2000.0).protect(taxi_dataset, seed=0)
+        assert metric.evaluate(taxi_dataset, low) > metric.evaluate(
+            taxi_dataset, high
+        )
+
+    def test_monotone_in_epsilon(self, taxi_dataset):
+        metric = TrajectoryShapeUtility(max_points=60)
+        values = []
+        for eps in (1e-3, 1e-2, 1e-1):
+            protected = GeoIndistinguishability(eps).protect(taxi_dataset, seed=0)
+            values.append(metric.evaluate(taxi_dataset, protected))
+        assert values[0] < values[1] < values[2]
+
+    def test_robust_to_subsampling(self, taxi_dataset):
+        # Dropping records leaves the path shape mostly intact: the
+        # warping metric must rank that far above heavy spatial noise.
+        metric = TrajectoryShapeUtility(max_points=80)
+        subsampled = Subsampling(0.4).protect(taxi_dataset, seed=0)
+        noisy = GaussianPerturbation(2000.0).protect(taxi_dataset, seed=0)
+        v_sub = metric.evaluate(taxi_dataset, subsampled)
+        v_noise = metric.evaluate(taxi_dataset, noisy)
+        assert v_sub > 2 * v_noise
+        assert v_sub > 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrajectoryShapeUtility(scale_m=0.0)
+        with pytest.raises(ValueError):
+            TrajectoryShapeUtility(max_points=1)

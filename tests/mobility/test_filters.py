@@ -1,0 +1,126 @@
+"""Tests of the trace-cleaning filters."""
+
+import numpy as np
+import pytest
+
+from repro.geo import BoundingBox
+from repro.mobility import (
+    Dataset,
+    Trace,
+    clean_dataset,
+    clip_to_bbox,
+    dedupe_timestamps,
+    remove_speed_spikes,
+    resample_min_interval,
+    split_by_gap,
+)
+
+
+class TestDedupe:
+    def test_keeps_first_of_duplicates(self):
+        t = Trace("u", [0.0, 0.0, 1.0], [10.0, 20.0, 30.0], [0.0, 0.0, 0.0])
+        out = dedupe_timestamps(t)
+        assert out.times_s.tolist() == [0.0, 1.0]
+        assert out.lats.tolist() == [10.0, 30.0]
+
+    def test_no_duplicates_untouched(self, simple_trace):
+        assert dedupe_timestamps(simple_trace) == simple_trace
+
+    def test_single_record(self):
+        t = Trace("u", [0.0], [0.0], [0.0])
+        assert dedupe_timestamps(t) == t
+
+
+class TestResample:
+    def test_enforces_interval(self):
+        t = Trace("u", np.arange(10.0), np.zeros(10), np.zeros(10))
+        out = resample_min_interval(t, 3.0)
+        assert np.all(np.diff(out.times_s) >= 3.0)
+        assert out.times_s[0] == 0.0
+
+    def test_interval_larger_than_span_keeps_first(self):
+        t = Trace("u", [0.0, 1.0, 2.0], [0.0, 0.0, 0.0], [0.0, 0.0, 0.0])
+        out = resample_min_interval(t, 100.0)
+        assert len(out) == 1
+
+    def test_invalid_interval_rejected(self, simple_trace):
+        with pytest.raises(ValueError):
+            resample_min_interval(simple_trace, 0.0)
+
+
+class TestSplitByGap:
+    def test_splits_at_gaps(self):
+        t = Trace(
+            "u",
+            [0.0, 60.0, 3700.0, 3760.0, 9000.0],
+            [0.0] * 5,
+            [0.0] * 5,
+        )
+        parts = split_by_gap(t, 3600.0)
+        assert [len(p) for p in parts] == [2, 2, 1]
+        assert all(p.user == "u" for p in parts)
+
+    def test_no_gap_single_segment(self, simple_trace):
+        parts = split_by_gap(simple_trace, 3600.0)
+        assert len(parts) == 1
+        assert parts[0] == simple_trace
+
+    def test_empty_trace(self):
+        assert split_by_gap(Trace("u", [], [], []), 10.0) == []
+
+    def test_invalid_gap_rejected(self, simple_trace):
+        with pytest.raises(ValueError):
+            split_by_gap(simple_trace, -1.0)
+
+
+class TestClip:
+    def test_drops_outside_points(self):
+        t = Trace("u", [0.0, 1.0, 2.0], [37.5, 45.0, 37.6], [-122.5, 0.0, -122.4])
+        box = BoundingBox(37.0, -123.0, 38.0, -122.0)
+        out = clip_to_bbox(t, box)
+        assert len(out) == 2
+        assert np.all(box.contains_arrays(out.lats, out.lons))
+
+
+class TestSpeedSpikes:
+    def test_removes_teleport(self):
+        # Third point is ~100 km away one second later: impossible.
+        t = Trace(
+            "u",
+            [0.0, 1.0, 2.0, 3.0],
+            [37.0, 37.0001, 38.0, 37.0002],
+            [-122.0, -122.0, -122.0, -122.0],
+        )
+        out = remove_speed_spikes(t, max_speed_mps=70.0)
+        assert 38.0 not in out.lats.tolist()
+        assert len(out) == 3
+
+    def test_plausible_trace_untouched(self, simple_trace):
+        assert remove_speed_spikes(simple_trace) == simple_trace
+
+    def test_invalid_speed_rejected(self, simple_trace):
+        with pytest.raises(ValueError):
+            remove_speed_spikes(simple_trace, 0.0)
+
+
+class TestCleanDataset:
+    def test_pipeline_drops_tiny_traces(self):
+        good = Trace(
+            "good", [0.0, 30.0, 60.0], [37.0, 37.0001, 37.0002], [-122.0] * 3
+        )
+        tiny = Trace("tiny", [0.0], [37.0], [-122.0])
+        ds = Dataset.from_traces([good, tiny])
+        out = clean_dataset(ds, min_records=2)
+        assert out.users == ["good"]
+
+    def test_pipeline_dedupes_and_despikes(self):
+        t = Trace(
+            "u",
+            [0.0, 0.0, 30.0, 31.0],
+            [37.0, 37.5, 37.0001, 39.0],
+            [-122.0] * 4,
+        )
+        out = clean_dataset(Dataset.from_traces([t]), min_interval_s=1.0)
+        trace = out["u"]
+        assert len(trace) == 2
+        assert 39.0 not in trace.lats.tolist()

@@ -1,0 +1,124 @@
+"""Round-trip tests of the three on-disk formats."""
+
+import numpy as np
+import pytest
+
+from repro.mobility import (
+    Dataset,
+    Trace,
+    read_cabspotting,
+    read_csv,
+    read_geolife,
+    write_cabspotting,
+    write_csv,
+    write_geolife,
+)
+
+
+@pytest.fixture
+def dataset() -> Dataset:
+    base = 1_300_000_000.0  # plausible unix time
+    return Dataset.from_traces([
+        Trace(
+            "u1",
+            [base, base + 60.0, base + 120.0],
+            [37.7749, 37.7759, 37.7769],
+            [-122.4194, -122.4184, -122.4174],
+        ),
+        Trace(
+            "u2",
+            [base + 5.0, base + 65.0],
+            [37.70, 37.71],
+            [-122.40, -122.41],
+        ),
+    ])
+
+
+class TestCsv:
+    def test_round_trip_exact(self, dataset, tmp_path):
+        path = tmp_path / "data.csv"
+        write_csv(dataset, path)
+        back = read_csv(path)
+        assert back.users == dataset.users
+        for user in dataset.users:
+            assert back[user] == dataset[user]
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,y,z\n")
+        with pytest.raises(ValueError):
+            read_csv(path)
+
+    def test_bad_column_count_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("user,time_s,lat,lon\nu1,0.0,37.0\n")
+        with pytest.raises(ValueError):
+            read_csv(path)
+
+    def test_creates_parent_directories(self, dataset, tmp_path):
+        path = tmp_path / "deep" / "nested" / "data.csv"
+        write_csv(dataset, path)
+        assert path.exists()
+
+
+class TestGeolife:
+    def test_round_trip(self, dataset, tmp_path):
+        root = tmp_path / "geolife"
+        write_geolife(dataset, root)
+        back = read_geolife(root)
+        assert back.users == dataset.users
+        for user in dataset.users:
+            assert np.allclose(back[user].lats, dataset[user].lats, atol=1e-6)
+            assert np.allclose(back[user].lons, dataset[user].lons, atol=1e-6)
+            assert np.allclose(back[user].times_s, dataset[user].times_s, atol=1.0)
+
+    def test_layout_on_disk(self, dataset, tmp_path):
+        root = tmp_path / "geolife"
+        write_geolife(dataset, root)
+        plt_files = list((root / "u1" / "Trajectory").glob("*.plt"))
+        assert len(plt_files) == 1
+        lines = plt_files[0].read_text().splitlines()
+        assert lines[0] == "Geolife trajectory"
+        assert len(lines) == 6 + 3  # header + three records
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_geolife(tmp_path / "nope")
+
+    def test_short_plt_line_rejected(self, tmp_path):
+        plt_dir = tmp_path / "u" / "Trajectory"
+        plt_dir.mkdir(parents=True)
+        (plt_dir / "t.plt").write_text("\n" * 6 + "37.0,-122.0,0\n")
+        with pytest.raises(ValueError):
+            read_geolife(tmp_path)
+
+
+class TestCabspotting:
+    def test_round_trip(self, dataset, tmp_path):
+        root = tmp_path / "cabs"
+        write_cabspotting(dataset, root)
+        back = read_cabspotting(root)
+        assert back.users == dataset.users
+        for user in dataset.users:
+            assert np.allclose(back[user].lats, dataset[user].lats, atol=1e-6)
+            assert np.allclose(back[user].lons, dataset[user].lons, atol=1e-6)
+            # Cabspotting stores integer timestamps.
+            assert np.allclose(back[user].times_s, dataset[user].times_s, atol=1.0)
+
+    def test_newest_first_on_disk(self, dataset, tmp_path):
+        root = tmp_path / "cabs"
+        write_cabspotting(dataset, root)
+        lines = (root / "new_u1.txt").read_text().splitlines()
+        times = [int(line.split()[3]) for line in lines]
+        assert times == sorted(times, reverse=True)
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_cabspotting(tmp_path / "nope")
+
+    def test_malformed_line_rejected(self, tmp_path):
+        root = tmp_path / "cabs"
+        root.mkdir()
+        (root / "new_x.txt").write_text("37.0 -122.0 0\n")
+        with pytest.raises(ValueError):
+            read_cabspotting(root)

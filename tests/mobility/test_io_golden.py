@@ -1,0 +1,91 @@
+"""Golden-file tests: parse *literal* snippets of the real formats.
+
+Round-trip tests prove write/read consistency but would hide a shared
+misunderstanding of the format.  These fixtures are verbatim lines in
+the published Cabspotting and GeoLife layouts (values taken from the
+datasets' documentation), so the parsers are checked against the real
+thing.
+"""
+
+import datetime as dt
+
+import pytest
+
+from repro.mobility import read_cabspotting, read_geolife
+
+# One cab, three fixes, newest first: "lat lon occupancy unix_time".
+CABSPOTTING_SNIPPET = """\
+37.75134 -122.39488 0 1213084687
+37.75136 -122.39527 0 1213084659
+37.75199 -122.39346 1 1213084540
+"""
+
+# Verbatim GeoLife PLT: six header lines then
+# "lat,lon,0,alt_ft,days_since_1899-12-30,date,time".
+GEOLIFE_SNIPPET = """\
+Geolife trajectory
+WGS 84
+Altitude is in Feet
+Reserved 3
+0,2,255,My Track,0,0,2,8421376
+0
+39.984702,116.318417,0,492,39744.1201851852,2008-10-23,02:53:04
+39.984683,116.31845,0,492,39744.1202546296,2008-10-23,02:53:10
+39.984686,116.318417,0,492,39744.1203125,2008-10-23,02:53:15
+"""
+
+
+class TestCabspottingGolden:
+    @pytest.fixture
+    def dataset(self, tmp_path):
+        (tmp_path / "new_abboip.txt").write_text(CABSPOTTING_SNIPPET)
+        return read_cabspotting(tmp_path)
+
+    def test_cab_id_from_filename(self, dataset):
+        assert dataset.users == ["abboip"]
+
+    def test_records_sorted_oldest_first(self, dataset):
+        trace = dataset["abboip"]
+        assert trace.times_s.tolist() == [1213084540.0, 1213084659.0, 1213084687.0]
+
+    def test_coordinates(self, dataset):
+        trace = dataset["abboip"]
+        # Oldest record is the occupied one at 37.75199, -122.39346.
+        assert trace.lats[0] == pytest.approx(37.75199)
+        assert trace.lons[0] == pytest.approx(-122.39346)
+        assert trace.lats[-1] == pytest.approx(37.75134)
+
+
+class TestGeolifeGolden:
+    @pytest.fixture
+    def dataset(self, tmp_path):
+        plt_dir = tmp_path / "000" / "Trajectory"
+        plt_dir.mkdir(parents=True)
+        (plt_dir / "20081023025304.plt").write_text(GEOLIFE_SNIPPET)
+        return read_geolife(tmp_path)
+
+    def test_user_from_directory(self, dataset):
+        assert dataset.users == ["000"]
+
+    def test_coordinates(self, dataset):
+        trace = dataset["000"]
+        assert len(trace) == 3
+        assert trace.lats[0] == pytest.approx(39.984702)
+        assert trace.lons[0] == pytest.approx(116.318417)
+
+    def test_excel_day_number_decoded_to_utc(self, dataset):
+        # 39744.1201851852 days after 1899-12-30 is 2008-10-23 02:53:04 UTC
+        # (the date/time columns of the same line).
+        trace = dataset["000"]
+        moment = dt.datetime.fromtimestamp(trace.times_s[0], tz=dt.timezone.utc)
+        assert moment.year == 2008
+        assert moment.month == 10
+        assert moment.day == 23
+        assert moment.hour == 2
+        assert moment.minute == 53
+        assert abs(moment.second - 4) <= 1  # day-fraction rounding
+
+    def test_intervals_match_time_column(self, dataset):
+        trace = dataset["000"]
+        assert trace.times_s[1] - trace.times_s[0] == pytest.approx(6.0, abs=0.5)
+        assert trace.times_s[2] - trace.times_s[1] == pytest.approx(5.0, abs=0.5)

@@ -1,0 +1,63 @@
+"""Tests of dataset splitting utilities."""
+
+import numpy as np
+import pytest
+
+from repro.mobility import Dataset, Trace, split_by_time_fraction, split_users
+
+
+class TestSplitByTime:
+    def test_head_tail_partition(self, taxi_dataset):
+        head, tail = split_by_time_fraction(taxi_dataset, 0.5)
+        assert head.users == tail.users
+        for user in head.users:
+            original = taxi_dataset[user]
+            assert len(head[user]) + len(tail[user]) == len(original)
+            assert head[user].times_s[-1] < tail[user].times_s[0]
+
+    def test_fraction_shifts_the_cut(self, taxi_dataset):
+        head_small, _ = split_by_time_fraction(taxi_dataset, 0.2)
+        head_large, _ = split_by_time_fraction(taxi_dataset, 0.8)
+        for user in head_small.users:
+            assert len(head_small[user]) < len(head_large[user])
+
+    def test_degenerate_traces_dropped(self):
+        ds = Dataset.from_traces([
+            Trace("single", [0.0], [37.0], [-122.0]),
+            Trace("pair", [0.0, 100.0], [37.0, 37.1], [-122.0, -122.0]),
+        ])
+        head, tail = split_by_time_fraction(ds, 0.5)
+        assert head.users == ["pair"]
+        assert tail.users == ["pair"]
+
+    def test_validation(self, taxi_dataset):
+        with pytest.raises(ValueError):
+            split_by_time_fraction(taxi_dataset, 0.0)
+        with pytest.raises(ValueError):
+            split_by_time_fraction(taxi_dataset, 1.0)
+
+
+class TestSplitUsers:
+    def test_disjoint_partition(self, taxi_dataset):
+        a, b = split_users(taxi_dataset, 0.5, seed=1)
+        assert set(a.users) | set(b.users) == set(taxi_dataset.users)
+        assert not set(a.users) & set(b.users)
+
+    def test_fraction_respected(self, taxi_dataset):
+        a, b = split_users(taxi_dataset, 1.0 / 3.0, seed=1)
+        assert len(a) == round(len(taxi_dataset) / 3)
+
+    def test_deterministic_by_seed(self, taxi_dataset):
+        a1, _ = split_users(taxi_dataset, 0.5, seed=9)
+        a2, _ = split_users(taxi_dataset, 0.5, seed=9)
+        assert a1.users == a2.users
+
+    def test_both_sides_nonempty_even_for_extreme_fractions(self, taxi_dataset):
+        a, b = split_users(taxi_dataset, 0.01, seed=0)
+        assert len(a) >= 1
+        assert len(b) >= 1
+
+    def test_too_few_users_rejected(self):
+        ds = Dataset.from_traces([Trace("only", [0.0], [37.0], [-122.0])])
+        with pytest.raises(ValueError):
+            split_users(ds, 0.5)

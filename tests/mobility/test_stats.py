@@ -1,0 +1,70 @@
+"""Tests of trace and dataset statistics."""
+
+import numpy as np
+import pytest
+
+from repro.mobility import (
+    Dataset,
+    Trace,
+    dataset_stats,
+    radius_of_gyration_m,
+    trace_stats,
+)
+
+
+class TestRadiusOfGyration:
+    def test_stationary_trace_is_zero(self):
+        t = Trace("u", [0.0, 1.0, 2.0], [37.0] * 3, [-122.0] * 3)
+        assert radius_of_gyration_m(t) == pytest.approx(0.0, abs=1e-6)
+
+    def test_empty_trace_is_zero(self):
+        assert radius_of_gyration_m(Trace("u", [], [], [])) == 0.0
+
+    def test_symmetric_pair(self):
+        # Two points ~2.2 km apart: rog is half the separation.
+        t = Trace("u", [0.0, 1.0], [37.00, 37.02], [-122.0, -122.0])
+        separation = t.length_m
+        assert radius_of_gyration_m(t) == pytest.approx(separation / 2, rel=1e-3)
+
+    def test_scales_with_spread(self):
+        tight = Trace("u", [0, 1], [37.000, 37.001], [-122.0, -122.0])
+        wide = Trace("u", [0, 1], [37.00, 37.01], [-122.0, -122.0])
+        assert radius_of_gyration_m(wide) > radius_of_gyration_m(tight)
+
+
+class TestTraceStats:
+    def test_values_on_crafted_trace(self):
+        t = Trace(
+            "u",
+            [0.0, 100.0, 200.0],
+            [37.0, 37.009, 37.018],  # ~1 km hops
+            [-122.0] * 3,
+        )
+        s = trace_stats(t)
+        assert s.user == "u"
+        assert s.n_records == 3
+        assert s.duration_s == 200.0
+        assert s.length_m == pytest.approx(2000.0, rel=0.01)
+        assert s.mean_speed_mps == pytest.approx(10.0, rel=0.01)
+        assert s.median_interval_s == 100.0
+        assert s.radius_of_gyration_m > 0
+
+    def test_single_record_trace(self):
+        s = trace_stats(Trace("u", [5.0], [37.0], [-122.0]))
+        assert s.duration_s == 0.0
+        assert s.mean_speed_mps == 0.0
+        assert s.median_interval_s == 0.0
+
+
+class TestDatasetStats:
+    def test_keys_and_sanity(self, taxi_dataset):
+        stats = dataset_stats(taxi_dataset)
+        assert stats["n_users"] == len(taxi_dataset)
+        assert stats["n_records"] == taxi_dataset.n_records
+        assert stats["mean_records_per_user"] > 0
+        assert stats["covered_cells"] >= 1
+        assert np.isfinite(list(stats.values())).all()
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            dataset_stats(Dataset({}))

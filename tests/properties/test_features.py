@@ -1,0 +1,82 @@
+"""Tests of the dataset property extractors."""
+
+import numpy as np
+import pytest
+
+from repro.properties import (
+    DEFAULT_EXTRACTORS,
+    PropertyExtractor,
+    extract_features,
+    feature_matrix,
+)
+
+
+class TestExtractors:
+    def test_all_defaults_run_and_finite(self, taxi_dataset):
+        features = extract_features(taxi_dataset)
+        assert len(features) == len(DEFAULT_EXTRACTORS)
+        assert all(np.isfinite(v) for v in features.values())
+
+    def test_n_users(self, taxi_dataset):
+        features = extract_features(taxi_dataset)
+        assert features["n_users"] == len(taxi_dataset)
+
+    def test_mean_records(self, taxi_dataset):
+        features = extract_features(taxi_dataset)
+        expected = np.mean([len(t) for t in taxi_dataset.traces])
+        assert features["mean_records_per_user"] == pytest.approx(expected)
+
+    def test_poi_count_positive_on_commuters(self, commuter_dataset):
+        features = extract_features(commuter_dataset)
+        assert features["mean_poi_count"] >= 2.0
+
+    def test_uniqueness_in_unit_interval(self, commuter_dataset):
+        features = extract_features(commuter_dataset)
+        assert 0.0 <= features["top_cell_uniqueness"] <= 1.0
+
+    def test_entropy_nonnegative(self, taxi_dataset):
+        features = extract_features(taxi_dataset)
+        assert features["cell_entropy_bits"] >= 0.0
+
+    def test_custom_extractor(self, taxi_dataset):
+        double_users = PropertyExtractor("double_users", lambda ds: 2 * len(ds))
+        features = extract_features(taxi_dataset, [double_users])
+        assert features == {"double_users": float(2 * len(taxi_dataset))}
+
+    def test_extractor_names_unique(self):
+        names = [e.name for e in DEFAULT_EXTRACTORS]
+        assert len(set(names)) == len(names)
+
+    def test_night_fraction_separates_workloads(
+        self, taxi_dataset, commuter_dataset
+    ):
+        # Commuters sleep at home with the device on (overnight dwell
+        # fixes); taxi shifts here start at t=0 and end by afternoon.
+        taxi = extract_features(taxi_dataset)["night_activity_fraction"]
+        commuters = extract_features(commuter_dataset)["night_activity_fraction"]
+        assert 0.0 <= taxi <= 1.0
+        assert 0.0 <= commuters <= 1.0
+        assert commuters != taxi
+
+    def test_trips_per_hour_positive_for_taxis(self, taxi_dataset):
+        assert extract_features(taxi_dataset)["trips_per_hour"] > 0.0
+
+    def test_inter_poi_distance_positive_for_commuters(self, commuter_dataset):
+        # Home and work are distinct random anchors, far apart.
+        value = extract_features(commuter_dataset)["mean_inter_poi_distance_m"]
+        assert value > 100.0
+
+
+class TestFeatureMatrix:
+    def test_shape(self, taxi_dataset, commuter_dataset):
+        m = feature_matrix([taxi_dataset, commuter_dataset])
+        assert m.shape == (2, len(DEFAULT_EXTRACTORS))
+
+    def test_rows_match_single_extraction(self, taxi_dataset, commuter_dataset):
+        m = feature_matrix([taxi_dataset, commuter_dataset])
+        single = extract_features(taxi_dataset)
+        assert np.allclose(m[0], [single[e.name] for e in DEFAULT_EXTRACTORS])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            feature_matrix([])

@@ -1,0 +1,67 @@
+"""Tests of the PCA property ranking."""
+
+import numpy as np
+import pytest
+
+from repro.properties import PcaResult, rank_properties, run_pca, select_properties
+
+
+def _synthetic_matrix(n: int = 20):
+    """Features where column 0 dominates variance and column 2 is constant."""
+    rng = np.random.default_rng(0)
+    dominant = rng.normal(0.0, 10.0, size=n)
+    minor = rng.normal(0.0, 0.5, size=n)
+    constant = np.full(n, 3.0)
+    correlated = dominant * 0.9 + rng.normal(0.0, 0.1, size=n)
+    return np.stack([dominant, minor, constant, correlated], axis=1)
+
+
+NAMES = ["dominant", "minor", "constant", "correlated"]
+
+
+class TestRunPca:
+    def test_variance_ratios_descend_and_sum_to_one(self):
+        result = run_pca(_synthetic_matrix(), NAMES)
+        ratios = result.explained_variance_ratio
+        assert np.all(np.diff(ratios) <= 1e-12)
+        assert ratios.sum() == pytest.approx(1.0)
+
+    def test_dominant_feature_ranked_first(self):
+        result = run_pca(_synthetic_matrix(), NAMES)
+        ranked = result.ranked_features()
+        assert ranked[0] in ("dominant", "correlated")
+        assert ranked[-1] == "constant"
+
+    def test_constant_column_zero_importance(self):
+        result = run_pca(_synthetic_matrix(), NAMES)
+        importance = dict(zip(result.feature_names, result.importance()))
+        assert importance["constant"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_n_components_limits(self):
+        result = run_pca(_synthetic_matrix(), NAMES, n_components=2)
+        assert result.n_components == 2
+        assert result.components.shape == (2, 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_pca(np.zeros((1, 3)), ["a", "b", "c"])
+        with pytest.raises(ValueError):
+            run_pca(np.zeros((5, 3)), ["a", "b"])
+        with pytest.raises(ValueError):
+            run_pca(np.zeros(5), ["a"])
+
+
+class TestDatasetRanking:
+    def test_rank_properties_runs(self, taxi_dataset, commuter_dataset):
+        result = rank_properties([taxi_dataset, commuter_dataset])
+        assert isinstance(result, PcaResult)
+        assert len(result.ranked_features()) == len(result.feature_names)
+
+    def test_select_properties_count(self, taxi_dataset, commuter_dataset):
+        names = select_properties([taxi_dataset, commuter_dataset], n_select=3)
+        assert len(names) == 3
+        assert len(set(names)) == 3
+
+    def test_select_zero_rejected(self, taxi_dataset, commuter_dataset):
+        with pytest.raises(ValueError):
+            select_properties([taxi_dataset, commuter_dataset], n_select=0)

@@ -1,0 +1,30 @@
+"""Fixtures for reporting tests: a ready-made sweep and fitted model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.framework import SweepPoint, SweepResult, fit_system_model
+
+
+@pytest.fixture
+def mock_sweep() -> SweepResult:
+    sweep = SweepResult("mock", "shift_m")
+    for shift in np.geomspace(1.0, 1000.0, 8):
+        sweep.points.append(
+            SweepPoint(
+                params={"shift_m": float(shift)},
+                privacy_mean=0.05 + 0.10 * float(np.log(shift)),
+                privacy_std=0.0,
+                utility_mean=1.00 - 0.08 * float(np.log(shift)),
+                utility_std=0.0,
+                n_replications=1,
+            )
+        )
+    return sweep
+
+
+@pytest.fixture
+def mock_model(mock_sweep):
+    return fit_system_model(mock_sweep, use_active_region=False)

@@ -1,0 +1,72 @@
+"""Tests of the plain-text reporting helpers."""
+
+import pytest
+
+from repro.framework import Recommendation
+from repro.report import (
+    format_table,
+    model_summary,
+    recommendation_summary,
+    sweep_table,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        text = format_table(["name", "value"], [["a", 1], ["bcd", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1]) <= {"-", " "}
+        # Columns right-justified to equal width.
+        assert lines[2].endswith("1")
+        assert lines[3].endswith("22")
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.123456], [1.5e-7], [0.0]])
+        assert "0.1235" in text
+        assert "1.500e-07" in text
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestSummaries:
+    def test_sweep_table(self, mock_sweep):
+        text = sweep_table(mock_sweep)
+        assert "shift_m" in text
+        assert "privacy" in text
+        assert len(text.splitlines()) == 2 + len(mock_sweep)
+
+    def test_model_summary_mentions_paper_values(self, mock_model):
+        text = model_summary(mock_model)
+        assert "0.84" in text   # paper's a
+        assert "R^2" in text
+        assert "ln(shift_m)" in text
+
+    def test_feasible_recommendation_summary(self):
+        rec = Recommendation(
+            param_name="epsilon",
+            value=0.01,
+            feasible=True,
+            interval=(0.005, 0.02),
+            predicted_privacy=0.08,
+            predicted_utility=0.82,
+            notes="policy=max_utility",
+        )
+        text = recommendation_summary(rec)
+        assert "0.01" in text
+        assert "0.820" in text
+
+    def test_infeasible_recommendation_summary(self):
+        rec = Recommendation(
+            param_name="epsilon",
+            value=None,
+            feasible=False,
+            interval=(1.0, 0.5),
+            predicted_privacy=None,
+            predicted_utility=None,
+            notes="objectives are jointly infeasible on this dataset",
+        )
+        text = recommendation_summary(rec)
+        assert "INFEASIBLE" in text

@@ -1,0 +1,84 @@
+"""Tests of the synthetic city model."""
+
+import numpy as np
+import pytest
+
+from repro.synth import CityModel
+
+
+@pytest.fixture
+def city() -> CityModel:
+    return CityModel(half_extent_m=2000.0, block_m=200.0)
+
+
+class TestGeometry:
+    def test_invalid_extents_rejected(self):
+        with pytest.raises(ValueError):
+            CityModel(half_extent_m=0.0)
+        with pytest.raises(ValueError):
+            CityModel(half_extent_m=100.0, block_m=200.0)
+
+    def test_contains_and_clamp(self, city):
+        assert city.contains_xy(0.0, 0.0)
+        assert city.contains_xy(2000.0, -2000.0)
+        assert not city.contains_xy(2001.0, 0.0)
+        assert city.clamp_xy(9999.0, -9999.0) == (2000.0, -2000.0)
+
+    def test_snap_to_intersection_multiples(self, city):
+        x, y = city.snap_to_intersection(317.0, -489.0)
+        assert x % city.block_m == 0
+        assert y % city.block_m == 0
+        assert abs(x - 317.0) <= city.block_m / 2
+        assert abs(y - (-489.0)) <= city.block_m / 2
+
+    def test_random_points_inside(self, city, rng):
+        for _ in range(100):
+            x, y = city.random_point(rng)
+            assert city.contains_xy(x, y)
+
+    def test_random_intersection_on_grid(self, city, rng):
+        x, y = city.random_intersection(rng)
+        assert x % city.block_m == 0
+        assert y % city.block_m == 0
+
+
+class TestRouting:
+    def test_route_endpoints_preserved(self, city):
+        a, b = (123.0, -456.0), (-789.0, 1011.0)
+        route = city.street_route(a, b)
+        assert route[0] == a
+        assert route[-1] == b
+
+    def test_route_segments_axis_aligned(self, city):
+        route = city.street_route((123.0, -456.0), (-789.0, 1011.0))
+        for (x1, y1), (x2, y2) in zip(route, route[1:]):
+            assert x1 == x2 or y1 == y2, "diagonal leg in street route"
+
+    def test_route_same_point_is_trivial(self, city):
+        route = city.street_route((200.0, 200.0), (200.0, 200.0))
+        assert route == [(200.0, 200.0)]
+
+    def test_route_length_at_least_manhattan(self, city):
+        a, b = (0.0, 0.0), (600.0, 800.0)
+        route = city.street_route(a, b)
+        length = sum(
+            abs(x2 - x1) + abs(y2 - y1)
+            for (x1, y1), (x2, y2) in zip(route, route[1:])
+        )
+        assert length >= abs(b[0] - a[0]) + abs(b[1] - a[1]) - 1e-9
+
+
+class TestHotspots:
+    def test_weights_normalised_and_descending(self, city, rng):
+        locations, weights = city.hotspots(rng, n=10)
+        assert locations.shape == (10, 2)
+        assert weights.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(weights) <= 0)
+
+    def test_hotspots_inside_city(self, city, rng):
+        locations, _ = city.hotspots(rng, n=50)
+        assert np.all(np.abs(locations) <= city.half_extent_m)
+
+    def test_zero_hotspots_rejected(self, city, rng):
+        with pytest.raises(ValueError):
+            city.hotspots(rng, n=0)

@@ -1,0 +1,131 @@
+"""Tests of the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import extract_pois
+from repro.synth import (
+    CityModel,
+    CommuterConfig,
+    LevyFlightConfig,
+    RandomWaypointConfig,
+    TaxiFleetConfig,
+    generate_commuters,
+    generate_levy_flight,
+    generate_random_waypoint,
+    generate_taxi_fleet,
+)
+
+
+class TestTaxiFleet:
+    def test_user_count_and_nonempty(self, taxi_dataset):
+        assert len(taxi_dataset) == 6
+        assert all(len(t) > 10 for t in taxi_dataset.traces)
+
+    def test_deterministic_by_seed(self, small_city):
+        cfg = TaxiFleetConfig(n_cabs=2, shift_hours=2.0, seed=42)
+        a = generate_taxi_fleet(cfg, small_city)
+        b = generate_taxi_fleet(cfg, small_city)
+        for user in a.users:
+            assert a[user] == b[user]
+
+    def test_different_seeds_differ(self, small_city):
+        a = generate_taxi_fleet(
+            TaxiFleetConfig(n_cabs=1, shift_hours=2.0, seed=1), small_city
+        )
+        b = generate_taxi_fleet(
+            TaxiFleetConfig(n_cabs=1, shift_hours=2.0, seed=2), small_city
+        )
+        assert a[a.users[0]] != b[b.users[0]]
+
+    def test_cabs_have_pois(self, taxi_dataset):
+        # Recurrent stand breaks must yield at least one POI for most cabs.
+        with_pois = sum(
+            1 for t in taxi_dataset.traces if len(extract_pois(t)) >= 1
+        )
+        assert with_pois >= len(taxi_dataset) - 1
+
+    def test_traces_within_city(self, taxi_dataset, small_city):
+        box = taxi_dataset.bbox()
+        # City is ~2 km half-extent; allow GPS noise slack.
+        assert box.width_m < 2 * small_city.half_extent_m + 500
+        assert box.height_m < 2 * small_city.half_extent_m + 500
+
+    def test_cadence_matches_config(self, small_city):
+        ds = generate_taxi_fleet(
+            TaxiFleetConfig(
+                n_cabs=1, shift_hours=2.0, fix_interval_s=60.0, heterogeneity=0.0
+            ),
+            small_city,
+        )
+        intervals = np.diff(ds.traces[0].times_s)
+        assert np.median(intervals) == pytest.approx(60.0, rel=0.1)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            TaxiFleetConfig(n_cabs=0)
+        with pytest.raises(ValueError):
+            TaxiFleetConfig(stands_per_cab=0)
+        with pytest.raises(ValueError):
+            TaxiFleetConfig(break_every_fares=0)
+
+
+class TestCommuters:
+    def test_users_and_multiday(self, commuter_dataset):
+        assert len(commuter_dataset) == 5
+        for trace in commuter_dataset.traces:
+            assert trace.duration_s > 86400.0  # spans several days
+
+    def test_commuters_have_home_and_work_pois(self, commuter_dataset):
+        for trace in commuter_dataset.traces:
+            pois = extract_pois(trace)
+            assert len(pois) >= 2, f"{trace.user} lacks home/work POIs"
+
+    def test_recurrent_pois_across_days(self, commuter_dataset):
+        # Home is visited every day: the top POI must have several visits.
+        for trace in commuter_dataset.traces:
+            top = extract_pois(trace)[0]
+            assert top.n_visits >= 2
+
+    def test_deterministic_by_seed(self):
+        cfg = CommuterConfig(n_users=2, n_days=1, seed=3)
+        a = generate_commuters(cfg)
+        b = generate_commuters(cfg)
+        for user in a.users:
+            assert a[user] == b[user]
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            CommuterConfig(n_users=0)
+        with pytest.raises(ValueError):
+            CommuterConfig(leisure_probability=1.5)
+
+
+class TestTextbookModels:
+    def test_random_waypoint_runs(self, small_city):
+        ds = generate_random_waypoint(
+            RandomWaypointConfig(n_users=3, n_legs=5, seed=1), small_city
+        )
+        assert len(ds) == 3
+        assert all(len(t) > 5 for t in ds.traces)
+
+    def test_levy_flight_runs(self, small_city):
+        ds = generate_levy_flight(
+            LevyFlightConfig(n_users=3, n_legs=5, seed=1), small_city
+        )
+        assert len(ds) == 3
+
+    def test_levy_steps_bounded_by_city(self, small_city):
+        ds = generate_levy_flight(
+            LevyFlightConfig(n_users=2, n_legs=20, seed=5), small_city
+        )
+        box = ds.bbox()
+        assert box.width_m < 2 * small_city.half_extent_m + 500
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            RandomWaypointConfig(n_users=0)
+        with pytest.raises(ValueError):
+            LevyFlightConfig(alpha=1.0)
+        with pytest.raises(ValueError):
+            LevyFlightConfig(min_step_m=0.0)

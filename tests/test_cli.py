@@ -1,0 +1,140 @@
+"""End-to-end tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.mobility import read_csv
+
+
+@pytest.fixture
+def taxi_csv(tmp_path):
+    path = tmp_path / "taxi.csv"
+    code = main(["generate", str(path), "--workload", "taxi", "--users", "3",
+                 "--seed", "1"])
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_lppm_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["protect", "in.csv", "out.csv", "--lppm", "nope"]
+            )
+
+
+class TestGenerate:
+    def test_taxi_csv_readable(self, taxi_csv):
+        dataset = read_csv(taxi_csv)
+        assert len(dataset) == 3
+        assert dataset.n_records > 100
+
+    def test_commuters(self, tmp_path, capsys):
+        path = tmp_path / "commuters.csv"
+        assert main(["generate", str(path), "--workload", "commuters",
+                     "--users", "2"]) == 0
+        assert len(read_csv(path)) == 2
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestProtect:
+    def test_geo_ind_protection(self, taxi_csv, tmp_path):
+        out = tmp_path / "protected.csv"
+        code = main([
+            "protect", str(taxi_csv), str(out),
+            "--lppm", "geo_ind", "--param", "0.01", "--seed", "3",
+        ])
+        assert code == 0
+        original = read_csv(taxi_csv)
+        protected = read_csv(out)
+        assert protected.users == original.users
+        user = original.users[0]
+        assert protected[user].lats.tolist() != original[user].lats.tolist()
+
+    def test_every_registered_lppm_usable(self, taxi_csv, tmp_path):
+        # keep_fraction must be in (0,1]; 0.5 works for all mechanisms'
+        # scale parameters too.
+        for lppm in ("gaussian", "uniform_disk", "rounding", "subsampling",
+                     "time_perturbation"):
+            out = tmp_path / f"{lppm}.csv"
+            assert main([
+                "protect", str(taxi_csv), str(out), "--lppm", lppm,
+                "--param", "0.5",
+            ]) == 0
+
+
+class TestAttack:
+    def test_poi_table(self, taxi_csv, capsys):
+        assert main(["attack", str(taxi_csv)]) == 0
+        out = capsys.readouterr().out
+        assert "POIs found" in out
+
+    def test_with_protected_reports_retrieval_and_linking(
+        self, taxi_csv, tmp_path, capsys
+    ):
+        protected = tmp_path / "protected.csv"
+        main(["protect", str(taxi_csv), str(protected), "--param", "0.001"])
+        capsys.readouterr()
+        assert main(["attack", str(taxi_csv), "--protected", str(protected)]) == 0
+        out = capsys.readouterr().out
+        assert "POIs retrieved" in out
+        assert "re-identification" in out
+
+    def test_disjoint_users_fail(self, taxi_csv, tmp_path, capsys):
+        other = tmp_path / "other.csv"
+        main(["generate", str(other), "--workload", "commuters", "--users", "2"])
+        capsys.readouterr()
+        assert main(["attack", str(taxi_csv), "--protected", str(other)]) == 1
+
+
+class TestAlp:
+    def test_trajectory_printed(self, taxi_csv, capsys):
+        code = main([
+            "alp", str(taxi_csv), "--max-privacy", "0.9",
+            "--min-utility", "0.05", "--start", "0.01",
+        ])
+        out = capsys.readouterr().out
+        assert "epsilon" in out
+        assert code == 0  # loose objectives converge immediately
+
+
+class TestStatsAndList:
+    def test_stats(self, taxi_csv, capsys):
+        assert main(["stats", str(taxi_csv)]) == 0
+        out = capsys.readouterr().out
+        assert "radius of gyration" in out
+        assert "n_users" in out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "geo_ind" in out
+        assert "promesse" in out
+        assert "poi_retrieval" in out
+
+
+class TestSweepAndConfigure:
+    def test_sweep_prints_series(self, taxi_csv, tmp_path, capsys):
+        csv_out = tmp_path / "sweep.csv"
+        code = main([
+            "sweep", str(taxi_csv), "--points", "5", "--replications", "1",
+            "--csv", str(csv_out),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "privacy" in out
+        assert "paper: 0.84" in out
+        assert csv_out.exists()
+
+    def test_configure_reports_recommendation(self, taxi_csv, capsys):
+        code = main([
+            "configure", str(taxi_csv), "--points", "6", "--replications", "1",
+            "--max-privacy", "0.5", "--min-utility", "0.1",
+        ])
+        out = capsys.readouterr().out
+        assert "epsilon" in out
+        assert code in (0, 1)  # feasibility depends on the tiny dataset

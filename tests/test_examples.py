@@ -1,0 +1,53 @@
+"""Smoke tests of the example scripts.
+
+Each example must at least import cleanly (so they cannot rot as the
+API evolves), and the fast ones are executed end to end.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_expected_examples_present():
+    for required in (
+        "quickstart",
+        "configure_geoi",
+        "compare_lppms",
+        "taxi_fleet_study",
+        "alp_vs_model",
+        "metric_modularity",
+        "transfer_across_datasets",
+        "production_workflow",
+    ):
+        assert required in ALL_EXAMPLES, f"missing example {required}.py"
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_imports_cleanly(name):
+    module = _load(name)
+    assert callable(getattr(module, "main", None)), f"{name} lacks a main()"
+    assert module.__doc__, f"{name} lacks a module docstring"
+
+
+def test_quickstart_runs(capsys):
+    module = _load("quickstart")
+    module.main()
+    out = capsys.readouterr().out
+    assert "privacy metric" in out
+    assert "utility metric" in out

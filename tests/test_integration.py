@@ -1,0 +1,84 @@
+"""End-to-end reproduction of the paper's pipeline on synthetic data.
+
+These are the slowest tests in the suite: they run the full three-step
+framework (define -> model -> configure) on a real GEO-I sweep, exactly
+as the benchmarks do, just at reduced resolution.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Configurator,
+    GeoIndistinguishability,
+    Objective,
+    TaxiFleetConfig,
+    generate_taxi_fleet,
+    geo_ind_system,
+)
+
+
+@pytest.fixture(scope="module")
+def configurator():
+    dataset = generate_taxi_fleet(
+        TaxiFleetConfig(n_cabs=10, shift_hours=8.0, seed=11)
+    )
+    c = Configurator(geo_ind_system(), dataset, n_points=16, n_replications=2)
+    c.fit()
+    return c
+
+
+class TestPaperPipeline:
+    def test_figure1a_shape(self, configurator):
+        """Privacy rises from ~0 to a saturation plateau as eps grows."""
+        privacy = configurator.sweep.privacy()
+        assert privacy[0] <= 0.05
+        assert privacy[-1] >= 0.6
+        # Non-decreasing up to sweep noise.
+        assert np.all(np.diff(privacy) >= -0.15)
+
+    def test_figure1b_shape(self, configurator):
+        """Utility rises over a much wider eps band than privacy."""
+        eps = configurator.sweep.param_values()
+        utility = configurator.sweep.utility()
+        assert utility[0] < 0.3
+        assert utility[-1] > 0.9
+        assert np.all(np.diff(utility) >= -0.1)
+        # Privacy's active band is narrower than utility's.
+        pr_region = configurator.model.privacy_region
+        ut_region = configurator.model.utility_region
+        pr_span = np.log(eps[pr_region.stop] / eps[pr_region.start])
+        ut_span = np.log(eps[ut_region.stop] / eps[ut_region.start])
+        assert pr_span < ut_span
+
+    def test_equation2_signs_and_fit(self, configurator):
+        a, b, alpha, beta = configurator.model.coefficients
+        assert b > 0, "privacy must grow with eps"
+        assert beta > 0, "utility must grow with eps"
+        assert configurator.model.privacy.r2 > 0.7
+        assert configurator.model.utility.r2 > 0.8
+
+    def test_headline_configuration(self, configurator):
+        """Pr <= 0.1 and Ut >= 0.8 must be jointly feasible, as in §2."""
+        rec = configurator.recommend([
+            Objective("privacy", "<=", 0.1),
+            Objective("utility", ">=", 0.8),
+        ])
+        assert rec.feasible, rec.notes
+        # The paper lands on eps ~ 0.01; accept the right order of magnitude.
+        assert 1e-3 <= rec.value <= 0.1
+
+    def test_recommendation_verifies(self, configurator):
+        rec = configurator.recommend([
+            Objective("privacy", "<=", 0.1),
+            Objective("utility", ">=", 0.8),
+        ])
+        measured_pr, measured_ut = configurator.verify(rec, n_replications=2)
+        # Model error tolerance: metrics within 0.15 of the objectives.
+        assert measured_pr <= 0.1 + 0.15
+        assert measured_ut >= 0.8 - 0.15
+
+    def test_recommended_lppm_is_deployable(self, configurator):
+        rec = configurator.recommend([Objective("privacy", "<=", 0.2)])
+        lppm = configurator.system.make_lppm(epsilon=rec.value)
+        assert isinstance(lppm, GeoIndistinguishability)

@@ -1,0 +1,118 @@
+"""Cross-cutting invariants, enforced for *every* registered component.
+
+These tests iterate the LPPM and metric registries so that any future
+mechanism or metric automatically inherits the library's contracts:
+protected traces stay well-formed, bounded metrics stay in [0, 1], and
+identity-like comparisons behave.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lppm import available_lppms, lppm_class
+from repro.metrics import available_metrics, metric_class
+
+#: A mid-range, always-valid parameter per mechanism.
+LPPM_MID_PARAMS = {
+    "geo_ind": {"epsilon": 0.01},
+    "elastic_geo_ind": {"epsilon": 0.01},
+    "gaussian": {"sigma_m": 200.0},
+    "uniform_disk": {"radius_m": 200.0},
+    "rounding": {"cell_size_m": 200.0},
+    "subsampling": {"keep_fraction": 0.5},
+    "time_perturbation": {"sigma_s": 120.0},
+    "promesse": {"alpha_m": 100.0},
+}
+
+#: Metrics whose range is the unit interval.
+UNIT_METRICS = (
+    "poi_retrieval",
+    "reidentification",
+    "home_identification",
+    "area_coverage",
+    "same_cell",
+    "spatial_distortion",
+    "trajectory_shape",
+    "heatmap",
+    "range_query",
+    "time_preservation",
+)
+
+
+def test_every_registered_lppm_has_mid_params():
+    missing = set(available_lppms()) - set(LPPM_MID_PARAMS)
+    assert not missing, f"add mid-range params for {sorted(missing)}"
+
+
+def test_every_unit_metric_is_registered():
+    missing = set(UNIT_METRICS) - set(available_metrics())
+    assert not missing
+
+
+@pytest.mark.parametrize("name", sorted(LPPM_MID_PARAMS))
+def test_protected_traces_are_well_formed(name, taxi_dataset):
+    lppm = lppm_class(name)(**LPPM_MID_PARAMS[name])
+    protected = lppm.protect(taxi_dataset, seed=0)
+    assert protected.users == taxi_dataset.users
+    for user in protected.users:
+        trace = protected[user]
+        assert trace.user == user
+        assert len(trace) > 0, f"{name} emptied {user}'s trace"
+        assert np.all(np.diff(trace.times_s) >= 0)
+        assert np.all(np.abs(trace.lats) <= 90.0)
+        assert np.all(np.abs(trace.lons) <= 180.0)
+        assert np.all(np.isfinite(trace.lats))
+        assert np.all(np.isfinite(trace.lons))
+
+
+@pytest.mark.parametrize("name", sorted(LPPM_MID_PARAMS))
+def test_protection_is_reproducible(name, taxi_dataset):
+    lppm = lppm_class(name)(**LPPM_MID_PARAMS[name])
+    small = taxi_dataset.subset(taxi_dataset.users[:2])
+    a = lppm.protect(small, seed=42)
+    b = lppm.protect(small, seed=42)
+    for user in small.users:
+        assert a[user] == b[user], f"{name} is not seed-deterministic"
+
+
+@pytest.mark.parametrize("name", UNIT_METRICS)
+def test_unit_metrics_bounded_under_protection(name, taxi_dataset):
+    metric = metric_class(name)()
+    from repro.lppm import GeoIndistinguishability
+
+    protected = GeoIndistinguishability(0.005).protect(taxi_dataset, seed=0)
+    value = metric.evaluate(taxi_dataset, protected)
+    assert 0.0 <= value <= 1.0, f"{name} left the unit interval: {value}"
+
+
+@pytest.mark.parametrize(
+    "name",
+    [n for n in UNIT_METRICS if n not in ("reidentification",)],
+)
+def test_utility_like_metrics_max_out_on_identity(name, taxi_dataset):
+    metric = metric_class(name)()
+    value = metric.evaluate(taxi_dataset, taxi_dataset)
+    if metric.kind == "utility":
+        assert value == pytest.approx(1.0), f"{name} identity != 1"
+    else:
+        # Privacy exposure metrics are maximal on unprotected data
+        # (for users carrying evidence).
+        assert value >= 0.9, f"{name} identity exposure suspiciously low"
+
+
+@given(st.floats(min_value=1e-4, max_value=1.0))
+@settings(max_examples=15, deadline=None)
+def test_geo_ind_valid_over_full_paper_range(eps):
+    from repro.lppm import GeoIndistinguishability
+    from repro.mobility import Trace
+
+    trace = Trace(
+        "u", np.arange(20.0) * 60.0, np.full(20, 37.77), np.full(20, -122.42)
+    )
+    out = GeoIndistinguishability(eps).protect_trace(
+        trace, np.random.default_rng(0)
+    )
+    assert np.all(np.isfinite(out.lats))
+    assert np.all(np.abs(out.lats) <= 90.0)
