@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Engine throughput benchmark: backends × cache states.
+
+Measures the wall-clock of the framework's only real cost — the offline
+sweep — under the evaluation engine's four interesting regimes:
+
+* serial backend, cold cache (the seed behaviour);
+* process backend, cold cache (job-level fan-out);
+* serial backend, warm disk cache (re-run in a fresh engine);
+* process backend, warm disk cache.
+
+The warm rows must show **zero executions**: the sweep is answered
+entirely from the content-addressed store.  Run with ``--smoke`` for a
+fast CI-sized configuration.
+
+Run:  PYTHONPATH=src python benchmarks/bench_engine.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro import (
+    EvaluationEngine,
+    ExperimentRunner,
+    TaxiFleetConfig,
+    generate_taxi_fleet,
+    geo_ind_system,
+)
+
+
+def _time_sweep(engine: EvaluationEngine, dataset, n_points: int,
+                n_replications: int) -> tuple[float, int]:
+    runner = ExperimentRunner(
+        geo_ind_system(), dataset,
+        n_replications=n_replications, engine=engine,
+    )
+    start = time.perf_counter()
+    runner.sweep(n_points=n_points)
+    elapsed = time.perf_counter() - start
+    return elapsed, runner.n_evaluations
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cabs", type=int, default=12, help="fleet size")
+    parser.add_argument("--points", type=int, default=12, help="sweep points")
+    parser.add_argument("--replications", type=int, default=3)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="process-pool workers (default: CPU count)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny configuration for CI smoke runs")
+    args = parser.parse_args()
+    if args.smoke:
+        args.cabs, args.points, args.replications = 4, 4, 2
+
+    dataset = generate_taxi_fleet(
+        TaxiFleetConfig(n_cabs=args.cabs, shift_hours=2.0, seed=11)
+    )
+    total_jobs = args.points * args.replications
+    print(f"dataset: {len(dataset)} cabs, {dataset.n_records} records; "
+          f"sweep: {args.points} points x {args.replications} seeds "
+          f"= {total_jobs} evaluations")
+
+    cache_dir = Path(tempfile.mkdtemp(prefix="bench-engine-cache-"))
+    rows = []
+    try:
+        serial_cold, n1 = _time_sweep(
+            EvaluationEngine(engine="serial", cache_dir=cache_dir / "serial"),
+            dataset, args.points, args.replications,
+        )
+        rows.append(("serial", "cold", serial_cold, n1))
+        process_cold, n2 = _time_sweep(
+            EvaluationEngine(engine="process", jobs=args.jobs,
+                             cache_dir=cache_dir / "process"),
+            dataset, args.points, args.replications,
+        )
+        rows.append(("process", "cold", process_cold, n2))
+        serial_warm, n3 = _time_sweep(
+            EvaluationEngine(engine="serial", cache_dir=cache_dir / "serial"),
+            dataset, args.points, args.replications,
+        )
+        rows.append(("serial", "warm", serial_warm, n3))
+        process_warm, n4 = _time_sweep(
+            EvaluationEngine(engine="process", jobs=args.jobs,
+                             cache_dir=cache_dir / "process"),
+            dataset, args.points, args.replications,
+        )
+        rows.append(("process", "warm", process_warm, n4))
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    print()
+    print(f"{'backend':<9} {'cache':<6} {'wall-clock':>12} {'executions':>11}")
+    for backend, state, elapsed, n_evals in rows:
+        print(f"{backend:<9} {state:<6} {elapsed:>10.3f} s {n_evals:>11}")
+    if process_cold > 0:
+        print(f"\nspeedup (cold, serial/process): "
+              f"{serial_cold / process_cold:.2f}x")
+    print(f"speedup (serial, cold/warm):    {serial_cold / max(serial_warm, 1e-9):.0f}x")
+
+    for backend, state, _, n_evals in rows:
+        if state == "warm" and n_evals != 0:
+            raise SystemExit(
+                f"FAIL: warm {backend} cache ran {n_evals} evaluations"
+            )
+    print("\nwarm-cache invariant holds: 0 executions on re-run")
+
+
+if __name__ == "__main__":
+    main()

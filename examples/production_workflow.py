@@ -5,11 +5,13 @@ The offline and online phases of the framework naturally live in
 different processes (a batch job fits the model; a service answers
 configuration queries).  This example walks the full production path:
 
-1. offline: sweep the dataset, fit equation (2), persist both to JSON;
+1. offline: sweep the dataset on the evaluation engine (parallel
+   backend + persistent result cache), fit equation (2), persist both
+   to JSON;
 2. online: load the model (no sweep), answer a designer query;
 3. refinement: spend a handful of real evaluations to confirm the
    recommendation against measurements (guards against model error at
-   sharp transitions);
+   sharp transitions) — answered from the shared cache when possible;
 4. deployment: protect the dataset at the final epsilon and write the
    release CSV.
 
@@ -21,6 +23,7 @@ from pathlib import Path
 
 from repro import (
     Configurator,
+    EvaluationEngine,
     GeoIndistinguishability,
     Objective,
     TaxiFleetConfig,
@@ -44,9 +47,15 @@ def main() -> None:
     workdir = Path(tempfile.mkdtemp(prefix="repro-workflow-"))
     dataset = generate_taxi_fleet(TaxiFleetConfig(n_cabs=10, shift_hours=8.0))
     system = geo_ind_system()
+    # One engine for the whole deployment: "auto" fans the offline
+    # sweep over a process pool, and the disk cache makes every result
+    # durable — a re-run of this job performs zero new evaluations.
+    engine = EvaluationEngine(engine="auto", cache_dir=workdir / "cache")
 
     # ---- 1. offline batch job ----------------------------------------
-    configurator = Configurator(system, dataset, n_points=14, n_replications=2)
+    configurator = Configurator(
+        system, dataset, n_points=14, n_replications=2, engine=engine
+    )
     model = configurator.fit()
     save_sweep(configurator.sweep, workdir / "sweep.json")
     save_model(model, workdir / "model.json")
@@ -56,7 +65,9 @@ def main() -> None:
     print()
 
     # ---- 2. online query service --------------------------------------
-    service = Configurator(system, dataset)   # fresh instance, no sweep
+    # Fresh instance, no sweep; sharing the engine means any check
+    # evaluations it does run are pooled with the offline phase's.
+    service = Configurator(system, dataset, engine=engine)
     service._model = load_model(workdir / "model.json")
     recommendation = service.recommend(OBJECTIVES)
     print("[online] " + recommendation_summary(recommendation))
@@ -77,6 +88,7 @@ def main() -> None:
     write_csv(release, out)
     print(f"[deploy] protected release written to {out} "
           f"({release.n_records} records)")
+    print(f"[engine] {engine.stats}")
 
 
 if __name__ == "__main__":

@@ -13,6 +13,7 @@ The top-level namespace re-exports the public API; the subpackages are:
 * :mod:`repro.attacks` — POI extraction and re-identification attacks;
 * :mod:`repro.metrics` — pluggable privacy/utility metrics;
 * :mod:`repro.properties` — dataset properties and PCA selection;
+* :mod:`repro.engine` — batched, pluggable, cached evaluation engine;
 * :mod:`repro.framework` — the configuration framework itself;
 * :mod:`repro.report` — plain-text reporting.
 
@@ -42,6 +43,14 @@ from .attacks import (
     infer_home_work,
     reidentify,
     retrieved_fraction,
+)
+from .engine import (
+    EvalJob,
+    EvalResult,
+    EvaluationEngine,
+    ProcessPoolBackend,
+    ResultCache,
+    SerialBackend,
 )
 from .framework import (
     AlpConfig,
@@ -219,6 +228,13 @@ __all__ = [
     "DEFAULT_EXTRACTORS",
     "rank_properties",
     "select_properties",
+    # engine
+    "EvaluationEngine",
+    "EvalJob",
+    "EvalResult",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "ResultCache",
     # framework
     "ParameterSpec",
     "SystemDefinition",

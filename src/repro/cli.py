@@ -22,6 +22,7 @@ import sys
 from typing import List, Optional
 
 from .attacks import extract_pois, reidentify, retrieved_fraction
+from .engine import ENGINE_CHOICES, EvaluationEngine
 from .framework import (
     Configurator,
     ExperimentRunner,
@@ -46,6 +47,40 @@ from .synth import (
 )
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be at least 1")
+    return value
+
+
+def _add_engine_options(cmd: argparse.ArgumentParser) -> None:
+    """Evaluation-engine knobs shared by every sweeping command."""
+    cmd.add_argument(
+        "--engine", choices=list(ENGINE_CHOICES), default="auto",
+        help="execution backend: serial, process pool, or auto "
+             "(pool for batches with more than one uncached job; default)",
+    )
+    cmd.add_argument(
+        "--jobs", type=_positive_int, default=None, metavar="N",
+        help="worker processes for the process backend (default: CPU count)",
+    )
+    cmd.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent result cache directory; re-running the same "
+             "sweep against it performs zero new evaluations",
+    )
+
+
+def _engine_from(args: argparse.Namespace) -> EvaluationEngine:
+    return EvaluationEngine(
+        engine=args.engine, jobs=args.jobs, cache_dir=args.cache_dir
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -83,6 +118,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--points", type=int, default=10, help="sweep resolution")
     sweep.add_argument("--replications", type=int, default=2, help="seeds per point")
     sweep.add_argument("--csv", help="also write the sweep to this CSV file")
+    _add_engine_options(sweep)
 
     conf = sub.add_parser("configure", help="fit the model and invert objectives")
     conf.add_argument("input", help="CSV dataset to analyse")
@@ -98,6 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     conf.add_argument("--points", type=int, default=10, help="sweep resolution")
     conf.add_argument("--replications", type=int, default=2, help="seeds per point")
+    _add_engine_options(conf)
 
     attack = sub.add_parser("attack", help="run the POI attack on a dataset")
     attack.add_argument("input", help="CSV dataset (the ground truth)")
@@ -114,6 +151,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="utility objective (default: 0.8)")
     alp.add_argument("--start", type=float, default=0.01,
                      help="initial epsilon (default: 0.01)")
+    _add_engine_options(alp)
 
     stats = sub.add_parser("stats", help="dataset and per-user statistics")
     stats.add_argument("input", help="CSV dataset to describe")
@@ -156,17 +194,20 @@ def _cmd_protect(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     dataset = read_csv(args.input)
+    engine = _engine_from(args)
     configurator = Configurator(
         geo_ind_system(), dataset,
         n_points=args.points, n_replications=args.replications,
+        engine=engine,
     )
     model = configurator.fit()
     print(sweep_table(configurator.sweep))
     print()
     print(model_summary(model))
+    print(f"\nengine: {engine.stats}")
     if args.csv:
         configurator.sweep.write_csv(args.csv)
-        print(f"\nsweep written to {args.csv}")
+        print(f"sweep written to {args.csv}")
     return 0
 
 
@@ -175,6 +216,7 @@ def _cmd_configure(args: argparse.Namespace) -> int:
     configurator = Configurator(
         geo_ind_system(), dataset,
         n_points=args.points, n_replications=args.replications,
+        engine=_engine_from(args),
     )
     model = configurator.fit()
     print(model_summary(model))
@@ -223,7 +265,9 @@ def _cmd_attack(args: argparse.Namespace) -> int:
 def _cmd_alp(args: argparse.Namespace) -> int:
     dataset = read_csv(args.input)
     system = geo_ind_system()
-    runner = ExperimentRunner(system, dataset, n_replications=1)
+    runner = ExperimentRunner(
+        system, dataset, n_replications=1, engine=_engine_from(args)
+    )
     objectives = [
         Objective("privacy", "<=", args.max_privacy),
         Objective("utility", ">=", args.min_utility),

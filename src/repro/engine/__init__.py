@@ -1,0 +1,44 @@
+"""Evaluation engine — batched, pluggable, cached execution.
+
+The middleware layer between the LPPM/metric primitives below and the
+configuration framework above.  Callers build :class:`EvalJob` batches
+and submit them to an :class:`EvaluationEngine`, which consults a
+two-tier content-addressed cache (:class:`ResultCache`) and dispatches
+misses to a pluggable :class:`ExecutionBackend` — in-process
+(:class:`SerialBackend`) or a process pool
+(:class:`ProcessPoolBackend`), both funnelling through one shared
+execution path so results are bit-identical across backends.
+"""
+
+from .backends import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    default_max_workers,
+    execute_job,
+)
+from .cache import ResultCache
+from .core import ENGINE_CHOICES, EvaluationEngine
+from .jobs import (
+    EvalJob,
+    EvalResult,
+    dataset_fingerprint,
+    job_fingerprint,
+    system_signature,
+)
+
+__all__ = [
+    "ENGINE_CHOICES",
+    "EvaluationEngine",
+    "EvalJob",
+    "EvalResult",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "ResultCache",
+    "dataset_fingerprint",
+    "system_signature",
+    "job_fingerprint",
+    "execute_job",
+    "default_max_workers",
+]

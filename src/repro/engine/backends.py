@@ -1,0 +1,238 @@
+"""Pluggable execution backends for batched evaluations.
+
+Every backend funnels through :func:`execute_job` — one shared
+protect-and-measure code path — so backends can only differ in *where*
+work runs, never in *what* is computed.  Combined with the LPPM layer's
+per-(seed, user) RNG derivation (independent of trace order and of the
+process doing the work), this makes process-parallel results
+bit-identical to serial ones.
+
+Two levels of parallelism are used, chosen by batch shape:
+
+* **job-level** — each (params, seed) job is one task; the natural fit
+  for sweeps, where a batch holds dozens of independent jobs;
+* **trace-level** — with fewer jobs than workers (e.g. a single
+  verification evaluation), each job runs in the parent but fans its
+  per-trace protection out to the pool through the ``mapper`` hook of
+  :meth:`repro.lppm.LPPM.protect`.
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+from .jobs import EvalJob
+
+if TYPE_CHECKING:
+    from ..framework.spec import SystemDefinition
+    from ..mobility import Dataset
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "execute_job",
+    "default_max_workers",
+]
+
+
+def default_max_workers() -> int:
+    """Worker count when the caller does not specify one."""
+    return os.cpu_count() or 1
+
+
+def execute_job(
+    system: "SystemDefinition",
+    dataset: "Dataset",
+    job: EvalJob,
+    mapper=None,
+) -> Tuple[float, float]:
+    """Run one protect + measure execution; the single source of truth.
+
+    ``mapper`` is forwarded to :meth:`LPPM.protect` so callers can
+    parallelise the per-trace protection without touching the metric
+    evaluation (metrics see whole datasets).
+    """
+    lppm = system.make_lppm(**job.params_dict)
+    if mapper is None:
+        # No keyword: mechanisms that override protect() with the
+        # historical (dataset, seed) signature keep working serially.
+        protected = lppm.protect(dataset, seed=job.seed)
+    else:
+        protected = lppm.protect(dataset, seed=job.seed, mapper=mapper)
+    privacy = system.privacy_metric.evaluate(dataset, protected)
+    utility = system.utility_metric.evaluate(dataset, protected)
+    return (float(privacy), float(utility))
+
+
+class ExecutionBackend(abc.ABC):
+    """Executes a batch of cache-missed jobs."""
+
+    #: Human-readable backend name (mirrors the CLI ``--engine`` knob).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def run(
+        self,
+        system: "SystemDefinition",
+        dataset: "Dataset",
+        jobs: Sequence[EvalJob],
+        key: Optional[Tuple[str, str]] = None,
+    ) -> List[Tuple[float, float]]:
+        """(privacy, utility) per job, in job order.
+
+        ``key`` is an optional (system signature, dataset fingerprint)
+        content key; pooled backends use it to recognise "same work,
+        new objects" and keep their workers warm.
+        """
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process, one job at a time — the reference implementation."""
+
+    name = "serial"
+
+    def run(self, system, dataset, jobs, key=None):
+        return [execute_job(system, dataset, job) for job in jobs]
+
+
+# ----------------------------------------------------------------------
+# Process pool
+# ----------------------------------------------------------------------
+# Worker-side globals, installed once per worker by the pool
+# initializer so the (potentially large) dataset is not re-pickled with
+# every job.
+_WORKER_SYSTEM: Optional["SystemDefinition"] = None
+_WORKER_DATASET: Optional["Dataset"] = None
+
+
+def _init_worker(system: "SystemDefinition", dataset: "Dataset") -> None:
+    global _WORKER_SYSTEM, _WORKER_DATASET
+    _WORKER_SYSTEM = system
+    _WORKER_DATASET = dataset
+
+
+def _run_job_in_worker(job: EvalJob) -> Tuple[float, float]:
+    assert _WORKER_SYSTEM is not None and _WORKER_DATASET is not None
+    return execute_job(_WORKER_SYSTEM, _WORKER_DATASET, job)
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """``concurrent.futures`` process pool; bit-identical to serial.
+
+    Pools persist across :meth:`run` calls: the job-level pool keeps
+    its (system, dataset) initializer payload until a batch arrives for
+    a different pair, so iterative callers (ALP probes, refinement
+    bisection) do not pay pool startup plus dataset shipping on every
+    step.  Call :meth:`close` (or rely on finalisation) to release the
+    worker processes.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; defaults to the machine's CPU count.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self.max_workers = int(max_workers or default_max_workers())
+        self._job_pool: Optional[ProcessPoolExecutor] = None
+        # What the current job pool's workers hold, as a content key
+        # when the caller supplies one (so equal-but-not-identical
+        # systems/datasets reuse the warm pool) or as strong references
+        # to the exact pair otherwise (pinning ids against recycling).
+        self._job_pool_key: Optional[Tuple[str, str]] = None
+        self._job_pool_for: Optional[tuple] = None
+        self._trace_pool: Optional[ProcessPoolExecutor] = None
+
+    @staticmethod
+    def _mp_context():
+        """Prefer fork where available: cheap startup, and classes
+        defined outside installed modules stay importable in workers."""
+        methods = multiprocessing.get_all_start_methods()
+        if "fork" in methods:
+            return multiprocessing.get_context("fork")
+        return multiprocessing.get_context()
+
+    def _job_pool_of(self, system, dataset, key) -> ProcessPoolExecutor:
+        if self._job_pool is not None:
+            if key is not None and self._job_pool_key == key:
+                # Same content: the workers' baked-in objects compute
+                # identical results, whichever instances they are.
+                return self._job_pool
+            current = self._job_pool_for
+            if key is None and current is not None and (
+                current[0] is system and current[1] is dataset
+            ):
+                return self._job_pool
+            self._job_pool.shutdown(wait=True)
+        self._job_pool = ProcessPoolExecutor(
+            max_workers=self.max_workers,
+            mp_context=self._mp_context(),
+            initializer=_init_worker,
+            initargs=(system, dataset),
+        )
+        self._job_pool_key = key
+        self._job_pool_for = (system, dataset)
+        return self._job_pool
+
+    def _trace_pool_of(self, workers: int) -> ProcessPoolExecutor:
+        if self._trace_pool is None:
+            self._trace_pool = ProcessPoolExecutor(
+                max_workers=workers, mp_context=self._mp_context()
+            )
+        return self._trace_pool
+
+    def close(self) -> None:
+        """Shut down the worker pools (idempotent)."""
+        if self._job_pool is not None:
+            self._job_pool.shutdown(wait=True)
+            self._job_pool = None
+            self._job_pool_key = None
+            self._job_pool_for = None
+        if self._trace_pool is not None:
+            self._trace_pool.shutdown(wait=True)
+            self._trace_pool = None
+
+    def __del__(self):  # pragma: no cover - finalisation best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def run(self, system, dataset, jobs, key=None):
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        if self.max_workers <= 1:
+            return SerialBackend().run(system, dataset, jobs)
+        if len(jobs) >= 2:
+            # Job-level parallelism: the dataset ships to the workers
+            # once, via the pool initializer.
+            pool = self._job_pool_of(system, dataset, key)
+            return list(pool.map(_run_job_in_worker, jobs))
+        # A lone job cannot be split across workers at the job level;
+        # parallelise inside it instead, across the dataset's traces.
+        workers = min(self.max_workers, max(1, len(dataset)))
+        if workers <= 1:
+            return SerialBackend().run(system, dataset, jobs)
+        pool = self._trace_pool_of(workers)
+
+        def trace_mapper(fn, traces):
+            # Chunking bounds how often fn (carrying the LPPM, which
+            # may embed dataset-sized state like an elastic density
+            # prior) is pickled: once per chunk, not once per trace.
+            chunksize = max(1, len(traces) // workers)
+            return pool.map(fn, traces, chunksize=chunksize)
+
+        return [
+            execute_job(system, dataset, job, mapper=trace_mapper)
+            for job in jobs
+        ]

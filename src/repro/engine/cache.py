@@ -1,0 +1,109 @@
+"""Two-tier, content-addressed result cache.
+
+Tier 1 is a process-local dict; tier 2 an optional on-disk store of one
+JSON file per fingerprint (sharded by the fingerprint's first two hex
+digits to keep directories small).  The disk tier is what makes the
+offline sweep a durable artefact: a second process — or a release
+shipped months later — re-running the same sweep on the same data
+performs zero protect + measure executions.
+
+Values are ``(privacy, utility)`` pairs keyed by the job fingerprint of
+:func:`repro.engine.jobs.job_fingerprint`; the files are written
+through :mod:`repro.framework.store` so they carry the library's usual
+format versioning and survive releases.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+__all__ = ["ResultCache"]
+
+PathLike = Union[str, Path]
+
+
+class ResultCache:
+    """Memory-over-disk cache of evaluation results.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory of the persistent tier; ``None`` keeps the cache
+        purely in-memory (the seed behaviour, minus the per-runner
+        fragmentation).
+    """
+
+    def __init__(self, cache_dir: Optional[PathLike] = None) -> None:
+        self._memory: Dict[str, Tuple[float, float]] = {}
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        #: Cache hit counters, by tier.
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+
+    def _path_of(self, fingerprint: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / fingerprint[:2] / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> Optional[Tuple[float, float]]:
+        """(privacy, utility) for a fingerprint, or ``None`` on a miss.
+
+        A disk hit is promoted into the memory tier.  Unreadable or
+        stale-format files count as misses — the entry is simply
+        recomputed and rewritten.
+        """
+        if fingerprint in self._memory:
+            self.memory_hits += 1
+            return self._memory[fingerprint]
+        if self.cache_dir is not None:
+            # Imported here, not at module level: the engine sits below
+            # the framework layer, whose store module provides the
+            # versioned record format.
+            from ..framework.store import load_eval_record
+
+            path = self._path_of(fingerprint)
+            if path.exists():
+                try:
+                    record = load_eval_record(path)
+                except (ValueError, OSError, KeyError):
+                    pass
+                else:
+                    value = (record["privacy"], record["utility"])
+                    self._memory[fingerprint] = value
+                    self.disk_hits += 1
+                    return value
+        self.misses += 1
+        return None
+
+    def put(
+        self,
+        fingerprint: str,
+        privacy: float,
+        utility: float,
+        provenance: Optional[dict] = None,
+    ) -> None:
+        """Store a freshly computed result in both tiers.
+
+        ``provenance`` (system name, params, seed, dataset fingerprint)
+        is persisted alongside the values so a cache directory can be
+        audited without the code that produced it.
+        """
+        self._memory[fingerprint] = (float(privacy), float(utility))
+        if self.cache_dir is not None:
+            from ..framework.store import save_eval_record
+
+            record = dict(provenance or {})
+            record.update(
+                fingerprint=fingerprint,
+                privacy=float(privacy),
+                utility=float(utility),
+            )
+            save_eval_record(record, self._path_of(fingerprint))
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory tier (the disk tier is untouched)."""
+        self._memory.clear()

@@ -1,0 +1,230 @@
+"""The evaluation engine: batched execution behind a two-tier cache.
+
+This is the middleware layer of the library: every component that needs
+a (privacy, utility) measurement — the experiment runner, the ALP
+baseline, the configurator, model transfer, the benchmarks — submits
+:class:`EvalJob` batches here instead of running protections itself.
+Centralising the service buys three things at once:
+
+* **throughput** — a batch fans out over a process pool, chosen by the
+  ``engine`` knob (``"auto"`` picks the pool whenever there is real
+  parallelism to exploit);
+* **durability** — results are content-addressed and, with a
+  ``cache_dir``, persisted as versioned JSON, so sweeps survive across
+  processes and releases;
+* **honest accounting** — :attr:`n_executions` counts real, non-cached
+  protect + measure executions, which is the quantity the paper's cost
+  comparisons are stated in.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from .backends import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    default_max_workers,
+)
+from .cache import ResultCache
+from .jobs import (
+    EvalJob,
+    EvalResult,
+    dataset_fingerprint,
+    job_fingerprint,
+    system_signature,
+)
+
+if TYPE_CHECKING:
+    from ..framework.spec import SystemDefinition
+    from ..mobility import Dataset
+
+__all__ = ["EvaluationEngine", "ENGINE_CHOICES"]
+
+ENGINE_CHOICES = ("auto", "serial", "process")
+
+
+class EvaluationEngine:
+    """Executes evaluation batches through a backend and a result cache.
+
+    Parameters
+    ----------
+    engine:
+        ``"serial"`` (default) runs in-process; ``"process"`` always
+        uses the pool (and fans a lone job's per-trace protection out
+        to it); ``"auto"`` picks the pool per batch when more than one
+        job misses the cache and more than one worker is available —
+        single-job batches stay serial under ``"auto"``, since pool
+        overhead usually beats the win on one evaluation.
+    jobs:
+        Worker count for the process backend (default: CPU count).
+    cache_dir:
+        Optional directory for the persistent cache tier.
+    """
+
+    def __init__(
+        self,
+        engine: str = "serial",
+        jobs: Optional[int] = None,
+        cache_dir=None,
+    ) -> None:
+        if engine not in ENGINE_CHOICES:
+            raise ValueError(f"engine must be one of {ENGINE_CHOICES}")
+        if jobs is not None and jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.policy = engine
+        self.max_workers = int(jobs or default_max_workers())
+        self.cache = ResultCache(cache_dir)
+        self._serial = SerialBackend()
+        self._process: Optional[ProcessPoolBackend] = None
+        #: Real (non-cached) protect + measure executions performed.
+        self.n_executions = 0
+        # Dataset fingerprints are O(dataset) to compute; memoise per
+        # engine.  Entries hold weak references so a long-lived engine
+        # does not pin every dataset it ever saw, and each hit verifies
+        # the referent is still the same object (a recycled id with a
+        # dead reference recomputes instead of aliasing).
+        self._dataset_fp: Dict[int, Tuple[weakref.ref, str]] = {}
+
+    # ------------------------------------------------------------------
+    # Backend selection
+    # ------------------------------------------------------------------
+    def _process_backend(self) -> ProcessPoolBackend:
+        if self._process is None:
+            self._process = ProcessPoolBackend(self.max_workers)
+        return self._process
+
+    def _backend_for(self, n_misses: int) -> ExecutionBackend:
+        if self.policy == "serial":
+            return self._serial
+        if self.policy == "process":
+            return self._process_backend()
+        # auto: parallelism pays only when there is work to spread.
+        if self.max_workers > 1 and n_misses > 1:
+            return self._process_backend()
+        return self._serial
+
+    # ------------------------------------------------------------------
+    # Fingerprinting
+    # ------------------------------------------------------------------
+    def fingerprint_of(self, dataset: "Dataset") -> str:
+        """Memoised content fingerprint of a dataset."""
+        key = id(dataset)
+        entry = self._dataset_fp.get(key)
+        if entry is not None and entry[0]() is dataset:
+            return entry[1]
+        fp = dataset_fingerprint(dataset)
+        if len(self._dataset_fp) > 64:
+            # Drop entries whose datasets are gone before adding more.
+            self._dataset_fp = {
+                k: (ref, v)
+                for k, (ref, v) in self._dataset_fp.items()
+                if ref() is not None
+            }
+        self._dataset_fp[key] = (weakref.ref(dataset), fp)
+        return fp
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        system: "SystemDefinition",
+        dataset: "Dataset",
+        jobs: Sequence[EvalJob],
+    ) -> List[EvalResult]:
+        """Evaluate a batch, returning results in job order.
+
+        Cache hits (either tier) come back with ``cached=True`` and do
+        not count as executions; duplicate jobs within the batch are
+        executed once, with only the first occurrence marked as a real
+        execution.
+        """
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        ds_fp = self.fingerprint_of(dataset)
+        sig = system_signature(system)
+        fingerprints = [job_fingerprint(ds_fp, sig, job) for job in jobs]
+
+        results: List[Optional[EvalResult]] = [None] * len(jobs)
+        pending: Dict[str, List[int]] = {}
+        for i, (job, fp) in enumerate(zip(jobs, fingerprints)):
+            if fp in pending:
+                # Duplicate of a job already bound for execution: fold
+                # it in without a second cache lookup, so the hit/miss
+                # counters reconcile with distinct work requested.
+                pending[fp].append(i)
+                continue
+            hit = self.cache.get(fp)
+            if hit is not None:
+                results[i] = EvalResult(
+                    job=job, privacy=hit[0], utility=hit[1],
+                    cached=True, fingerprint=fp,
+                )
+            else:
+                pending.setdefault(fp, []).append(i)
+
+        if pending:
+            to_run = [jobs[indices[0]] for indices in pending.values()]
+            backend = self._backend_for(len(to_run))
+            values = backend.run(system, dataset, to_run, key=(sig, ds_fp))
+            self.n_executions += len(to_run)
+            for (fp, indices), (privacy, utility) in zip(
+                pending.items(), values
+            ):
+                job = jobs[indices[0]]
+                self.cache.put(
+                    fp, privacy, utility,
+                    provenance={
+                        "system_name": system.name,
+                        "params": job.params_dict,
+                        "seed": job.seed,
+                        "dataset_fingerprint": ds_fp,
+                    },
+                )
+                for rank, i in enumerate(indices):
+                    results[i] = EvalResult(
+                        job=jobs[i], privacy=privacy, utility=utility,
+                        cached=rank > 0, fingerprint=fp,
+                    )
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release backend resources (worker pools); idempotent."""
+        if self._process is not None:
+            self._process.close()
+
+    def __enter__(self) -> "EvaluationEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Execution and cache counters, for reports and benchmarks."""
+        return {
+            "executions": self.n_executions,
+            "memory_hits": self.cache.memory_hits,
+            "disk_hits": self.cache.disk_hits,
+            "misses": self.cache.misses,
+        }
+
+    def __repr__(self) -> str:
+        cache_dir = self.cache.cache_dir
+        return (
+            f"EvaluationEngine(engine={self.policy!r}, "
+            f"jobs={self.max_workers}, cache_dir={str(cache_dir)!r})"
+            if cache_dir is not None
+            else f"EvaluationEngine(engine={self.policy!r}, "
+                 f"jobs={self.max_workers})"
+        )

@@ -1,0 +1,253 @@
+"""Evaluation jobs and content fingerprints.
+
+An :class:`EvalJob` names one (parameter assignment, seed) execution of
+the protect-and-measure pipeline; the engine identifies its result by a
+*content fingerprint* — a SHA-256 over everything the result depends
+on: the dataset's records, the system (its name and both metric
+configurations), the sorted parameters and the protection seed.  Two
+processes, machines or releases computing the same fingerprint are
+asking for the same number, which is what lets the disk cache survive
+across all of them.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..mobility import Dataset
+
+if TYPE_CHECKING:  # imported lazily to keep engine below framework
+    from ..framework.spec import SystemDefinition
+
+__all__ = [
+    "EvalJob",
+    "EvalResult",
+    "dataset_fingerprint",
+    "system_signature",
+    "job_fingerprint",
+]
+
+
+@dataclass(frozen=True)
+class EvalJob:
+    """One requested (protect + measure) execution.
+
+    ``params`` is stored as a sorted tuple of (name, value) pairs so
+    jobs are hashable and two dict orderings compare equal.
+    """
+
+    params: Tuple[Tuple[str, float], ...]
+    seed: int
+
+    @classmethod
+    def make(cls, params: Mapping[str, float], seed: int) -> "EvalJob":
+        """Build a job from any parameter mapping."""
+        return cls(
+            params=tuple(sorted((str(k), float(v)) for k, v in params.items())),
+            seed=int(seed),
+        )
+
+    @property
+    def params_dict(self) -> Dict[str, float]:
+        """The parameter assignment as a plain dict."""
+        return dict(self.params)
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """The engine's answer for one job."""
+
+    job: EvalJob
+    privacy: float
+    utility: float
+    #: True when the value came from a cache tier, i.e. no protection
+    #: or metric code actually ran for this request.
+    cached: bool
+    #: Content fingerprint the result is stored under.
+    fingerprint: str
+
+
+def dataset_fingerprint(dataset: Dataset) -> str:
+    """SHA-256 over every record of every trace, in user order.
+
+    The hash covers user ids, timestamps and coordinates, so any edit
+    to the data (cleaning, subsetting, regeneration with a new seed)
+    invalidates previously cached results.
+    """
+    digest = hashlib.sha256()
+    for trace in dataset.traces:
+        digest.update(trace.user.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(trace.times_s.tobytes())
+        digest.update(trace.lats.tobytes())
+        digest.update(trace.lons.tobytes())
+    return digest.hexdigest()
+
+
+def _attrs_of(obj) -> Optional[list]:
+    """(name, value) pairs of an object's configuration, if reachable.
+
+    Covers both ``__dict__`` instances and slotted classes; ``None``
+    means the object exposes no attributes to render.
+    """
+    try:
+        return sorted(vars(obj).items())
+    except TypeError:
+        pass
+    names = []
+    for klass in type(obj).__mro__:
+        slots = getattr(klass, "__slots__", ()) or ()
+        names.extend([slots] if isinstance(slots, str) else list(slots))
+    if not names:
+        return None
+    out = []
+    for name in names:
+        if name in ("__weakref__", "__dict__"):
+            continue
+        try:
+            out.append((name, getattr(obj, name)))
+        except AttributeError:
+            continue
+    return sorted(out)
+
+
+def _stable_repr(value, depth: int = 0) -> str:
+    """A value-based rendering with no memory addresses in it.
+
+    The default ``repr`` of address-printing objects (and the ``...``
+    truncation of large arrays) would make signatures differ across
+    processes — or worse, collide after an address is recycled — so
+    everything is rendered from *values*: primitives verbatim, arrays
+    as content hashes, containers and attribute-bearing objects
+    recursively (to a bounded depth).
+    """
+    if depth > 4:
+        return f"<deep:{type(value).__name__}>"
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return repr(value)
+    if isinstance(value, np.ndarray):
+        digest = hashlib.sha256(
+            np.ascontiguousarray(value).tobytes()
+        ).hexdigest()[:16]
+        return f"ndarray({value.dtype},{value.shape},{digest})"
+    if isinstance(value, np.generic):
+        return repr(value.item())
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = [_stable_repr(v, depth + 1) for v in value]
+        if isinstance(value, (set, frozenset)):
+            items = sorted(items)
+        return f"{type(value).__name__}[{','.join(items)}]"
+    if isinstance(value, Mapping):
+        items = sorted(
+            f"{_stable_repr(k, depth + 1)}:{_stable_repr(v, depth + 1)}"
+            for k, v in value.items()
+        )
+        return "{" + ",".join(items) + "}"
+    attrs = _attrs_of(value)
+    name = f"{type(value).__module__}.{type(value).__qualname__}"
+    if attrs is not None:
+        rendered = ",".join(
+            f"{k}={_stable_repr(v, depth + 1)}" for k, v in attrs
+        )
+        return f"{name}({rendered})"
+    rendered = repr(value)
+    # Last resort for attribute-less objects whose repr embeds an
+    # address: fall back to the bare type (deterministic, if lossy).
+    return name if " at 0x" in rendered else rendered
+
+
+def _metric_signature(metric) -> str:
+    """A stable textual identity for a metric instance.
+
+    The attribute walk captures the configuration (e.g. a POI match
+    radius or a grid cell size) that the metric's registry name alone
+    does not.
+    """
+    return _stable_repr(metric)
+
+
+def _factory_signature(factory) -> str:
+    """Identity of the LPPM factory behind a system.
+
+    Two systems may share a name and metrics yet build different
+    mechanisms; the factory identity keeps their cache entries apart.
+    A qualified name is enough for module-level classes and functions,
+    but local functions and lambdas all share a ``<locals>`` qualname,
+    so those also hash their code object and captured closure values;
+    partials and callable instances render their configuration.  The
+    result is deterministic across processes (no memory addresses), so
+    the disk tier stays shareable.
+    """
+    if isinstance(factory, functools.partial):
+        inner = _factory_signature(factory.func)
+        args = ",".join(_stable_repr(a) for a in factory.args)
+        kwargs = ",".join(
+            f"{k}={_stable_repr(v)}"
+            for k, v in sorted((factory.keywords or {}).items())
+        )
+        return f"partial({inner};{args};{kwargs})"
+    module = getattr(factory, "__module__", "?")
+    qualname = getattr(factory, "__qualname__", None)
+    code = getattr(factory, "__code__", None)
+    if qualname is None:
+        # A callable instance: its type plus its configuration.
+        return _stable_repr(factory)
+    base = f"{module}.{qualname}"
+    if code is not None and ("<lambda>" in qualname or "<locals>" in qualname):
+        digest = hashlib.sha256(code.co_code)
+        digest.update(repr(code.co_consts).encode("utf-8"))
+        for cell in getattr(factory, "__closure__", None) or ():
+            try:
+                digest.update(_stable_repr(cell.cell_contents).encode("utf-8"))
+            except ValueError:
+                digest.update(b"<empty cell>")
+        base += f"#{digest.hexdigest()[:16]}"
+    return base
+
+
+def system_signature(system: "SystemDefinition") -> str:
+    """Identity of a system for caching: name, mechanism and metrics."""
+    return "|".join(
+        [
+            system.name,
+            _factory_signature(system.lppm_factory),
+            _metric_signature(system.privacy_metric),
+            _metric_signature(system.utility_metric),
+        ]
+    )
+
+
+def _library_version() -> str:
+    # Imported lazily: the package root imports this module.
+    from .. import __version__
+
+    return __version__
+
+
+def job_fingerprint(dataset_fp: str, system_sig: str, job: EvalJob) -> str:
+    """Content fingerprint of one job's result.
+
+    The library version is part of the key: results depend on the
+    LPPM/metric *implementations*, not just their configuration, so a
+    release that fixes numerics must not be answered with the previous
+    release's cached values.  Upgrading therefore cold-starts a shared
+    ``cache_dir`` — the safe direction.
+    """
+    payload = json.dumps(
+        {
+            "library": _library_version(),
+            "dataset": dataset_fp,
+            "system": system_sig,
+            "params": [[name, repr(value)] for name, value in job.params],
+            "seed": job.seed,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

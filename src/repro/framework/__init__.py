@@ -20,7 +20,14 @@ from .refine import RefinementResult, refine_recommendation
 from .runner import ExperimentRunner, SweepPoint, SweepResult
 from .saturation import ActiveRegion, find_active_region, smooth
 from .spec import ParameterSpec, SystemDefinition, geo_ind_system
-from .store import load_model, load_sweep, save_model, save_sweep
+from .store import (
+    load_eval_record,
+    load_model,
+    load_sweep,
+    save_eval_record,
+    save_model,
+    save_sweep,
+)
 from .transfer import ModelTransfer, TransferredModel
 
 __all__ = [
@@ -49,6 +56,8 @@ __all__ = [
     "load_sweep",
     "save_model",
     "load_model",
+    "save_eval_record",
+    "load_eval_record",
     "Configurator",
     "Objective",
     "Recommendation",

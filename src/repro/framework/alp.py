@@ -108,6 +108,10 @@ def alp_configure(
     ``runner`` is shared with other machinery so evaluation counts are
     comparable; every probe is one full (protect + measure) evaluation,
     which is exactly the online cost the paper's framework avoids.
+    Probes go through the runner's :class:`EvaluationEngine`, so a
+    shared engine (and its content-addressed cache) keeps the
+    comparison honest: a probe answered from cache is not counted as a
+    new evaluation, here or anywhere else.
     """
     if not objectives:
         raise ValueError("need at least one objective")

@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..engine import EvaluationEngine
 from ..mobility import Dataset
 from .models import LogLinearMetricModel, SystemModel, fit_system_model
 from .runner import ExperimentRunner, SweepResult
@@ -106,6 +107,10 @@ class Configurator:
         The dataset the LPPM will protect.
     n_points, n_replications, base_seed:
         Sweep resolution used by :meth:`fit`.
+    engine:
+        Optional shared :class:`EvaluationEngine`; lets the offline
+        sweep run on a parallel backend and persist to a disk cache,
+        and lets several configurators pool their evaluations.
     """
 
     def __init__(
@@ -115,12 +120,14 @@ class Configurator:
         n_points: int = 15,
         n_replications: int = 3,
         base_seed: int = 0,
+        engine: Optional[EvaluationEngine] = None,
     ) -> None:
         self.system = system
         self.dataset = dataset
         self.n_points = n_points
         self.runner = ExperimentRunner(
-            system, dataset, n_replications=n_replications, base_seed=base_seed
+            system, dataset, n_replications=n_replications,
+            base_seed=base_seed, engine=engine,
         )
         self._sweep: Optional[SweepResult] = None
         self._model: Optional[SystemModel] = None

@@ -79,12 +79,14 @@ def grid_sweep(
         for name, value in system.defaults().items()
         if name not in names
     }
-    result = GridSweepResult(system.name, names, [])
+    settings = []
     for combo in itertools.product(*axes):
         params = dict(fixed)
         params.update(zip(names, map(float, combo)))
-        result.points.append(runner.evaluate(params))
-    return result
+        settings.append(params)
+    # One engine batch for the whole grid: the exponential cost the
+    # paper argues about is also the best case for a parallel backend.
+    return GridSweepResult(system.name, names, runner.evaluate_many(settings))
 
 
 def _transform(spec: ParameterSpec, values: np.ndarray) -> np.ndarray:

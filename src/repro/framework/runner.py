@@ -2,9 +2,13 @@
 
 The runner sweeps an LPPM parameter across its range, protects the
 dataset at every value (several replications with distinct seeds) and
-measures the privacy and utility metrics.  Results are cached by
-``(parameter values, seed)`` so the configurator, ALP and the ablation
-benchmarks can share work and *count* evaluations honestly.
+measures the privacy and utility metrics.  Execution goes through an
+:class:`repro.engine.EvaluationEngine`: whole sweeps are submitted as
+batches (so a process backend can fan them out), results are cached by
+content fingerprint (so the configurator, ALP, model transfer and the
+ablation benchmarks share work — across processes too, with a disk
+cache) and :attr:`ExperimentRunner.n_evaluations` counts only the
+real, non-cached executions this runner triggered.
 """
 
 from __future__ import annotations
@@ -12,10 +16,11 @@ from __future__ import annotations
 import csv
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..engine import EvalJob, EvalResult, EvaluationEngine
 from ..mobility import Dataset
 from .spec import SystemDefinition
 
@@ -98,6 +103,11 @@ class ExperimentRunner:
         randomised protection runs.
     base_seed:
         Root of the replication seed sequence.
+    engine:
+        The :class:`EvaluationEngine` executing this runner's batches.
+        Pass a shared instance so several runners (configurator, ALP,
+        transfer) pool their cache; ``None`` builds a private serial
+        engine — the seed behaviour.
     """
 
     def __init__(
@@ -106,6 +116,7 @@ class ExperimentRunner:
         dataset: Dataset,
         n_replications: int = 3,
         base_seed: int = 0,
+        engine: Optional[EvaluationEngine] = None,
     ) -> None:
         if n_replications < 1:
             raise ValueError("need at least one replication")
@@ -113,47 +124,84 @@ class ExperimentRunner:
         self.dataset = dataset
         self.n_replications = n_replications
         self.base_seed = base_seed
-        self._cache: Dict[Tuple[Tuple[Tuple[str, float], ...], int],
-                          Tuple[float, float]] = {}
-        #: Number of (protect + measure) executions actually performed.
+        self.engine = engine if engine is not None else EvaluationEngine()
+        #: Number of (protect + measure) executions actually performed
+        #: on behalf of this runner (cache hits are not counted).
         self.n_evaluations = 0
 
     # ------------------------------------------------------------------
     # Single evaluations
     # ------------------------------------------------------------------
-    def evaluate_once(
-        self, params: Mapping[str, float], seed: int
-    ) -> Tuple[float, float]:
-        """(privacy, utility) at ``params`` under one protection seed."""
-        key = (tuple(sorted(params.items())), seed)
-        if key in self._cache:
-            return self._cache[key]
-        lppm = self.system.make_lppm(**params)
-        protected = lppm.protect(self.dataset, seed=seed)
-        pr = self.system.privacy_metric.evaluate(self.dataset, protected)
-        ut = self.system.utility_metric.evaluate(self.dataset, protected)
-        self._cache[key] = (pr, ut)
-        self.n_evaluations += 1
-        return (pr, ut)
+    def _run_jobs(self, jobs: Sequence[EvalJob]) -> List[EvalResult]:
+        """Submit a batch to the engine, keeping the honest eval count."""
+        results = self.engine.run(self.system, self.dataset, jobs)
+        self.n_evaluations += sum(1 for r in results if not r.cached)
+        return results
 
-    def evaluate(
-        self, params: Mapping[str, float], n_replications: Optional[int] = None
+    def _replication_jobs(
+        self, params: Mapping[str, float], reps: int
+    ) -> List[EvalJob]:
+        return [
+            EvalJob.make(params, self.base_seed + r) for r in range(reps)
+        ]
+
+    def _resolve_reps(self, n_replications: Optional[int]) -> int:
+        if n_replications is None:
+            return self.n_replications
+        if n_replications < 1:
+            raise ValueError("need at least one replication")
+        return int(n_replications)
+
+    @staticmethod
+    def _point(
+        params: Mapping[str, float], results: Sequence[EvalResult]
     ) -> SweepPoint:
-        """Replicated evaluation at one parameter setting."""
-        reps = n_replications or self.n_replications
-        prs, uts = [], []
-        for r in range(reps):
-            pr, ut = self.evaluate_once(params, seed=self.base_seed + r)
-            prs.append(pr)
-            uts.append(ut)
+        prs = [r.privacy for r in results]
+        uts = [r.utility for r in results]
         return SweepPoint(
             params=dict(params),
             privacy_mean=float(np.mean(prs)),
             privacy_std=float(np.std(prs)),
             utility_mean=float(np.mean(uts)),
             utility_std=float(np.std(uts)),
-            n_replications=reps,
+            n_replications=len(results),
         )
+
+    def evaluate_once(
+        self, params: Mapping[str, float], seed: int
+    ) -> Tuple[float, float]:
+        """(privacy, utility) at ``params`` under one protection seed."""
+        [result] = self._run_jobs([EvalJob.make(params, seed)])
+        return (result.privacy, result.utility)
+
+    def evaluate(
+        self, params: Mapping[str, float], n_replications: Optional[int] = None
+    ) -> SweepPoint:
+        """Replicated evaluation at one parameter setting."""
+        reps = self._resolve_reps(n_replications)
+        results = self._run_jobs(self._replication_jobs(params, reps))
+        return self._point(params, results)
+
+    def evaluate_many(
+        self,
+        params_list: Sequence[Mapping[str, float]],
+        n_replications: Optional[int] = None,
+    ) -> List[SweepPoint]:
+        """Evaluate many parameter settings as **one** engine batch.
+
+        This is the high-throughput entry point: all (setting, seed)
+        jobs are submitted together, so a parallel backend sees the
+        whole sweep at once instead of point-sized dribbles.
+        """
+        reps = self._resolve_reps(n_replications)
+        jobs: List[EvalJob] = []
+        for params in params_list:
+            jobs.extend(self._replication_jobs(params, reps))
+        results = self._run_jobs(jobs)
+        return [
+            self._point(params, results[i * reps:(i + 1) * reps])
+            for i, params in enumerate(params_list)
+        ]
 
     # ------------------------------------------------------------------
     # Sweeps
@@ -186,9 +234,11 @@ class ExperimentRunner:
             for name, value in (fixed or self.system.defaults()).items()
             if name != param_name and name in self.system.parameter_names
         }
-        result = SweepResult(self.system.name, param_name)
+        settings = []
         for value in sweep_values:
             params = dict(others)
             params[param_name] = float(value)
-            result.points.append(self.evaluate(params))
+            settings.append(params)
+        result = SweepResult(self.system.name, param_name)
+        result.points.extend(self.evaluate_many(settings))
         return result

@@ -10,6 +10,7 @@ no code execution on load.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Union
 
@@ -17,7 +18,14 @@ from .models import LogLinearMetricModel, SystemModel
 from .runner import SweepPoint, SweepResult
 from .saturation import ActiveRegion
 
-__all__ = ["save_sweep", "load_sweep", "save_model", "load_model"]
+__all__ = [
+    "save_sweep",
+    "load_sweep",
+    "save_model",
+    "load_model",
+    "save_eval_record",
+    "load_eval_record",
+]
 
 PathLike = Union[str, Path]
 
@@ -132,6 +140,49 @@ def load_model(path: PathLike) -> SystemModel:
         param_low=float(payload["param_low"]),
         param_high=float(payload["param_high"]),
     )
+
+
+def save_eval_record(record: dict, path: PathLike) -> None:
+    """Write one cached evaluation result to JSON.
+
+    ``record`` must contain at least ``fingerprint``, ``privacy`` and
+    ``utility``; the engine adds provenance (system name, params, seed,
+    dataset fingerprint) so a cache directory is self-describing.  The
+    write is atomic (tmp file + rename) because several worker
+    processes may persist results concurrently.
+    """
+    for field_name in ("fingerprint", "privacy", "utility"):
+        if field_name not in record:
+            raise ValueError(f"eval record is missing {field_name!r}")
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "kind": "eval_record",
+        **record,
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    tmp.replace(path)
+
+
+def load_eval_record(path: PathLike) -> dict:
+    """Read an evaluation record written by :func:`save_eval_record`.
+
+    Raises :class:`ValueError` for structurally invalid records (missing
+    or non-numeric values), so cache readers can treat any bad file as
+    a miss instead of crashing mid-sweep.
+    """
+    payload = _load_payload(path, "eval_record")
+    for field_name in ("fingerprint", "privacy", "utility"):
+        if field_name not in payload:
+            raise ValueError(f"{path}: eval record is missing {field_name!r}")
+    try:
+        payload["privacy"] = float(payload["privacy"])
+        payload["utility"] = float(payload["utility"])
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"{path}: non-numeric metric values: {exc}") from exc
+    return payload
 
 
 def _load_payload(path: PathLike, expected_kind: str) -> dict:

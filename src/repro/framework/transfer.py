@@ -25,6 +25,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..engine import EvaluationEngine
 from ..mobility import Dataset
 from ..properties import PropertyExtractor
 from .configurator import Configurator
@@ -58,6 +59,10 @@ class ModelTransfer:
         short relative to the number of training datasets).
     n_points, n_replications:
         Sweep resolution of the per-dataset offline phase.
+    engine:
+        One :class:`EvaluationEngine` shared by every per-dataset
+        sweep, so the whole training phase uses one backend and one
+        cache; ``None`` builds a private serial engine.
     """
 
     def __init__(
@@ -66,6 +71,7 @@ class ModelTransfer:
         extractors: Sequence[PropertyExtractor],
         n_points: int = 12,
         n_replications: int = 1,
+        engine: Optional[EvaluationEngine] = None,
     ) -> None:
         if len(system.parameters) != 1:
             raise ValueError("model transfer supports single-parameter systems")
@@ -75,6 +81,7 @@ class ModelTransfer:
         self.extractors = list(extractors)
         self.n_points = n_points
         self.n_replications = n_replications
+        self.engine = engine if engine is not None else EvaluationEngine()
         self._weights: Optional[np.ndarray] = None   # (n_props+1, 4)
         self._training_models: List[SystemModel] = []
         self.residual_rms: Optional[np.ndarray] = None
@@ -100,6 +107,7 @@ class ModelTransfer:
             configurator = Configurator(
                 self.system, dataset,
                 n_points=self.n_points, n_replications=self.n_replications,
+                engine=self.engine,
             )
             model = configurator.fit()
             self._training_models.append(model)

@@ -14,13 +14,31 @@ available mechanism without import gymnastics.
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, List, Mapping, Type
+import functools
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Type
 
 import numpy as np
 
 from ..mobility import Dataset, Trace
 
 __all__ = ["LPPM", "register_lppm", "lppm_class", "available_lppms"]
+
+#: A map-like callable: ``mapper(fn, traces)`` applies ``fn`` to every
+#: trace, preserving order.  ``fn`` is picklable (a partial over a
+#: module-level function), so process pools qualify.
+TraceMapper = Callable[[Callable[[Trace], Trace], Sequence[Trace]], Iterable[Trace]]
+
+
+def _protect_single_trace(lppm: "LPPM", seed: int, trace: Trace) -> Trace:
+    """Protect one trace with its own (seed, user)-derived generator.
+
+    Module-level (not a closure) so execution backends can ship it to
+    worker processes; the RNG derivation lives here, next to the work,
+    which keeps parallel protection bit-identical to serial regardless
+    of the order or the process in which traces are handled.
+    """
+    rng = LPPM._trace_rng(seed, trace.user)
+    return lppm.protect_trace(trace, rng)
 
 _REGISTRY: Dict[str, Type["LPPM"]] = {}
 
@@ -72,17 +90,27 @@ class LPPM(abc.ABC):
     def params(self) -> Mapping[str, float]:
         """The mechanism's configuration parameters, by name."""
 
-    def protect(self, dataset: Dataset, seed: int = 0) -> Dataset:
+    def protect(
+        self, dataset: Dataset, seed: int = 0, mapper: "TraceMapper" = None
+    ) -> Dataset:
         """Protect every trace of ``dataset`` deterministically.
 
         Each trace gets an independent generator derived from ``seed``
         and the user id, so protecting a subset of users yields exactly
         the same protected traces as protecting the full dataset.
+
+        ``mapper`` lets execution backends parallelise the per-trace
+        work: it receives a picklable per-trace function and the trace
+        list, and must apply the function to every trace in order (the
+        contract of ``map``).  Because each trace's generator depends
+        only on (seed, user id), any order of execution — or process
+        placement — produces bit-identical output.
         """
-        protected = []
-        for trace in dataset.traces:
-            rng = self._trace_rng(seed, trace.user)
-            protected.append(self.protect_trace(trace, rng))
+        fn = functools.partial(_protect_single_trace, self, seed)
+        if mapper is None:
+            protected = [fn(trace) for trace in dataset.traces]
+        else:
+            protected = list(mapper(fn, dataset.traces))
         return Dataset.from_traces(protected)
 
     @staticmethod

@@ -22,7 +22,9 @@ __all__ = ["Dataset"]
 class Dataset(Mapping[str, Trace]):
     """An immutable mapping ``user id -> trace``."""
 
-    __slots__ = ("_traces",)
+    # __weakref__ lets long-lived services (the evaluation engine's
+    # fingerprint memo) reference datasets without pinning them.
+    __slots__ = ("_traces", "__weakref__")
 
     def __init__(self, traces: Mapping[str, Trace]) -> None:
         for user, trace in traces.items():

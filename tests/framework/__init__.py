@@ -1,0 +1,1 @@
+"""Test package marker: gives relative imports (e.g. ``from .conftest import``) a package context."""
