@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Configuration-service throughput: requests/sec, cold vs warm cache.
+
+Measures the daemon's three amortisation tiers on a repeated ``/sweep``
+workload:
+
+* **cold** — first request: the engine executes every (point, seed)
+  protect + measure job;
+* **warm engine** — response cache cleared, configurator registry
+  cleared: the framework re-fits, but every evaluation is an engine
+  cache hit (zero executions);
+* **warm response cache** — the repeated identical request short-
+  circuits in the middleware pipeline (one dict lookup per request).
+
+Then an HTTP section reports requests/sec over real sockets (threaded
+stdlib server, warm cache) for ``/sweep`` and ``/healthz``.
+
+The warm rows must report **zero new executions** — the service-level
+restatement of the engine benchmark's invariant.  Run with ``--smoke``
+for a CI-sized configuration.
+
+Run:  PYTHONPATH=src python benchmarks/bench_service.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import threading
+import time
+
+from repro.service import ConfigService, HttpServiceClient, ServiceClient
+
+
+def _time_requests(fn, n: int) -> float:
+    start = time.perf_counter()
+    for _ in range(n):
+        fn()
+    return time.perf_counter() - start
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--users", type=int, default=8, help="fleet size")
+    parser.add_argument("--points", type=int, default=10, help="sweep points")
+    parser.add_argument("--replications", type=int, default=2)
+    parser.add_argument("--repeats", type=int, default=200,
+                        help="warm requests to average over")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny configuration for CI smoke runs")
+    args = parser.parse_args()
+    if args.smoke:
+        args.users, args.points, args.replications = 4, 5, 1
+        args.repeats = 50
+
+    dataset = {"workload": "taxi", "users": args.users, "seed": 11}
+    app = ConfigService()
+    client = ServiceClient(app)
+    sweep = lambda: client.sweep(dataset, points=args.points,
+                                 replications=args.replications)
+
+    total_jobs = args.points * args.replications
+    print(f"workload: {args.users} cabs; sweep {args.points} points x "
+          f"{args.replications} seeds = {total_jobs} evaluations/request")
+
+    rows = []
+
+    cold_s = _time_requests(sweep, 1)
+    cold_exec = client.metrics()["engine"]["executions"]
+    rows.append(("cold (engine executes)", 1, cold_s, cold_exec))
+
+    # Warm engine, cold service registries: the framework re-fits from
+    # cached evaluations.
+    app.response_cache.clear()
+    app.state.clear_registries()
+    warm_engine_s = _time_requests(sweep, 1)
+    warm_engine_exec = (
+        client.metrics()["engine"]["executions"] - cold_exec
+    )
+    rows.append(("warm engine cache", 1, warm_engine_s, warm_engine_exec))
+
+    before = client.metrics()["engine"]["executions"]
+    warm_response_s = _time_requests(sweep, args.repeats)
+    warm_response_exec = client.metrics()["engine"]["executions"] - before
+    rows.append(("warm response cache", args.repeats, warm_response_s,
+                 warm_response_exec))
+
+    print()
+    print(f"{'tier':<24} {'requests':>8} {'wall-clock':>12} "
+          f"{'req/s':>10} {'new executions':>15}")
+    for tier, n, elapsed, n_exec in rows:
+        rate = n / elapsed if elapsed > 0 else float("inf")
+        print(f"{tier:<24} {n:>8} {elapsed:>10.4f} s {rate:>10.0f} "
+              f"{n_exec:>15}")
+
+    # ------------------------------------------------------------------
+    # Over real sockets
+    # ------------------------------------------------------------------
+    server = app.make_server("127.0.0.1", 0)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    http = HttpServiceClient(f"http://{host}:{port}")
+    try:
+        exec_before = client.metrics()["engine"]["executions"]
+        http_sweep_s = _time_requests(
+            lambda: http.sweep(dataset, points=args.points,
+                               replications=args.replications),
+            args.repeats,
+        )
+        http_exec = client.metrics()["engine"]["executions"] - exec_before
+        http_health_s = _time_requests(http.healthz, args.repeats)
+    finally:
+        server.shutdown()
+        server.server_close()
+        client.close()
+
+    print()
+    print(f"HTTP /sweep   (warm): {args.repeats / http_sweep_s:>8.0f} req/s")
+    print(f"HTTP /healthz       : {args.repeats / http_health_s:>8.0f} req/s")
+
+    failures = [
+        (tier, n_exec)
+        for tier, _, _, n_exec in rows[1:]
+        if n_exec != 0
+    ] + ([("http /sweep warm", http_exec)] if http_exec != 0 else [])
+    if failures:
+        raise SystemExit(f"FAIL: warm tiers ran executions: {failures}")
+    print("\nwarm-service invariant holds: 0 executions after the first "
+          "request")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""The configuration service, end to end, without leaving the process.
+
+Embeds a :class:`repro.service.ConfigService` (the same object
+``repro-lppm serve`` runs behind HTTP) and walks the paper's workflow
+through its JSON endpoints: sweep, fitted equation-(2) model,
+objective-driven recommendation — then repeats the sweep to show the
+point of the daemon: the second request is answered from the warm
+cache with zero new protect + measure executions.
+
+Run:  PYTHONPATH=src python examples/service_quickstart.py
+"""
+
+from repro.service import ServiceClient
+
+DATASET = {"workload": "taxi", "users": 5, "seed": 42}
+
+
+def main() -> None:
+    with ServiceClient() as client:
+        health = client.healthz()
+        print(f"service up (version {health['version']}, "
+              f"engine policy {health['engine']['policy']})\n")
+
+        # Offline phase: sweep + model fit, through POST /sweep and
+        # POST /configure.  The fitted configurator is registered, so
+        # the /configure call re-uses the sweep's evaluations.
+        sweep = client.sweep(DATASET, points=8, replications=2)
+        print(f"sweep: {len(sweep['points'])} points, "
+              f"{sweep['engine']['executions_this_request']} evaluations "
+              "executed")
+
+        model = client.configure(DATASET, points=8, replications=2)["model"]
+        c = model["coefficients"]
+        print("equation (2): "
+              f"a={c['a']:.3f} b={c['b']:.3f} "
+              f"alpha={c['alpha']:.3f} beta={c['beta']:.3f}")
+
+        # Online phase: invert the model at the paper's objectives.
+        answer = client.recommend(
+            DATASET,
+            objectives=[
+                {"kind": "privacy", "op": "<=", "target": 0.5},
+                {"kind": "utility", "op": ">=", "target": 0.1},
+            ],
+            points=8, replications=2,
+        )
+        rec = answer["recommendation"]
+        if rec["feasible"]:
+            print(f"recommended {rec['param']} = {rec['value']:.4g} "
+                  f"(predicted privacy {rec['predicted_privacy']:.3f}, "
+                  f"utility {rec['predicted_utility']:.3f})")
+        else:
+            print(f"objectives infeasible: {rec['notes']}")
+
+        # The daemon's raison d'etre: a repeated sweep is free.
+        client.sweep(DATASET, points=8, replications=2)
+        metrics = client.metrics()
+        print(f"\nafter a repeated sweep: "
+              f"{metrics['engine']['executions']} total executions, "
+              f"{metrics['response_cache']['hits']} response-cache hit(s), "
+              f"{metrics['service']['requests_total']} requests served")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,7 +15,10 @@ The top-level namespace re-exports the public API; the subpackages are:
 * :mod:`repro.properties` — dataset properties and PCA selection;
 * :mod:`repro.engine` — batched, pluggable, cached evaluation engine;
 * :mod:`repro.framework` — the configuration framework itself;
-* :mod:`repro.report` — plain-text reporting.
+* :mod:`repro.report` — plain-text reporting;
+* :mod:`repro.service` — the long-running configuration service
+  (JSON endpoints behind a middleware pipeline; import explicitly
+  via ``import repro.service`` — it is not re-exported here).
 
 Quickstart::
 

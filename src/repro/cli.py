@@ -12,15 +12,20 @@ The commands cover the library's workflow end to end:
   retrieval and re-identification measurements) against a dataset;
 * ``alp``      — configure via the ALP greedy baseline instead;
 * ``stats``    — dataset and per-user statistics;
-* ``list``     — available mechanisms and metrics.
+* ``list``     — available mechanisms and metrics;
+* ``serve``    — run the long-lived configuration service (JSON over
+  HTTP, one shared engine and warm cache across all requests; see
+  docs/service.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
+from . import __version__
 from .attacks import extract_pois, reidentify, retrieved_fraction
 from .engine import ENGINE_CHOICES, EvaluationEngine
 from .framework import (
@@ -30,7 +35,7 @@ from .framework import (
     alp_configure,
     geo_ind_system,
 )
-from .lppm import available_lppms, lppm_class
+from .lppm import available_lppms, lppm_class, primary_param
 from .metrics import available_metrics
 from .mobility import dataset_stats, read_csv, trace_stats, write_csv
 from .report import (
@@ -56,6 +61,16 @@ def _positive_int(text: str) -> int:
         raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
     if value < 1:
         raise argparse.ArgumentTypeError("must be at least 1")
+    return value
+
+
+def _port(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if not 0 <= value <= 65535:
+        raise argparse.ArgumentTypeError("port must be in 0-65535")
     return value
 
 
@@ -88,6 +103,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lppm",
         description="Automated configuration of location privacy mechanisms",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -157,19 +175,20 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("input", help="CSV dataset to describe")
 
     sub.add_parser("list", help="available mechanisms and metrics")
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the long-lived configuration service (JSON over HTTP)",
+    )
+    srv.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default: loopback; the service "
+                          "trusts its clients — path dataset specs read "
+                          "server-side files — so front non-loopback "
+                          "binds with an authenticating proxy)")
+    srv.add_argument("--port", type=_port, default=8080,
+                     help="TCP port; 0 picks a free one (default: 8080)")
+    _add_engine_options(srv)
     return parser
-
-
-_PARAM_NAMES = {
-    "geo_ind": "epsilon",
-    "elastic_geo_ind": "epsilon",
-    "gaussian": "sigma_m",
-    "uniform_disk": "radius_m",
-    "rounding": "cell_size_m",
-    "subsampling": "keep_fraction",
-    "time_perturbation": "sigma_s",
-    "promesse": "alpha_m",
-}
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -184,7 +203,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_protect(args: argparse.Namespace) -> int:
     dataset = read_csv(args.input)
-    param_name = _PARAM_NAMES[args.lppm]
+    param_name = primary_param(args.lppm)
     lppm = lppm_class(args.lppm)(**{param_name: args.param})
     protected = lppm.protect(dataset, seed=args.seed)
     write_csv(protected, args.output)
@@ -311,15 +330,38 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 def _cmd_list(args: argparse.Namespace) -> int:
     print("mechanisms:")
     for name in available_lppms():
-        print(f"  {name}  (parameter: {_PARAM_NAMES.get(name, '?')})")
+        try:
+            param = primary_param(name)
+        except ValueError:
+            # A user-registered mechanism with an exotic constructor
+            # must not abort the listing.
+            param = "?"
+        print(f"  {name}  (parameter: {param})")
     print("metrics:")
     for name in available_metrics():
         print(f"  {name}")
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported here: only the daemon needs the service package.
+    from .service import serve
+
+    return serve(host=args.host, port=args.port, engine=_engine_from(args))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code.
+
+    Operator mistakes (missing files, parameter values a mechanism
+    rejects, unusable ports) exit with code 2 and a one-line message
+    instead of a traceback; exit code 1 keeps its meaning of "ran,
+    objectives not met".  The catch is deliberately at the dispatch
+    level — the message still names the cause — but a truncated
+    consumer (``| head``) is not an error, and ``REPRO_DEBUG=1``
+    re-raises for the full traceback when an internal bug is
+    suspected.
+    """
     args = build_parser().parse_args(argv)
     handlers = {
         "generate": _cmd_generate,
@@ -330,8 +372,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         "alp": _cmd_alp,
         "stats": _cmd_stats,
         "list": _cmd_list,
+        "serve": _cmd_serve,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # stdout's consumer went away (e.g. `... | head`); standard
+        # Unix behaviour is a quiet non-zero exit, not an error.
+        return 1
+    except (OSError, ValueError) as exc:
+        # Covers missing/unreadable files, ports already in use or
+        # unresolvable bind addresses, and parameter values the
+        # mechanisms reject.
+        if os.environ.get("REPRO_DEBUG"):
+            raise
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

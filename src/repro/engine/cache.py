@@ -101,6 +101,21 @@ class ResultCache:
             )
             save_eval_record(record, self._path_of(fingerprint))
 
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters and entry count, JSON-ready.
+
+        This is the cache's contribution to the service's ``/metrics``
+        endpoint; ``hits`` totals both tiers.
+        """
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "hits": self.memory_hits + self.disk_hits,
+            "misses": self.misses,
+            "entries": len(self._memory),
+        }
+
     def __len__(self) -> int:
         return len(self._memory)
 

@@ -211,13 +211,14 @@ class EvaluationEngine:
     # ------------------------------------------------------------------
     @property
     def stats(self) -> Dict[str, int]:
-        """Execution and cache counters, for reports and benchmarks."""
-        return {
-            "executions": self.n_executions,
-            "memory_hits": self.cache.memory_hits,
-            "disk_hits": self.cache.disk_hits,
-            "misses": self.cache.misses,
-        }
+        """Execution and cache counters, for reports and benchmarks.
+
+        The cache-side keys come from :attr:`ResultCache.stats`;
+        ``executions`` counts real protect + measure runs, the quantity
+        the paper's cost comparisons — and the service's ``/metrics``
+        endpoint — are stated in.
+        """
+        return {"executions": self.n_executions, **self.cache.stats}
 
     def __repr__(self) -> str:
         cache_dir = self.cache.cache_dir

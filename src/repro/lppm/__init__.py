@@ -6,7 +6,13 @@ All mechanisms share the :class:`LPPM` interface and live in a registry
 keyed by short names (``geo_ind``, ``gaussian``, ...).
 """
 
-from .base import LPPM, available_lppms, lppm_class, register_lppm
+from .base import (
+    LPPM,
+    available_lppms,
+    lppm_class,
+    primary_param,
+    register_lppm,
+)
 from .elastic import DensityMap, ElasticGeoIndistinguishability
 from .geo_ind import GeoIndistinguishability, planar_laplace_radii
 from .noise import GaussianPerturbation, UniformDiskNoise
@@ -20,6 +26,7 @@ __all__ = [
     "register_lppm",
     "lppm_class",
     "available_lppms",
+    "primary_param",
     "GeoIndistinguishability",
     "planar_laplace_radii",
     "ElasticGeoIndistinguishability",

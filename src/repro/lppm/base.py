@@ -15,13 +15,20 @@ from __future__ import annotations
 
 import abc
 import functools
+import inspect
 from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Type
 
 import numpy as np
 
 from ..mobility import Dataset, Trace
 
-__all__ = ["LPPM", "register_lppm", "lppm_class", "available_lppms"]
+__all__ = [
+    "LPPM",
+    "register_lppm",
+    "lppm_class",
+    "available_lppms",
+    "primary_param",
+]
 
 #: A map-like callable: ``mapper(fn, traces)`` applies ``fn`` to every
 #: trace, preserving order.  ``fn`` is picklable (a partial over a
@@ -69,6 +76,37 @@ def lppm_class(name: str) -> Type["LPPM"]:
 def available_lppms() -> List[str]:
     """Sorted names of all registered mechanisms."""
     return sorted(_REGISTRY)
+
+
+def primary_param(name: str) -> str:
+    """Name of a registered mechanism's primary scalar parameter.
+
+    Every registered LPPM takes its headline knob (ε, σ, a radius, …)
+    as the first constructor argument; the CLI's ``--param`` and the
+    service's ``/protect`` both bind to it by this name.  Raises
+    :class:`ValueError` for constructors with no *named* scalar slot
+    (``*args``/``**kwargs``-only), so callers can answer "?" instead of
+    passing a bogus keyword.
+    """
+    init = inspect.signature(lppm_class(name).__init__)
+    named = [
+        p
+        for p in init.parameters.values()
+        if p.name != "self"
+        and p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD,
+                       p.KEYWORD_ONLY)
+    ]
+    if not named:
+        raise ValueError(f"LPPM {name!r} takes no named parameters")
+    first = named[0]
+    if first.kind is first.POSITIONAL_ONLY:
+        # Callers bind the knob by keyword; a positional-only slot
+        # cannot be, and silently skipping it would name the wrong one.
+        raise ValueError(
+            f"LPPM {name!r}: first parameter {first.name!r} is "
+            "positional-only and cannot be bound by name"
+        )
+    return first.name
 
 
 class LPPM(abc.ABC):

@@ -1,0 +1,69 @@
+"""Configuration-as-a-service: the daemon layer over the framework.
+
+The paper positions LPPM auto-configuration as *middleware* between
+users and location-based services; this package is that middleware made
+long-running.  One process holds a shared
+:class:`~repro.engine.EvaluationEngine` (warm result cache included), a
+registry of datasets and fitted configurators, and serves JSON
+endpoints through a composable request-middleware pipeline — request
+ids, structured logging, metrics, typed validation errors, and a
+response cache that answers repeated deterministic requests without
+re-entering the framework at all.
+
+Start a daemon with ``repro-lppm serve``; talk to it with
+:class:`HttpServiceClient`, or embed the whole service in-process with
+:class:`ServiceClient` (what the tests and examples do).  See
+``docs/service.md`` for the endpoint reference.
+"""
+
+from .app import CACHEABLE_ENDPOINTS, ConfigService, serve
+from .client import HttpServiceClient, ServiceClient, ServiceClientError
+from .handlers import SCHEMAS, make_handlers
+from .middleware import (
+    ErrorBoundaryMiddleware,
+    Field,
+    LoggingMiddleware,
+    MetricsMiddleware,
+    Middleware,
+    MiddlewarePipeline,
+    Request,
+    RequestIdMiddleware,
+    Response,
+    ResponseCacheMiddleware,
+    ServiceError,
+    ValidationMiddleware,
+    canonical_body_key,
+    validate_body,
+)
+from .state import ServiceState, resolve_dataset_spec
+
+__all__ = [
+    # app
+    "ConfigService",
+    "CACHEABLE_ENDPOINTS",
+    "serve",
+    # clients
+    "ServiceClient",
+    "HttpServiceClient",
+    "ServiceClientError",
+    # pipeline
+    "Middleware",
+    "MiddlewarePipeline",
+    "Request",
+    "Response",
+    "ServiceError",
+    "RequestIdMiddleware",
+    "LoggingMiddleware",
+    "MetricsMiddleware",
+    "ErrorBoundaryMiddleware",
+    "ValidationMiddleware",
+    "ResponseCacheMiddleware",
+    "Field",
+    "validate_body",
+    "canonical_body_key",
+    # state & handlers
+    "ServiceState",
+    "resolve_dataset_spec",
+    "SCHEMAS",
+    "make_handlers",
+]

@@ -1,0 +1,375 @@
+"""The configuration service: routing, pipeline wiring, HTTP front-end.
+
+:class:`ConfigService` is the transport-agnostic core — a routing table
+of endpoint handlers behind the default middleware pipeline, holding
+one shared :class:`~repro.service.state.ServiceState`.  Tests and the
+in-process client call :meth:`ConfigService.handle` directly; the HTTP
+front-end (:func:`serve`, stdlib ``ThreadingHTTPServer`` — no new
+dependencies) is a thin JSON adapter over the same dispatch path, so
+every behaviour is testable without sockets.
+
+Endpoints::
+
+    POST /protect     apply an LPPM to a dataset
+    POST /sweep       the framework's offline parameter sweep
+    POST /configure   sweep + fitted equation-(2) model
+    POST /recommend   invert the model at designer objectives
+    GET  /healthz     liveness + shared-state summary
+    GET  /metrics     request counters, engine/cache statistics
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, Optional
+
+from ..engine import EvaluationEngine
+from ..framework import geo_ind_system
+from .handlers import SCHEMAS, make_handlers
+from .middleware import (
+    ErrorBoundaryMiddleware,
+    LoggingMiddleware,
+    MetricsMiddleware,
+    MiddlewarePipeline,
+    Request,
+    RequestIdMiddleware,
+    Response,
+    ResponseCacheMiddleware,
+    ServiceError,
+    ValidationMiddleware,
+)
+from .state import ServiceState, normalised_dataset_spec
+
+__all__ = ["ConfigService", "CACHEABLE_ENDPOINTS", "serve"]
+
+logger = logging.getLogger("repro.service")
+
+#: Endpoints whose responses are pure functions of the validated body —
+#: exactly these flow through the response-cache middleware.
+#: ``/protect`` is deterministic too but stays out: its responses embed
+#: full record dumps (unbounded bytes under an entry-count bound) and
+#: recomputing a protection is cheap, unlike a sweep.
+CACHEABLE_ENDPOINTS = (
+    "POST /sweep",
+    "POST /configure",
+    "POST /recommend",
+)
+
+
+#: Largest accepted request body.  Inline-records datasets fit
+#: comfortably; anything bigger should arrive as a server-side CSV.
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+
+def _replayable(request: Request) -> bool:
+    """Whether a request's response really is a pure function of its body.
+
+    Dataset specs naming a server-side file are not: the file can
+    change between requests (the dataset registry re-reads it when it
+    does), so those requests bypass the response cache.
+    """
+    body = request.body if isinstance(request.body, dict) else {}
+    dataset = body.get("dataset")
+    return not (isinstance(dataset, dict) and "path" in dataset)
+
+
+def _cache_key_body(body: Optional[dict]) -> Optional[dict]:
+    """The body as keyed by the response cache: dataset defaults filled.
+
+    Validation already filled the top-level defaults; the nested
+    dataset spec gets the same treatment here so that equivalent
+    spellings of one workload share a cache entry.
+    """
+    if isinstance(body, dict) and isinstance(body.get("dataset"), dict):
+        return dict(body, dataset=normalised_dataset_spec(body["dataset"]))
+    return body
+
+
+class ConfigService:
+    """One service instance: shared state + pipeline + routing table.
+
+    Parameters
+    ----------
+    engine:
+        The shared :class:`EvaluationEngine`; ``None`` builds a serial
+        in-memory one.  Production deployments pass a process-backed
+        engine with a persistent ``cache_dir``.
+    system_factory:
+        Builds the analysed system (default: the paper's GEO-I).
+    response_cache_size:
+        Bound on the response-cache middleware's entry count.
+    """
+
+    def __init__(
+        self,
+        engine: Optional[EvaluationEngine] = None,
+        system_factory=geo_ind_system,
+        response_cache_size: int = 1024,
+        log: Optional[logging.Logger] = None,
+    ) -> None:
+        self.state = ServiceState(engine=engine, system_factory=system_factory)
+        routes: Dict[str, Callable[[Request], dict]] = make_handlers(
+            self.state
+        )
+        routes["GET /metrics"] = self._metrics_handler
+        self._routes = routes
+        self._known_paths = {key.split(" ", 1)[1] for key in routes}
+        self.metrics = MetricsMiddleware(known_endpoints=routes)
+        self.response_cache = ResponseCacheMiddleware(
+            CACHEABLE_ENDPOINTS,
+            max_entries=response_cache_size,
+            should_cache=_replayable,
+            key_body=_cache_key_body,
+            on_hit=self._refresh_hit_body,
+        )
+        self.pipeline = MiddlewarePipeline([
+            RequestIdMiddleware(),
+            LoggingMiddleware(log),
+            self.metrics,
+            ErrorBoundaryMiddleware(log),
+            ValidationMiddleware(SCHEMAS),
+            self.response_cache,
+        ])
+        self._entry = self.pipeline.wrap(self._route)
+
+    def _refresh_hit_body(self, body: dict) -> dict:
+        """Fix up a replayed response body for its new request.
+
+        The cached body carries the *original* request's cost receipt;
+        replace the whole engine block with the live counters (and the
+        true cost of a replay: zero executions), so the response never
+        contradicts ``GET /metrics``.
+        """
+        if isinstance(body.get("engine"), dict):
+            body["engine"] = {
+                "executions_this_request": 0,
+                **self.state.engine.stats,
+            }
+        return body
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _route(self, request: Request) -> Response:
+        handler = self._routes.get(request.endpoint)
+        if handler is None:
+            if request.path in self._known_paths:
+                raise ServiceError(
+                    405, "method-not-allowed",
+                    f"{request.path} does not accept {request.method}",
+                )
+            raise ServiceError(
+                404, "not-found",
+                f"no such endpoint: {request.path}",
+                details={"endpoints": sorted(self._routes)},
+            )
+        return Response(status=200, body=handler(request))
+
+    def dispatch(self, request: Request) -> Response:
+        """Run one request through the full middleware pipeline."""
+        return self._entry(request)
+
+    def handle(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> Response:
+        """In-process entry point used by the client and the tests."""
+        return self.dispatch(Request(method=method.upper(), path=path,
+                                     body=body))
+
+    # ------------------------------------------------------------------
+    # Metrics endpoint (owns the middleware instances, so lives here)
+    # ------------------------------------------------------------------
+    def _metrics_handler(self, request: Request) -> dict:
+        return {
+            "service": self.metrics.snapshot(),
+            "engine": self.state.engine.stats,
+            "response_cache": self.response_cache.snapshot(),
+            "registry": {
+                "datasets": self.state.n_datasets,
+                "configurators": self.state.n_configurators,
+            },
+            "pipeline": self.pipeline.names,
+        }
+
+    # ------------------------------------------------------------------
+    # HTTP front-end
+    # ------------------------------------------------------------------
+    def make_server(
+        self, host: str = "127.0.0.1", port: int = 8080
+    ) -> ThreadingHTTPServer:
+        """A bound (not yet serving) threaded HTTP server over this app.
+
+        ``port=0`` asks the OS for a free port (useful in tests);
+        ``server.server_address`` reports the actual binding.
+        """
+        service = self
+
+        class Handler(_ServiceHTTPHandler):
+            app = service
+
+        return _QuietThreadingHTTPServer((host, port), Handler)
+
+    def close(self) -> None:
+        """Release shared resources (engine worker pools); idempotent."""
+        self.state.close()
+
+
+class _QuietThreadingHTTPServer(ThreadingHTTPServer):
+    """Threaded server that logs client disconnects instead of
+    dumping socketserver's default traceback to stderr."""
+
+    def handle_error(self, request, client_address) -> None:
+        import sys
+
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (ConnectionError, TimeoutError)):
+            logger.debug("client %s went away: %r", client_address, exc)
+        else:
+            super().handle_error(request, client_address)
+
+
+class _ServiceHTTPHandler(BaseHTTPRequestHandler):
+    """JSON-over-HTTP adapter around :meth:`ConfigService.dispatch`."""
+
+    #: Bound by :meth:`ConfigService.make_server`.
+    app: ConfigService
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-lppm"
+    #: Socket timeout: a client that stalls mid-body (fewer bytes than
+    #: its Content-Length promised) releases the handler thread instead
+    #: of pinning it forever.
+    timeout = 60.0
+
+    def _route_path(self) -> str:
+        # Routing ignores the query string (health probes and load
+        # balancers append cache-busting parameters freely).
+        return self.path.split("?", 1)[0]
+
+    def do_GET(self) -> None:  # noqa: N802  (http.server naming)
+        if self.headers.get("Content-Length") not in (None, "0"):
+            # GETs are bodyless here; an unread body would desync
+            # keep-alive (its bytes parse as the next request line).
+            self.close_connection = True
+        self._respond(self.app.handle("GET", self._route_path()))
+
+    def do_POST(self) -> None:  # noqa: N802
+        path = self._route_path()
+        try:
+            body = self._read_json_body()
+        except ServiceError as exc:
+            # Malformed JSON still travels the pipeline (logged,
+            # counted, request-id'd): the error boundary raises it
+            # before validation sees the absent body.
+            self._respond(self.app.dispatch(Request(
+                method="POST", path=path,
+                context={"transport_error": exc},
+            )))
+            return
+        self._respond(self.app.handle("POST", path, body))
+
+    def _read_json_body(self) -> Optional[dict]:
+        if self.headers.get("Transfer-Encoding"):
+            # Chunked bodies are not supported, and their unread bytes
+            # would desync keep-alive parsing.
+            self.close_connection = True
+            raise ServiceError(
+                411, "length-required",
+                "chunked transfer encoding is not supported; send a "
+                "Content-Length",
+            )
+        raw_length = self.headers.get("Content-Length")
+        if raw_length is None:
+            return None
+        try:
+            length = int(raw_length)
+        except ValueError:
+            # Any rejection that leaves body bytes unread must also end
+            # the connection — keep-alive would parse the leftovers as
+            # the next request.
+            self.close_connection = True
+            raise ServiceError(
+                400, "invalid-request",
+                f"Content-Length is not an integer: {raw_length!r}",
+            )
+        if length < 0:
+            # rfile.read(-1) would block until EOF, pinning the
+            # handler thread on a client that never closes.
+            self.close_connection = True
+            raise ServiceError(
+                400, "invalid-request", "Content-Length must be non-negative"
+            )
+        if length == 0:
+            return None
+        if length > MAX_BODY_BYTES:
+            # Rejected before a single body byte is read, so one
+            # request cannot buffer gigabytes into the daemon.
+            self.close_connection = True
+            raise ServiceError(
+                413, "payload-too-large",
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit",
+            )
+        raw = self.rfile.read(length)
+        try:
+            parsed = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(
+                400, "invalid-json", f"request body is not valid JSON: {exc}"
+            )
+        if parsed is not None and not isinstance(parsed, dict):
+            raise ServiceError(
+                400, "invalid-json", "request body must be a JSON object"
+            )
+        return parsed
+
+    def _respond(self, response: Response) -> None:
+        payload = json.dumps(response.body).encode("utf-8")
+        self.send_response(response.status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        if self.close_connection:
+            # Set by _read_json_body when the request body was never
+            # consumed; tell the client instead of silently dropping.
+            self.send_header("Connection", "close")
+        for name, value in response.headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format: str, *args) -> None:
+        # The logging middleware already emits one structured line per
+        # request; route http.server's own chatter to debug.
+        logger.debug("http.server: " + format, *args)
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    engine: Optional[EvaluationEngine] = None,
+    service: Optional[ConfigService] = None,
+    ready: Optional[threading.Event] = None,
+) -> int:
+    """Run the configuration service until interrupted.
+
+    The CLI's ``repro-lppm serve`` lands here.  ``ready`` (if given) is
+    set once the socket is bound — test harnesses use it to know when
+    requests may be sent.
+    """
+    app = service if service is not None else ConfigService(engine=engine)
+    server = app.make_server(host, port)
+    bound_host, bound_port = server.server_address[:2]
+    logger.info("serving on http://%s:%d", bound_host, bound_port)
+    print(f"repro-lppm service listening on http://{bound_host}:{bound_port}")
+    if ready is not None:
+        ready.set()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
+        app.close()
+    return 0

@@ -1,0 +1,164 @@
+"""Python clients for the configuration service.
+
+Two transports behind one interface:
+
+* :class:`ServiceClient` — in-process: wraps a
+  :class:`~repro.service.app.ConfigService` and calls its dispatch path
+  directly.  No sockets, no serialisation beyond the service's own JSON
+  contract; this is what the tests and the examples use.
+* :class:`HttpServiceClient` — over HTTP via :mod:`urllib` (stdlib
+  only), for talking to a daemon started with ``repro-lppm serve``.
+
+Both raise :class:`ServiceClientError` on non-2xx responses, carrying
+the service's typed error payload (code, message, details).
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import List, Optional
+
+from .app import ConfigService
+from .middleware import Response
+
+__all__ = ["ServiceClientError", "ServiceClient", "HttpServiceClient"]
+
+
+class ServiceClientError(Exception):
+    """A typed error response from the service."""
+
+    def __init__(self, status: int, error: dict) -> None:
+        self.status = int(status)
+        self.code = str(error.get("code", "unknown"))
+        self.details = error.get("details")
+        message = str(error.get("message", "request failed"))
+        super().__init__(f"[{self.status} {self.code}] {message}")
+        self.message = message
+
+
+class _BaseClient:
+    """The endpoint methods, over an abstract request transport."""
+
+    def _request(self, method: str, path: str,
+                 body: Optional[dict]) -> dict:
+        raise NotImplementedError
+
+    # -- evaluation endpoints ------------------------------------------
+    def protect(
+        self,
+        dataset: dict,
+        lppm: str = "geo_ind",
+        param: float = 0.01,
+        seed: int = 0,
+        include_records: bool = True,
+    ) -> dict:
+        """Apply an LPPM to a dataset; returns the protected records."""
+        return self._request("POST", "/protect", {
+            "dataset": dataset, "lppm": lppm, "param": param,
+            "seed": seed, "include_records": include_records,
+        })
+
+    def sweep(
+        self, dataset: dict, points: int = 10, replications: int = 2
+    ) -> dict:
+        """The offline parameter sweep (the data behind Figure 1)."""
+        return self._request("POST", "/sweep", {
+            "dataset": dataset, "points": points,
+            "replications": replications,
+        })
+
+    def configure(
+        self, dataset: dict, points: int = 10, replications: int = 2
+    ) -> dict:
+        """Sweep + fitted equation-(2) model coefficients."""
+        return self._request("POST", "/configure", {
+            "dataset": dataset, "points": points,
+            "replications": replications,
+        })
+
+    def recommend(
+        self,
+        dataset: dict,
+        objectives: List[dict],
+        points: int = 10,
+        replications: int = 2,
+        policy: str = "max_utility",
+    ) -> dict:
+        """Invert the fitted model at designer objectives."""
+        return self._request("POST", "/recommend", {
+            "dataset": dataset, "objectives": objectives,
+            "points": points, "replications": replications,
+            "policy": policy,
+        })
+
+    # -- introspection endpoints ---------------------------------------
+    def healthz(self) -> dict:
+        """Liveness and shared-state summary."""
+        return self._request("GET", "/healthz", None)
+
+    def metrics(self) -> dict:
+        """Request counters plus engine/cache statistics."""
+        return self._request("GET", "/metrics", None)
+
+
+class ServiceClient(_BaseClient):
+    """In-process client over a :class:`ConfigService` instance.
+
+    Requests run on the caller's thread through the full middleware
+    pipeline — identical semantics to HTTP, minus the sockets.
+    """
+
+    def __init__(self, service: Optional[ConfigService] = None) -> None:
+        self.service = service if service is not None else ConfigService()
+
+    def _request(self, method: str, path: str,
+                 body: Optional[dict]) -> dict:
+        response: Response = self.service.handle(method, path, body)
+        if not response.ok:
+            raise ServiceClientError(
+                response.status, response.body.get("error", {})
+            )
+        return response.body
+
+    def close(self) -> None:
+        self.service.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class HttpServiceClient(_BaseClient):
+    """HTTP client for a running ``repro-lppm serve`` daemon."""
+
+    def __init__(self, base_url: str, timeout_s: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = float(timeout_s)
+
+    def _request(self, method: str, path: str,
+                 body: Optional[dict]) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as raw:
+                return json.loads(raw.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read().decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                payload = {}
+            raise ServiceClientError(
+                exc.code, payload.get("error", {"message": str(exc)})
+            ) from None

@@ -1,0 +1,289 @@
+"""Endpoint handlers of the configuration service.
+
+Each handler is a pure function from a *validated* request body (the
+validation middleware has already applied the endpoint's schema from
+:data:`SCHEMAS`) and the shared :class:`~repro.service.state.ServiceState`
+to a JSON-ready response dict.  Handlers never see HTTP: the app layer
+routes :class:`~repro.service.middleware.Request` objects here and
+wraps the returned dicts in responses.
+
+Evaluation-bearing endpoints report their own engine cost: the
+``engine`` block of a ``/sweep``/``/configure``/``/recommend`` response
+carries the number of real protect + measure executions *this request*
+triggered — zero once the engine cache is warm, which is the service's
+headline claim.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional
+
+from .. import __version__
+from ..framework import Objective
+from ..lppm import available_lppms, lppm_class, primary_param
+from .middleware import Field, Request, ServiceError
+from .state import ServiceState
+
+__all__ = ["SCHEMAS", "make_handlers"]
+
+
+#: Validation schemas, by ``"METHOD /path"`` endpoint key.  The
+#: validation middleware rejects anything not conforming before the
+#: handler — or the response cache — sees the request.
+SCHEMAS: Dict[str, Mapping[str, Field]] = {
+    "POST /protect": {
+        "dataset": Field(type=dict, required=True),
+        # No static choices: the LPPM registry is open (register_lppm),
+        # so the name is checked against it at request time.
+        "lppm": Field(type=str, default="geo_ind"),
+        "param": Field(type=float, default=0.01),
+        "seed": Field(type=int, default=0),
+        "include_records": Field(type=bool, default=True),
+    },
+    "POST /sweep": {
+        "dataset": Field(type=dict, required=True),
+        "points": Field(type=int, default=10, low=2, high=200),
+        "replications": Field(type=int, default=2, low=1, high=64),
+    },
+    "POST /configure": {
+        "dataset": Field(type=dict, required=True),
+        "points": Field(type=int, default=10, low=2, high=200),
+        "replications": Field(type=int, default=2, low=1, high=64),
+    },
+    "POST /recommend": {
+        "dataset": Field(type=dict, required=True),
+        "points": Field(type=int, default=10, low=2, high=200),
+        "replications": Field(type=int, default=2, low=1, high=64),
+        "objectives": Field(type=list, required=True),
+        "policy": Field(
+            type=str, default="max_utility",
+            choices=("max_utility", "max_privacy", "midpoint"),
+        ),
+    },
+}
+
+
+def _parse_objectives(raw: List[object]) -> List[Objective]:
+    if not raw:
+        raise ServiceError(
+            400, "invalid-request", "objectives must be a non-empty list"
+        )
+    objectives = []
+    for i, item in enumerate(raw):
+        if not isinstance(item, dict):
+            raise ServiceError(
+                400, "invalid-request",
+                f"objectives[{i}]: expected an object with kind/op/target",
+            )
+        missing = [k for k in ("kind", "op", "target") if k not in item]
+        unknown = sorted(set(item) - {"kind", "op", "target"})
+        if missing or unknown:
+            raise ServiceError(
+                400, "invalid-request",
+                f"objectives[{i}]: missing {missing}, unknown {unknown}",
+            )
+        target = item["target"]
+        if isinstance(target, bool) or not isinstance(target, (int, float)):
+            raise ServiceError(
+                400, "invalid-request",
+                f"objectives[{i}]: target must be a number",
+            )
+        try:
+            objectives.append(
+                Objective(item["kind"], item["op"], float(target))
+            )
+        except ValueError as exc:
+            raise ServiceError(
+                400, "invalid-request", f"objectives[{i}]: {exc}"
+            )
+    return objectives
+
+
+def _model_dict(model) -> dict:
+    """A fitted SystemModel as JSON (the paper's equation-2 view)."""
+    a, b, alpha, beta = model.coefficients
+    return {
+        "system": model.system_name,
+        "param": model.param_name,
+        "coefficients": {"a": a, "b": b, "alpha": alpha, "beta": beta},
+        "privacy_fit": {
+            "r2": model.privacy.r2,
+            "domain": [model.privacy.x_low, model.privacy.x_high],
+        },
+        "utility_fit": {
+            "r2": model.utility.r2,
+            "domain": [model.utility.x_low, model.utility.x_high],
+        },
+        "domain": list(model.domain()),
+    }
+
+
+def make_handlers(
+    state: ServiceState,
+) -> Dict[str, Callable[[Request], dict]]:
+    """The endpoint routing table, bound to one service state."""
+
+    def _engine_cost(run) -> dict:
+        """Run ``run()`` under the evaluation lock, reporting its cost.
+
+        Framework :class:`ValueError`\\ s (a sweep too coarse for the
+        model fit, jointly degenerate objectives, …) are the caller's
+        data, not server faults — they surface as typed 422s.
+        """
+        with state.evaluation_lock:
+            before = state.engine.n_executions
+            try:
+                result = run()
+            except ValueError as exc:
+                raise ServiceError(422, "evaluation-failed", str(exc))
+            return result, {
+                "executions_this_request": state.engine.n_executions - before,
+                **state.engine.stats,
+            }
+
+    # ------------------------------------------------------------------
+    # POST /protect
+    # ------------------------------------------------------------------
+    def protect(request: Request) -> dict:
+        body = request.body
+        _, dataset = state.dataset_for(body["dataset"])
+        name = body["lppm"]
+        if name not in available_lppms():
+            raise ServiceError(
+                400, "invalid-request",
+                f"lppm: must be one of {available_lppms()}, got {name!r}",
+            )
+        try:
+            param_name = primary_param(name)
+            lppm = lppm_class(name)(**{param_name: body["param"]})
+        except (TypeError, ValueError) as exc:
+            # Covers out-of-range values and registered mechanisms
+            # whose constructors do not take a scalar first parameter.
+            raise ServiceError(
+                400, "invalid-param", f"{name}: {exc}"
+            )
+        with state.evaluation_lock:
+            protected = lppm.protect(dataset, seed=body["seed"])
+        payload = {
+            "lppm": name,
+            "param_name": param_name,
+            "param": body["param"],
+            "seed": body["seed"],
+            "n_users": len(protected),
+            "n_records": protected.n_records,
+        }
+        if body["include_records"]:
+            payload["records"] = [
+                [rec.user, rec.time_s, rec.lat, rec.lon]
+                for trace in protected.traces
+                for rec in trace
+            ]
+        return payload
+
+    # ------------------------------------------------------------------
+    # POST /sweep
+    # ------------------------------------------------------------------
+    def sweep(request: Request) -> dict:
+        body = request.body
+        key, dataset = state.dataset_for(body["dataset"])
+
+        def run():
+            # sweep_for, not configurator_for: a degenerate model fit
+            # must not discard a perfectly good sweep.
+            return state.sweep_for(
+                key, dataset, body["points"], body["replications"]
+            )
+
+        result, engine = _engine_cost(run)
+        return {
+            "param": result.param_name,
+            "system": result.system_name,
+            "points": [
+                {
+                    result.param_name: p.params[result.param_name],
+                    "privacy_mean": p.privacy_mean,
+                    "privacy_std": p.privacy_std,
+                    "utility_mean": p.utility_mean,
+                    "utility_std": p.utility_std,
+                    "n_replications": p.n_replications,
+                }
+                for p in result.points
+            ],
+            "engine": engine,
+        }
+
+    # ------------------------------------------------------------------
+    # POST /configure
+    # ------------------------------------------------------------------
+    def configure(request: Request) -> dict:
+        body = request.body
+        key, dataset = state.dataset_for(body["dataset"])
+
+        def run():
+            configurator = state.configurator_for(
+                key, dataset, body["points"], body["replications"]
+            )
+            return configurator.model
+
+        model, engine = _engine_cost(run)
+        return {"model": _model_dict(model), "engine": engine}
+
+    # ------------------------------------------------------------------
+    # POST /recommend
+    # ------------------------------------------------------------------
+    def recommend(request: Request) -> dict:
+        body = request.body
+        objectives = _parse_objectives(body["objectives"])
+        key, dataset = state.dataset_for(body["dataset"])
+
+        def run():
+            configurator = state.configurator_for(
+                key, dataset, body["points"], body["replications"]
+            )
+            return configurator.recommend(objectives, policy=body["policy"])
+
+        rec, engine = _engine_cost(run)
+        return {
+            "recommendation": {
+                "param": rec.param_name,
+                "value": rec.value,
+                "feasible": rec.feasible,
+                "interval": list(rec.interval),
+                "predicted_privacy": rec.predicted_privacy,
+                "predicted_utility": rec.predicted_utility,
+                "notes": rec.notes,
+            },
+            "objectives": [str(o) for o in objectives],
+            "policy": body["policy"],
+            "engine": engine,
+        }
+
+    # ------------------------------------------------------------------
+    # GET /healthz and /metrics (metrics blocks are filled by the app,
+    # which owns the middleware instances)
+    # ------------------------------------------------------------------
+    def healthz(request: Request) -> dict:
+        return {
+            "status": "ok",
+            "version": __version__,
+            "uptime_s": round(state.uptime_s, 3),
+            "engine": {
+                "policy": state.engine.policy,
+                "max_workers": state.engine.max_workers,
+                "cache_dir": (
+                    str(state.engine.cache.cache_dir)
+                    if state.engine.cache.cache_dir is not None
+                    else None
+                ),
+            },
+            "datasets": state.n_datasets,
+            "configurators": state.n_configurators,
+        }
+
+    return {
+        "POST /protect": protect,
+        "POST /sweep": sweep,
+        "POST /configure": configure,
+        "POST /recommend": recommend,
+        "GET /healthz": healthz,
+    }

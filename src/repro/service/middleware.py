@@ -1,0 +1,591 @@
+"""The service's composable middleware pipeline.
+
+Every request entering the configuration service flows through an
+ordered chain of middlewares before (and after) its endpoint handler —
+the same onion model the middleware literature the paper sits in
+describes: each layer sees the request on the way in and the response
+on the way out, and any layer may short-circuit by answering itself.
+
+The layers shipped here, in their default order:
+
+1. :class:`RequestIdMiddleware` — tags the request with a unique id and
+   echoes it as ``X-Request-Id``, so log lines and error responses of
+   one request can be correlated across layers;
+2. :class:`LoggingMiddleware` — one structured log line per request
+   (method, path, status, wall-clock, request id);
+3. :class:`MetricsMiddleware` — per-endpoint request/status/latency
+   counters, surfaced by ``GET /metrics``;
+4. :class:`ErrorBoundaryMiddleware` — converts :class:`ServiceError`
+   into its typed JSON response and anything unexpected into a 500,
+   so the layers above always see a response to log and count;
+5. :class:`ValidationMiddleware` — validates and normalises the JSON
+   request body against the endpoint's declared field specs, rejecting
+   bad requests with a typed 400 before any work happens;
+6. :class:`ResponseCacheMiddleware` — innermost: answers a repeated
+   deterministic request from a content-addressed response cache
+   without invoking the handler at all.
+
+Ordering is semantics: the error boundary sits *inside* logging and
+metrics so failures are still logged and counted, and the response
+cache sits innermost so a cache hit still carries a fresh request id
+and shows up in the metrics.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import itertools
+import json
+import logging
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Request",
+    "Response",
+    "ServiceError",
+    "Middleware",
+    "MiddlewarePipeline",
+    "RequestIdMiddleware",
+    "LoggingMiddleware",
+    "MetricsMiddleware",
+    "ErrorBoundaryMiddleware",
+    "ValidationMiddleware",
+    "ResponseCacheMiddleware",
+    "Field",
+    "validate_body",
+    "canonical_body_key",
+]
+
+logger = logging.getLogger("repro.service")
+
+
+# ----------------------------------------------------------------------
+# Request / response model
+# ----------------------------------------------------------------------
+@dataclass
+class Request:
+    """One service request, transport-agnostic.
+
+    The HTTP front-end and the in-process client both build these, so
+    the pipeline and handlers never see sockets.  ``context`` is the
+    middlewares' scratch space (e.g. the assigned request id).
+    """
+
+    method: str
+    path: str
+    body: Optional[dict] = None
+    headers: Mapping[str, str] = field(default_factory=dict)
+    context: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def endpoint(self) -> str:
+        """The routing key, e.g. ``"POST /sweep"``."""
+        return f"{self.method} {self.path}"
+
+
+@dataclass
+class Response:
+    """A JSON response: status code, payload, extra headers."""
+
+    status: int = 200
+    body: dict = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+class ServiceError(Exception):
+    """A typed, client-visible error.
+
+    Handlers and middlewares raise these; the error boundary renders
+    them as ``{"error": {"code": ..., "message": ..., "details": ...}}``
+    with the carried HTTP status.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        details: Optional[object] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = int(status)
+        self.code = code
+        self.message = message
+        self.details = details
+
+    def to_response(self, request_id: str = "") -> Response:
+        error = {"code": self.code, "message": self.message}
+        if self.details is not None:
+            error["details"] = self.details
+        if request_id:
+            error["request_id"] = request_id
+        return Response(status=self.status, body={"error": error})
+
+
+#: A terminal request handler, and what middlewares wrap.
+Handler = Callable[[Request], Response]
+
+
+# ----------------------------------------------------------------------
+# Pipeline
+# ----------------------------------------------------------------------
+class Middleware:
+    """One layer of the onion.
+
+    Subclasses override :meth:`handle`, calling ``call_next(request)``
+    exactly once to continue inward — or not at all to short-circuit.
+    """
+
+    #: Stable name used in docs, metrics and pipeline introspection.
+    name = "middleware"
+
+    def handle(self, request: Request, call_next: Handler) -> Response:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class MiddlewarePipeline:
+    """An ordered middleware chain around a terminal handler.
+
+    ``pipeline.wrap(handler)`` composes the chain so that the *first*
+    middleware in the list is the outermost layer.  The pipeline is
+    immutable once built; services compose a new one to reconfigure.
+    """
+
+    def __init__(self, middlewares: Sequence[Middleware] = ()) -> None:
+        self.middlewares: Tuple[Middleware, ...] = tuple(middlewares)
+        names = [m.name for m in self.middlewares]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate middleware names: {names!r}")
+
+    @property
+    def names(self) -> List[str]:
+        """Middleware names, outermost first."""
+        return [m.name for m in self.middlewares]
+
+    def wrap(self, handler: Handler) -> Handler:
+        """The composed handler: every layer around ``handler``."""
+        wrapped = handler
+        for middleware in reversed(self.middlewares):
+            wrapped = _bind(middleware, wrapped)
+        return wrapped
+
+    def __call__(self, request: Request, handler: Handler) -> Response:
+        return self.wrap(handler)(request)
+
+    def __len__(self) -> int:
+        return len(self.middlewares)
+
+    def __repr__(self) -> str:
+        return f"MiddlewarePipeline({' -> '.join(self.names) or 'empty'})"
+
+
+def _bind(middleware: Middleware, inner: Handler) -> Handler:
+    def call(request: Request) -> Response:
+        return middleware.handle(request, inner)
+
+    return call
+
+
+# ----------------------------------------------------------------------
+# Request id + logging
+# ----------------------------------------------------------------------
+class RequestIdMiddleware(Middleware):
+    """Assigns each request a unique id and echoes it to the client.
+
+    Ids are ``req-<counter>-<hash>``: the counter orders requests of
+    one service instance, the short hash disambiguates across restarts
+    without needing any global coordination.
+    """
+
+    name = "request_id"
+
+    def __init__(self) -> None:
+        self._counter = itertools.count(1)
+        seed = f"{id(self)}-{time.time_ns()}".encode("utf-8")
+        self._instance = hashlib.sha256(seed).hexdigest()[:6]
+
+    def handle(self, request: Request, call_next: Handler) -> Response:
+        number = next(self._counter)
+        request_id = f"req-{self._instance}-{number}"
+        request.context["request_id"] = request_id
+        response = call_next(request)
+        response.headers.setdefault("X-Request-Id", request_id)
+        return response
+
+
+class LoggingMiddleware(Middleware):
+    """One structured log line per request, on the way out."""
+
+    name = "logging"
+
+    def __init__(self, log: Optional[logging.Logger] = None) -> None:
+        self._log = log or logger
+
+    def handle(self, request: Request, call_next: Handler) -> Response:
+        start = time.perf_counter()
+        response = call_next(request)
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        self._log.info(
+            "%s %s -> %d in %.1f ms [%s]%s",
+            request.method,
+            request.path,
+            response.status,
+            elapsed_ms,
+            request.context.get("request_id", "-"),
+            " (response-cache hit)" if request.context.get("response_cache_hit")
+            else "",
+        )
+        return response
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+class MetricsMiddleware(Middleware):
+    """Per-endpoint request counters and wall-clock accounting.
+
+    Counters live on the middleware itself and are read by the
+    ``/metrics`` handler; access is lock-protected because the HTTP
+    front-end is threaded.
+
+    ``known_endpoints`` bounds label cardinality: requests to any other
+    endpoint (scanners probing random paths, typo'd clients) are
+    bucketed under one ``"<unrouted>"`` key instead of growing the
+    counter dicts — and the ``/metrics`` payload — without bound.
+    """
+
+    name = "metrics"
+
+    #: Bucket for requests to endpoints outside ``known_endpoints``.
+    UNROUTED = "<unrouted>"
+
+    def __init__(self, known_endpoints: Optional[Sequence[str]] = None) -> None:
+        self._lock = threading.Lock()
+        self.known_endpoints = (
+            frozenset(known_endpoints) if known_endpoints is not None else None
+        )
+        self.requests_total = 0
+        self.by_endpoint: Dict[str, int] = {}
+        self.by_status: Dict[int, int] = {}
+        self.wall_clock_s: Dict[str, float] = {}
+        self.response_cache_hits = 0
+
+    def handle(self, request: Request, call_next: Handler) -> Response:
+        start = time.perf_counter()
+        response = call_next(request)
+        elapsed = time.perf_counter() - start
+        endpoint = request.endpoint
+        if (
+            self.known_endpoints is not None
+            and endpoint not in self.known_endpoints
+        ):
+            endpoint = self.UNROUTED
+        with self._lock:
+            self.requests_total += 1
+            self.by_endpoint[endpoint] = self.by_endpoint.get(endpoint, 0) + 1
+            self.by_status[response.status] = (
+                self.by_status.get(response.status, 0) + 1
+            )
+            self.wall_clock_s[endpoint] = (
+                self.wall_clock_s.get(endpoint, 0.0) + elapsed
+            )
+            if request.context.get("response_cache_hit"):
+                self.response_cache_hits += 1
+        return response
+
+    def snapshot(self) -> dict:
+        """A JSON-ready copy of every counter."""
+        with self._lock:
+            return {
+                "requests_total": self.requests_total,
+                "requests_by_endpoint": dict(self.by_endpoint),
+                "responses_by_status": {
+                    str(k): v for k, v in sorted(self.by_status.items())
+                },
+                "wall_clock_s_by_endpoint": {
+                    k: round(v, 6) for k, v in self.wall_clock_s.items()
+                },
+                "response_cache_hits": self.response_cache_hits,
+            }
+
+
+# ----------------------------------------------------------------------
+# Error boundary
+# ----------------------------------------------------------------------
+class ErrorBoundaryMiddleware(Middleware):
+    """Renders exceptions as typed JSON errors.
+
+    :class:`ServiceError` keeps its status and code; anything else
+    becomes an opaque 500 (logged with traceback) so internals never
+    leak to clients.
+
+    A transport may also hand in an error it hit *before* dispatch (a
+    body that was not valid JSON) as ``context["transport_error"]``;
+    raising it here — inside logging and metrics, outside validation —
+    keeps such requests observable without asking the validation layer
+    to reason about absent bodies.
+    """
+
+    name = "error_boundary"
+
+    def __init__(self, log: Optional[logging.Logger] = None) -> None:
+        self._log = log or logger
+
+    def handle(self, request: Request, call_next: Handler) -> Response:
+        request_id = str(request.context.get("request_id", ""))
+        try:
+            pending = request.context.get("transport_error")
+            if isinstance(pending, ServiceError):
+                raise pending
+            return call_next(request)
+        except ServiceError as exc:
+            return exc.to_response(request_id)
+        except Exception:
+            self._log.exception(
+                "unhandled error serving %s [%s]", request.endpoint, request_id
+            )
+            return ServiceError(
+                500, "internal-error", "internal server error"
+            ).to_response(request_id)
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Field:
+    """Declarative spec of one JSON body field.
+
+    ``type`` is the Python type the value must be an instance of after
+    coercion (ints are accepted where floats are declared); ``choices``
+    restricts values; ``low``/``high`` bound numbers inclusively.
+    """
+
+    type: type = object
+    required: bool = False
+    default: object = None
+    choices: Optional[Sequence[object]] = None
+    low: Optional[float] = None
+    high: Optional[float] = None
+
+    def check(self, name: str, value: object, problems: List[str]) -> object:
+        if self.type is float and isinstance(value, int) \
+                and not isinstance(value, bool):
+            value = float(value)
+        if self.type in (int, float) and isinstance(value, bool):
+            # bool subclasses int; JSON true/false are not numbers here.
+            problems.append(
+                f"{name}: expected {self.type.__name__}, got bool"
+            )
+            return value
+        if self.type is not object and not isinstance(value, self.type):
+            problems.append(
+                f"{name}: expected {self.type.__name__}, "
+                f"got {type(value).__name__}"
+            )
+            return value
+        if self.choices is not None and value not in self.choices:
+            problems.append(
+                f"{name}: must be one of {sorted(map(str, self.choices))}, "
+                f"got {value!r}"
+            )
+        if self.low is not None and isinstance(value, (int, float)) \
+                and value < self.low:
+            problems.append(f"{name}: must be >= {self.low}, got {value!r}")
+        if self.high is not None and isinstance(value, (int, float)) \
+                and value > self.high:
+            problems.append(f"{name}: must be <= {self.high}, got {value!r}")
+        return value
+
+
+def validate_body(
+    body: Optional[dict], schema: Mapping[str, Field], endpoint: str
+) -> dict:
+    """Validate and normalise a JSON body against a field schema.
+
+    Returns a new dict with defaults filled in.  All problems are
+    collected and reported together — clients fix a bad request in one
+    round-trip, not one field at a time.
+    """
+    if body is None:
+        body = {}
+    if not isinstance(body, dict):
+        raise ServiceError(
+            400, "invalid-request",
+            f"{endpoint}: request body must be a JSON object",
+        )
+    problems: List[str] = []
+    unknown = sorted(set(body) - set(schema))
+    if unknown:
+        problems.append(f"unknown fields: {unknown}")
+    normalised: dict = {}
+    for name, spec in schema.items():
+        if name in body:
+            normalised[name] = spec.check(name, body[name], problems)
+        elif spec.required:
+            problems.append(f"{name}: required field is missing")
+        else:
+            normalised[name] = spec.default
+    if problems:
+        raise ServiceError(
+            400, "invalid-request",
+            f"{endpoint}: invalid request body",
+            details=problems,
+        )
+    return normalised
+
+
+class ValidationMiddleware(Middleware):
+    """Applies the endpoint's :func:`validate_body` schema, if declared.
+
+    The normalised body replaces ``request.body``, so handlers see
+    defaults already filled in and never re-validate.
+    """
+
+    name = "validation"
+
+    def __init__(self, schemas: Mapping[str, Mapping[str, Field]]) -> None:
+        self.schemas = dict(schemas)
+
+    def handle(self, request: Request, call_next: Handler) -> Response:
+        schema = self.schemas.get(request.endpoint)
+        if schema is not None:
+            request.body = validate_body(
+                request.body, schema, request.endpoint
+            )
+        return call_next(request)
+
+
+# ----------------------------------------------------------------------
+# Response cache
+# ----------------------------------------------------------------------
+def canonical_body_key(endpoint: str, body: Optional[dict]) -> str:
+    """Content key of a request: SHA-256 over canonical JSON.
+
+    The same canonicalisation discipline as the engine's job
+    fingerprints (:func:`repro.engine.jobs.job_fingerprint`): sorted
+    keys, compact separators, so two dict orderings of the same request
+    are the same cache entry.
+    """
+    payload = json.dumps(
+        {"endpoint": endpoint, "body": body or {}},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResponseCacheMiddleware(Middleware):
+    """Answers repeated deterministic requests without calling inward.
+
+    Only the endpoints named at construction are cacheable (sweeps,
+    configurations — anything whose response is a pure function of the
+    validated body); only 2xx responses are stored.  This sits *below*
+    validation, so the key is computed over the normalised body — a
+    request spelled with explicit defaults hits the same entry as one
+    that omitted them.
+
+    The engine's own result cache already makes a repeated sweep free
+    of protect + measure executions; this layer removes the remaining
+    model-fit and cache-lookup work, so a warm repeat costs one dict
+    lookup.
+
+    ``should_cache`` (optional) vetoes caching per request — the app
+    uses it to bypass requests whose responses are *not* pure functions
+    of the body (e.g. dataset specs naming a server-side file that may
+    change).  ``key_body`` (optional) canonicalises the body before
+    keying — the app uses it to fill nested dataset-spec defaults, so
+    equivalent spellings share one entry.  ``on_hit`` (optional)
+    post-processes the fresh copy of a replayed body — the app uses it
+    to zero per-request cost counters, which would otherwise replay the
+    original request's cost.
+    """
+
+    name = "response_cache"
+
+    def __init__(
+        self,
+        cacheable: Sequence[str],
+        max_entries: int = 1024,
+        should_cache: Optional[Callable[[Request], bool]] = None,
+        key_body: Optional[Callable[[Optional[dict]], Optional[dict]]] = None,
+        on_hit: Optional[Callable[[dict], dict]] = None,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.cacheable = frozenset(cacheable)
+        self.max_entries = int(max_entries)
+        self.should_cache = should_cache
+        self.key_body = key_body
+        self.on_hit = on_hit
+        self._lock = threading.Lock()
+        self._entries: Dict[str, Response] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def handle(self, request: Request, call_next: Handler) -> Response:
+        if request.endpoint not in self.cacheable or (
+            self.should_cache is not None and not self.should_cache(request)
+        ):
+            return call_next(request)
+        body_for_key = (
+            self.key_body(request.body) if self.key_body is not None
+            else request.body
+        )
+        key = canonical_body_key(request.endpoint, body_for_key)
+        with self._lock:
+            hit = self._entries.get(key)
+        if hit is not None:
+            with self._lock:
+                self.hits += 1
+            request.context["response_cache_hit"] = True
+            # Fresh copies, body included: in-process callers receive
+            # the response dict itself, and must not be able to mutate
+            # the cached entry through it.
+            body = copy.deepcopy(hit.body)
+            if self.on_hit is not None:
+                body = self.on_hit(body)
+            return Response(
+                status=hit.status,
+                body=body,
+                headers=dict(hit.headers, **{"X-Response-Cache": "hit"}),
+            )
+        response = call_next(request)
+        with self._lock:
+            self.misses += 1
+            if response.ok:
+                if len(self._entries) >= self.max_entries:
+                    # Drop the oldest entry (dicts preserve insertion
+                    # order) — a plain bound, not an LRU, is enough for
+                    # a cache of whole sweep responses.
+                    self._entries.pop(next(iter(self._entries)))
+                self._entries[key] = Response(
+                    status=response.status,
+                    body=copy.deepcopy(response.body),
+                    headers=dict(response.headers),
+                )
+        response.headers.setdefault("X-Response-Cache", "miss")
+        return response
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

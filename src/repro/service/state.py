@@ -1,0 +1,380 @@
+"""Shared state of the configuration service.
+
+The daemon's whole point is amortisation: one long-lived
+:class:`~repro.engine.EvaluationEngine` (with its warm two-tier result
+cache), one registry of loaded datasets, and one registry of fitted
+:class:`~repro.framework.Configurator` models — shared by every request
+instead of being rebuilt per CLI invocation.
+
+Datasets are named by *content*: the canonical JSON of the request's
+dataset spec is the registry key, so two clients asking for the same
+synthetic fleet (or the same CSV path) share one in-memory dataset, one
+engine fingerprint, and one fitted model.
+
+The engine and the framework objects are not thread-safe; the service's
+HTTP front-end is threaded.  All evaluation work therefore funnels
+through :meth:`ServiceState.evaluation_lock` — requests queue for the
+engine, which then batches each sweep across its own worker pool.  The
+lock serialises Python-side bookkeeping, not the useful work.  The
+registries themselves sit under a separate, never-held-long lock, so
+``/healthz`` and ``/metrics`` stay responsive while a long sweep holds
+the evaluation lock.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from ..engine import EvaluationEngine
+from ..framework import Configurator, geo_ind_system
+from ..framework.spec import SystemDefinition
+from ..mobility import Dataset, Trace, read_csv
+from ..synth import (
+    CommuterConfig,
+    TaxiFleetConfig,
+    generate_commuters,
+    generate_taxi_fleet,
+)
+from .middleware import ServiceError, canonical_body_key
+
+__all__ = [
+    "ServiceState",
+    "resolve_dataset_spec",
+    "normalised_dataset_spec",
+]
+
+#: Synthetic workloads a dataset spec may name.
+_WORKLOADS = ("taxi", "commuters")
+
+
+def normalised_dataset_spec(spec):
+    """A workload spec with its omitted defaults made explicit.
+
+    Pure (no IO): ``{"workload": "taxi"}`` and
+    ``{"workload": "taxi", "users": 10, "seed": 0}`` describe the same
+    data, and everything that keys on a spec — the dataset registry,
+    the response cache — must see one spelling.  Non-workload specs
+    pass through unchanged.
+    """
+    if isinstance(spec, dict) and "workload" in spec:
+        return dict(
+            spec, users=spec.get("users", 10), seed=spec.get("seed", 0)
+        )
+    return spec
+
+
+def resolve_dataset_spec(spec: dict) -> Dataset:
+    """Build the dataset a request's ``dataset`` spec describes.
+
+    Exactly one of three forms:
+
+    * ``{"path": "traces.csv"}`` — a CSV file on the server's disk;
+    * ``{"workload": "taxi"|"commuters", "users": N, "seed": S}`` — a
+      synthetic workload, generated deterministically;
+    * ``{"records": [[user, time_s, lat, lon], ...]}`` — inline data.
+    """
+    if not isinstance(spec, dict):
+        raise ServiceError(
+            400, "invalid-dataset", "dataset spec must be a JSON object"
+        )
+    forms = [k for k in ("path", "workload", "records") if k in spec]
+    if len(forms) != 1:
+        raise ServiceError(
+            400, "invalid-dataset",
+            "dataset spec needs exactly one of 'path', 'workload' "
+            f"or 'records'; got {sorted(spec) or 'nothing'}",
+        )
+    allowed = {
+        "path": {"path"},
+        "workload": {"workload", "users", "seed"},
+        "records": {"records"},
+    }[forms[0]]
+    unknown = sorted(set(spec) - allowed)
+    if unknown:
+        # Strictness is load-bearing, not pedantry: unrecognised keys
+        # would change registry/cache keys without changing the data.
+        raise ServiceError(
+            400, "invalid-dataset",
+            f"unknown dataset spec fields: {unknown}",
+        )
+    if "path" in spec:
+        try:
+            return read_csv(spec["path"])
+        except FileNotFoundError:
+            raise ServiceError(
+                404, "dataset-not-found", f"no such file: {spec['path']}"
+            )
+        except (ValueError, OSError) as exc:
+            raise ServiceError(
+                400, "invalid-dataset", f"unreadable CSV: {exc}"
+            )
+    if "workload" in spec:
+        # Read the generation inputs through the same normalisation
+        # that keys the registries, so key and data cannot drift.
+        spec = normalised_dataset_spec(spec)
+        workload = spec["workload"]
+        if workload not in _WORKLOADS:
+            raise ServiceError(
+                400, "invalid-dataset",
+                f"workload must be one of {list(_WORKLOADS)}, "
+                f"got {workload!r}",
+            )
+        users = spec["users"]
+        seed = spec["seed"]
+        if not isinstance(users, int) or isinstance(users, bool) or users < 1:
+            raise ServiceError(
+                400, "invalid-dataset", "users must be a positive integer"
+            )
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise ServiceError(400, "invalid-dataset", "seed must be an integer")
+        if workload == "taxi":
+            return generate_taxi_fleet(TaxiFleetConfig(n_cabs=users, seed=seed))
+        return generate_commuters(CommuterConfig(n_users=users, seed=seed))
+    records = spec["records"]
+    if not isinstance(records, list) or not records:
+        raise ServiceError(
+            400, "invalid-dataset", "records must be a non-empty list"
+        )
+    by_user: Dict[str, list] = {}
+    for i, row in enumerate(records):
+        if not isinstance(row, list) or len(row) != 4:
+            raise ServiceError(
+                400, "invalid-dataset",
+                f"records[{i}]: expected [user, time_s, lat, lon]",
+            )
+        user, t, lat, lon = row
+        if not isinstance(user, str) or not user:
+            raise ServiceError(
+                400, "invalid-dataset",
+                f"records[{i}]: user must be a non-empty string",
+            )
+        try:
+            by_user.setdefault(user, []).append(
+                (float(t), float(lat), float(lon))
+            )
+        except (TypeError, ValueError):
+            raise ServiceError(
+                400, "invalid-dataset",
+                f"records[{i}]: time/lat/lon must be numbers",
+            )
+    try:
+        traces = [
+            Trace(
+                user,
+                [r[0] for r in rows],
+                [r[1] for r in rows],
+                [r[2] for r in rows],
+            )
+            for user, rows in by_user.items()
+        ]
+        return Dataset.from_traces(traces)
+    except ValueError as exc:
+        raise ServiceError(400, "invalid-dataset", str(exc))
+
+
+class ServiceState:
+    """Everything one service instance shares across requests.
+
+    Parameters
+    ----------
+    engine:
+        The shared evaluation engine; ``None`` builds a serial one.
+        Pass ``EvaluationEngine(engine="process", cache_dir=...)`` for
+        the production shape: parallel batches over a durable cache.
+    system_factory:
+        Builds the :class:`SystemDefinition` analysed by ``/sweep``,
+        ``/configure`` and ``/recommend`` (default: the paper's GEO-I
+        illustration).
+    max_datasets:
+        Bound on the dataset registry; the oldest entry is evicted
+        (with its fitted configurators) when the bound is hit.
+    """
+
+    def __init__(
+        self,
+        engine: Optional[EvaluationEngine] = None,
+        system_factory: Callable[[], SystemDefinition] = geo_ind_system,
+        max_datasets: int = 32,
+    ) -> None:
+        if max_datasets < 1:
+            raise ValueError("max_datasets must be at least 1")
+        self.engine = engine if engine is not None else EvaluationEngine()
+        self.system = system_factory()
+        self.max_datasets = int(max_datasets)
+        self.started_at = time.time()
+        self._monotonic_start = time.monotonic()
+        #: Serialises all engine/framework work (they are not
+        #: thread-safe; the HTTP front-end is threaded).
+        self.evaluation_lock = threading.RLock()
+        # Guards only the registry dicts.  Never held while evaluating,
+        # so introspection endpoints never queue behind a sweep.  Lock
+        # order where both are taken: evaluation_lock, then this.
+        self._registry_lock = threading.Lock()
+        self._datasets: Dict[str, Dataset] = {}
+        self._configurators: Dict[Tuple[str, int, int, int], Configurator] = {}
+
+    # ------------------------------------------------------------------
+    # Registries
+    # ------------------------------------------------------------------
+    def _key_spec_of(self, spec: dict) -> dict:
+        """The spec as actually keyed: defaults filled, files pinned.
+
+        Workload specs are normalised (omitted ``users``/``seed``
+        become their defaults) so equivalent spellings share one
+        dataset, one fitted model, and one cache entry.  Path-form
+        specs are keyed by the file's identity (mtime and size) as
+        well as its name, so a long-running daemon re-reads a CSV that
+        changed on disk instead of serving the stale dataset forever.
+        """
+        if not isinstance(spec, dict):
+            return spec
+        if set(spec) == {"path"} and isinstance(spec.get("path"), str):
+            try:
+                stat = os.stat(spec["path"])
+            except FileNotFoundError:
+                raise ServiceError(
+                    404, "dataset-not-found", f"no such file: {spec['path']}"
+                )
+            except OSError as exc:
+                # Exists but cannot be examined (permissions, IO):
+                # matches resolve_dataset_spec's diagnosis for a file
+                # that fails at open time.
+                raise ServiceError(
+                    400, "invalid-dataset", f"unreadable CSV: {exc}"
+                )
+            return dict(spec, _mtime_ns=stat.st_mtime_ns, _size=stat.st_size)
+        return normalised_dataset_spec(spec)
+
+    def dataset_for(self, spec: dict) -> Tuple[str, Dataset]:
+        """The (registry key, dataset) for a request's dataset spec."""
+        key = canonical_body_key("dataset", self._key_spec_of(spec))[:16]
+        with self._registry_lock:
+            dataset = self._datasets.get(key)
+        if dataset is None:
+            dataset = resolve_dataset_spec(spec)
+            with self._registry_lock:
+                existing = self._datasets.get(key)
+                if existing is not None:
+                    # Another thread resolved the same spec first; keep
+                    # its object so fingerprint memoisation stays shared.
+                    dataset = existing
+                else:
+                    if len(self._datasets) >= self.max_datasets:
+                        evicted = next(iter(self._datasets))
+                        del self._datasets[evicted]
+                        self._configurators = {
+                            k: v
+                            for k, v in self._configurators.items()
+                            if k[0] != evicted
+                        }
+                    self._datasets[key] = dataset
+        return key, dataset
+
+    def configurator_for(
+        self,
+        dataset_key: str,
+        dataset: Dataset,
+        n_points: int,
+        n_replications: int,
+        base_seed: int = 0,
+    ) -> Configurator:
+        """A *fitted* configurator for (dataset, sweep resolution).
+
+        Fitting is the expensive offline phase; the registry means each
+        (dataset, resolution) pays it once per process — and with a
+        warm engine cache, even that one fit performs zero protect +
+        measure executions.
+        """
+        key = (dataset_key, int(n_points), int(n_replications), int(base_seed))
+        with self._registry_lock:
+            configurator = self._configurators.get(key)
+        if configurator is not None:
+            return configurator
+        with self.evaluation_lock:
+            # Double-check: a thread that queued behind the fitting one
+            # finds the result instead of fitting again.
+            with self._registry_lock:
+                configurator = self._configurators.get(key)
+            if configurator is None:
+                configurator = Configurator(
+                    self.system,
+                    dataset,
+                    n_points=n_points,
+                    n_replications=n_replications,
+                    base_seed=base_seed,
+                    engine=self.engine,
+                )
+                configurator.fit()
+                with self._registry_lock:
+                    self._configurators[key] = configurator
+            return configurator
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def sweep_for(
+        self,
+        dataset_key: str,
+        dataset: Dataset,
+        n_points: int,
+        n_replications: int,
+        base_seed: int = 0,
+    ):
+        """A sweep result for (dataset, resolution); model fit optional.
+
+        ``/sweep`` responses never use the fitted model, so a sweep
+        whose *fit* is degenerate (active region too narrow for the
+        paper's log-linear model) is still served.  When the fit does
+        succeed, the fitted configurator is registered exactly as
+        :meth:`configurator_for` would — the usual case pays nothing
+        extra.
+        """
+        try:
+            return self.configurator_for(
+                dataset_key, dataset, n_points, n_replications, base_seed
+            ).sweep
+        except ValueError:
+            # The evaluations are in the engine cache; re-aggregating
+            # the sweep without the model costs zero executions.
+            configurator = Configurator(
+                self.system,
+                dataset,
+                n_points=n_points,
+                n_replications=n_replications,
+                base_seed=base_seed,
+                engine=self.engine,
+            )
+            with self.evaluation_lock:
+                return configurator.runner.sweep(n_points=n_points)
+
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self._monotonic_start
+
+    @property
+    def n_datasets(self) -> int:
+        with self._registry_lock:
+            return len(self._datasets)
+
+    @property
+    def n_configurators(self) -> int:
+        with self._registry_lock:
+            return len(self._configurators)
+
+    def clear_registries(self) -> None:
+        """Drop every registered dataset and fitted configurator.
+
+        The engine and its caches are untouched: a re-fit after this
+        call re-reads cached evaluations (benchmarks use exactly that
+        to isolate the warm-engine tier).
+        """
+        with self._registry_lock:
+            self._datasets.clear()
+            self._configurators.clear()
+
+    def close(self) -> None:
+        """Release the engine's backend resources; idempotent."""
+        self.engine.close()

@@ -29,6 +29,44 @@ class TestRegistry:
         with pytest.raises(KeyError):
             lppm_class("definitely-not-an-lppm")
 
+
+class TestPrimaryParam:
+    def test_known_mechanisms(self):
+        from repro.lppm import primary_param
+
+        assert primary_param("geo_ind") == "epsilon"
+        assert primary_param("gaussian") == "sigma_m"
+        assert primary_param("subsampling") == "keep_fraction"
+
+    def test_every_registered_mechanism_has_one(self):
+        from repro.lppm import primary_param
+
+        for name in available_lppms():
+            assert primary_param(name)
+
+    def test_varargs_only_constructor_rejected(self, monkeypatch):
+        import repro.lppm.base as base
+
+        class KwargsOnly:
+            def __init__(self, **kwargs):
+                pass
+
+        monkeypatch.setattr(base, "lppm_class", lambda name: KwargsOnly)
+        with pytest.raises(ValueError, match="named parameters"):
+            base.primary_param("kwargs_only")
+
+    def test_positional_only_first_param_rejected(self, monkeypatch):
+        import repro.lppm.base as base
+
+        class PositionalOnly:
+            def __init__(self, epsilon, /, scale=1.0):
+                pass
+
+        monkeypatch.setattr(base, "lppm_class", lambda name: PositionalOnly)
+        # Returning 'scale' here would bind --param to the wrong knob.
+        with pytest.raises(ValueError, match="positional-only"):
+            base.primary_param("positional_only")
+
     def test_name_attribute_set(self):
         assert GeoIndistinguishability.name == "geo_ind"
 

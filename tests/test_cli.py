@@ -2,6 +2,7 @@
 
 import pytest
 
+import repro
 from repro.cli import build_parser, main
 from repro.mobility import read_csv
 
@@ -25,6 +26,104 @@ class TestParser:
             build_parser().parse_args(
                 ["protect", "in.csv", "out.csv", "--lppm", "nope"]
             )
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_invalid_engine_value_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["sweep", "in.csv", "--engine", "gpu"])
+        assert excinfo.value.code == 2
+        assert "--engine" in capsys.readouterr().err
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert (args.host, args.port) == ("127.0.0.1", 8080)
+        assert args.engine == "auto"
+
+    @pytest.mark.parametrize("port", ["99999", "-1", "http"])
+    def test_serve_rejects_bad_ports(self, port, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["serve", "--port", port])
+        assert excinfo.value.code == 2
+        assert "port" in capsys.readouterr().err
+
+    def test_serve_accepts_engine_options(self):
+        args = build_parser().parse_args([
+            "serve", "--host", "0.0.0.0", "--port", "0",
+            "--engine", "serial", "--jobs", "2", "--cache-dir", "/tmp/c",
+        ])
+        assert args.port == 0
+        assert args.jobs == 2
+
+
+class TestErrorPaths:
+    """Operator mistakes exit 2 with a message, never a traceback."""
+
+    def test_missing_input_file(self, capsys):
+        code = main(["stats", "/no/such/input.csv"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "input.csv" in err
+
+    def test_missing_input_file_sweep(self, capsys):
+        assert main(["sweep", "/no/such/file.csv"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_param_value(self, taxi_csv, tmp_path, capsys):
+        code = main([
+            "protect", str(taxi_csv), str(tmp_path / "out.csv"),
+            "--lppm", "geo_ind", "--param", "-1.0",
+        ])
+        assert code == 2
+        assert "epsilon" in capsys.readouterr().err
+
+    def test_bad_param_value_subsampling(self, taxi_csv, tmp_path, capsys):
+        code = main([
+            "protect", str(taxi_csv), str(tmp_path / "out.csv"),
+            "--lppm", "subsampling", "--param", "7.0",
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_port_already_in_use(self, capsys):
+        import socket
+
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        port = blocker.getsockname()[1]
+        try:
+            code = main(["serve", "--port", str(port)])
+        finally:
+            blocker.close()
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_broken_pipe_is_quiet_exit_1(self, monkeypatch, capsys):
+        import repro.cli as cli_module
+
+        monkeypatch.setattr(
+            cli_module, "_cmd_list",
+            lambda args: (_ for _ in ()).throw(BrokenPipeError()),
+        )
+        assert main(["list"]) == 1
+        assert capsys.readouterr().err == ""
+
+    def test_repro_debug_reraises(self, taxi_csv, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_DEBUG", "1")
+        with pytest.raises(ValueError):
+            main(["protect", str(taxi_csv), str(tmp_path / "o.csv"),
+                  "--param", "-1.0"])
+
+    def test_unreadable_csv(self, tmp_path, capsys):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("not,a,valid,header\n1,2,3,4\n")
+        assert main(["stats", str(bad)]) == 2
+        assert "header" in capsys.readouterr().err
 
 
 class TestGenerate:

@@ -1,0 +1,48 @@
+"""The docs tree stays coherent: pages exist and intra-repo links resolve."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs_links", REPO_ROOT / "tools" / "check_docs_links.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_expected_docs_pages_present():
+    for page in ("architecture.md", "paper-map.md", "service.md"):
+        assert (REPO_ROOT / "docs" / page).is_file(), f"missing docs/{page}"
+
+
+def test_readme_links_every_docs_page():
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    for page in sorted((REPO_ROOT / "docs").glob("*.md")):
+        assert f"docs/{page.name}" in readme, \
+            f"README does not link docs/{page.name}"
+
+
+def test_all_intra_repo_markdown_links_resolve():
+    checker = _load_checker()
+    problems = checker.broken_links(REPO_ROOT)
+    assert problems == [], "\n".join(
+        f"{f.relative_to(REPO_ROOT)} -> {t}" for f, t in problems
+    )
+
+
+def test_checker_flags_broken_links(tmp_path):
+    (tmp_path / "page.md").write_text(
+        "[ok](other.md) [bad](missing.md) [ext](https://example.com) "
+        "[anchor](#here)\n"
+    )
+    (tmp_path / "other.md").write_text("hello\n")
+    checker = _load_checker()
+    problems = checker.broken_links(tmp_path)
+    assert [(f.name, t) for f, t in problems] == [("page.md", "missing.md")]

@@ -34,6 +34,7 @@ def test_expected_examples_present():
         "metric_modularity",
         "transfer_across_datasets",
         "production_workflow",
+        "service_quickstart",
     ):
         assert required in ALL_EXAMPLES, f"missing example {required}.py"
 

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Check that intra-repo markdown links resolve.
+
+Scans every ``*.md`` file in the repository (skipping hidden and cache
+directories), extracts inline ``[text](target)`` links, and verifies
+that each *relative* target exists on disk, resolved against the file
+that contains it.  External links (``http(s)://``, ``mailto:``) and
+pure in-page anchors (``#section``) are ignored; a relative target's
+``#anchor`` suffix is stripped before the existence check.
+
+Exit status 0 when every link resolves, 1 otherwise (broken links are
+listed one per line).  CI runs this as the docs job.
+
+Run:  python tools/check_docs_links.py [repo-root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+# Inline links only; reference-style links are not used in this repo.
+# The target group stops at the first unescaped ')' — good enough for
+# plain file paths, which is all intra-repo links should be.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+_SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules"}
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def iter_markdown_files(root: Path) -> List[Path]:
+    files = []
+    for path in sorted(root.rglob("*.md")):
+        if any(part in _SKIP_DIRS or part.startswith(".")
+               for part in path.relative_to(root).parts[:-1]):
+            continue
+        files.append(path)
+    return files
+
+
+def broken_links(root: Path) -> List[Tuple[Path, str]]:
+    """(file, target) pairs whose relative targets do not resolve."""
+    broken = []
+    for md_file in iter_markdown_files(root):
+        text = md_file.read_text(encoding="utf-8")
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            if path_part.startswith("/"):
+                resolved = root / path_part.lstrip("/")
+            else:
+                resolved = md_file.parent / path_part
+            if not resolved.exists():
+                broken.append((md_file, target))
+    return broken
+
+
+def main(argv: List[str] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent
+    files = iter_markdown_files(root)
+    problems = broken_links(root)
+    for md_file, target in problems:
+        print(f"{md_file.relative_to(root)}: broken link -> {target}")
+    print(f"checked {len(files)} markdown files: "
+          f"{'all links resolve' if not problems else f'{len(problems)} broken'}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
