@@ -7,7 +7,6 @@ configuration drifts from the dense-sweep reference.  The benchmark
 times the model fit at the densest setting.
 """
 
-import numpy as np
 
 from repro import (
     Configurator,

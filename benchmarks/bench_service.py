@@ -13,11 +13,18 @@ workload:
   circuits in the middleware pipeline (one dict lookup per request).
 
 Then an HTTP section reports requests/sec over real sockets (threaded
-stdlib server, warm cache) for ``/sweep`` and ``/healthz``.
+stdlib server, warm cache) for ``/sweep`` and ``/healthz``, and an
+**async tier** compares N concurrent *distinct* cold sweeps issued
+synchronously (each client thread blocks on its own POST /sweep)
+against the same workload submitted as jobs (POST /jobs + poll):
+per-request p50/p95 latency and overall throughput, plus the p95
+latency of ``GET /healthz`` probes fired *while* the sweeps run — the
+number that shows the request path staying clear of evaluation work.
 
 The warm rows must report **zero new executions** — the service-level
 restatement of the engine benchmark's invariant.  Run with ``--smoke``
-for a CI-sized configuration.
+for a CI-sized configuration; ``--json PATH`` writes the numbers for
+CI artifacts and step summaries.
 
 Run:  PYTHONPATH=src python benchmarks/bench_service.py
 """
@@ -25,6 +32,8 @@ Run:  PYTHONPATH=src python benchmarks/bench_service.py
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
 import threading
 import time
 
@@ -38,6 +47,169 @@ def _time_requests(fn, n: int) -> float:
     return time.perf_counter() - start
 
 
+def _percentiles(samples):
+    ordered = sorted(samples)
+    if not ordered:
+        return {"p50_ms": None, "p95_ms": None}
+
+    def pct(q: float) -> float:
+        idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[idx] * 1000.0
+
+    return {"p50_ms": round(pct(0.50), 3), "p95_ms": round(pct(0.95), 3)}
+
+
+@contextlib.contextmanager
+def _probed_service(workers: int):
+    """A fresh daemon over sockets with a background /healthz prober.
+
+    Yields ``(http, health_samples)``; tears the prober, server and
+    service down on exit.  The client timeout is large: the sync
+    baseline deliberately blocks each request for a whole cold sweep,
+    which at non-smoke sizes can outlast the default 60 s.
+    """
+    app = ConfigService(workers=workers)
+    server = app.make_server("127.0.0.1", 0)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    http = HttpServiceClient(f"http://{host}:{port}", timeout_s=600.0)
+    stop = threading.Event()
+    health = {"samples": [], "failures": 0}
+
+    def probe() -> None:
+        while not stop.is_set():
+            start = time.perf_counter()
+            try:
+                http.healthz()
+            except Exception:
+                # A transient socket error must not kill the prober —
+                # that would silently truncate the under-load sample
+                # window this harness exists to measure.
+                health["failures"] += 1
+            else:
+                health["samples"].append(time.perf_counter() - start)
+            time.sleep(0.01)
+
+    prober = threading.Thread(target=probe, daemon=True)
+    prober.start()
+    try:
+        yield http, health
+    finally:
+        stop.set()
+        prober.join(timeout=2)
+        server.shutdown()
+        server.server_close()
+        app.close()
+
+
+def _run_async_tier(args, results: dict) -> None:
+    """N concurrent distinct sweeps: sync threads vs async jobs."""
+    n = args.concurrency
+    sweep_kwargs = {"points": args.points, "replications": args.replications}
+    errors: list = []
+
+    # -- sync baseline: N client threads, each blocking on its sweep --
+    latencies: list = []
+    with _probed_service(workers=n) as (http, sync_health):
+        def sync_one(i: int) -> None:
+            dataset = {"workload": "taxi", "users": args.users,
+                       "seed": 100 + i}
+            start = time.perf_counter()
+            try:
+                http.sweep(dataset, **sweep_kwargs)
+            except Exception as exc:
+                errors.append(f"sync[{i}]: {exc!r}")
+                return
+            latencies.append(time.perf_counter() - start)
+
+        wall_start = time.perf_counter()
+        threads = [
+            threading.Thread(target=sync_one, args=(i,)) for i in range(n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        sync_wall = time.perf_counter() - wall_start
+    if errors:
+        raise SystemExit(f"FAIL: async tier (sync baseline): {errors}")
+    results["async_tier"] = {
+        "concurrency": n,
+        "sync": {
+            "wall_s": round(sync_wall, 4),
+            "throughput_rps": round(n / sync_wall, 3),
+            **_percentiles(latencies),
+            "healthz_under_load": {
+                **_percentiles(sync_health["samples"]),
+                "probe_failures": sync_health["failures"],
+            },
+        },
+    }
+
+    # -- jobs: submit all N, then poll round-robin to completion ------
+    # Round-robin (not sequential waits): a job finishing while the
+    # poller is parked on an earlier one must not have its latency
+    # recorded late.
+    job_latencies, submit_latencies = [], []
+    with _probed_service(workers=n) as (http, jobs_health):
+        wall_start = time.perf_counter()
+        pending = {}
+        for i in range(n):
+            dataset = {"workload": "taxi", "users": args.users,
+                       "seed": 200 + i}
+            start = time.perf_counter()
+            job = http.submit("sweep", {"dataset": dataset, **sweep_kwargs})
+            submit_latencies.append(time.perf_counter() - start)
+            pending[job["job_id"]] = start
+        deadline = time.monotonic() + 600.0
+        while pending and time.monotonic() < deadline:
+            for job_id in list(pending):
+                snapshot = http.status(job_id)
+                if snapshot["status"] == "done":
+                    job_latencies.append(
+                        time.perf_counter() - pending.pop(job_id)
+                    )
+                elif snapshot["status"] in ("failed", "cancelled"):
+                    errors.append(f"{job_id}: {snapshot['status']}")
+                    pending.pop(job_id)
+            if pending:
+                time.sleep(0.005)
+        jobs_wall = time.perf_counter() - wall_start
+        if pending:
+            errors.append(f"jobs never finished: {sorted(pending)}")
+    if errors:
+        raise SystemExit(f"FAIL: async tier (jobs): {errors}")
+    results["async_tier"]["jobs"] = {
+        "wall_s": round(jobs_wall, 4),
+        "throughput_rps": round(n / jobs_wall, 3),
+        **_percentiles(job_latencies),
+        "submit": _percentiles(submit_latencies),
+        "healthz_under_load": {
+            **_percentiles(jobs_health["samples"]),
+            "probe_failures": jobs_health["failures"],
+        },
+    }
+
+    def _ms(value, width=8):
+        return f"{value:>{width}.1f}ms" if value is not None \
+            else f"{'n/a':>{width + 2}}"
+
+    sync_block = results["async_tier"]["sync"]
+    jobs_block = results["async_tier"]["jobs"]
+    print()
+    print(f"async tier: {n} concurrent distinct /sweep requests")
+    print(f"{'mode':<6} {'wall':>9} {'req/s':>8} {'p50':>9} {'p95':>9} "
+          f"{'healthz p95 under load':>24}")
+    for label, block in (("sync", sync_block), ("jobs", jobs_block)):
+        print(f"{label:<6} {block['wall_s']:>8.3f}s "
+              f"{block['throughput_rps']:>8.2f} "
+              f"{_ms(block['p50_ms'])} {_ms(block['p95_ms'])} "
+              f"{_ms(block['healthz_under_load']['p95_ms'], 23)}")
+    print(f"jobs submit p95: {_ms(jobs_block['submit']['p95_ms'], 0)} "
+          f"(the latency a client actually blocks for)")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--users", type=int, default=8, help="fleet size")
@@ -45,18 +217,25 @@ def main() -> None:
     parser.add_argument("--replications", type=int, default=2)
     parser.add_argument("--repeats", type=int, default=200,
                         help="warm requests to average over")
+    parser.add_argument("--concurrency", type=int, default=4,
+                        help="concurrent sweeps in the async tier")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the numbers to this JSON file")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny configuration for CI smoke runs")
     args = parser.parse_args()
     if args.smoke:
         args.users, args.points, args.replications = 4, 5, 1
         args.repeats = 50
+        args.concurrency = min(args.concurrency, 3)
 
     dataset = {"workload": "taxi", "users": args.users, "seed": 11}
     app = ConfigService()
     client = ServiceClient(app)
-    sweep = lambda: client.sweep(dataset, points=args.points,
-                                 replications=args.replications)
+
+    def sweep():
+        return client.sweep(dataset, points=args.points,
+                            replications=args.replications)
 
     total_jobs = args.points * args.replications
     print(f"workload: {args.users} cabs; sweep {args.points} points x "
@@ -117,6 +296,35 @@ def main() -> None:
     print()
     print(f"HTTP /sweep   (warm): {args.repeats / http_sweep_s:>8.0f} req/s")
     print(f"HTTP /healthz       : {args.repeats / http_health_s:>8.0f} req/s")
+
+    results = {
+        "workload": {"users": args.users, "points": args.points,
+                     "replications": args.replications,
+                     "evaluations_per_request": total_jobs},
+        "tiers": {
+            tier: {
+                "requests": n,
+                "wall_s": round(elapsed, 6),
+                "rps": round(n / elapsed, 3) if elapsed > 0 else None,
+                "new_executions": n_exec,
+            }
+            for tier, n, elapsed, n_exec in rows
+        },
+        "http": {
+            "sweep_warm_rps": round(args.repeats / http_sweep_s, 3),
+            "healthz_rps": round(args.repeats / http_health_s, 3),
+        },
+    }
+
+    # ------------------------------------------------------------------
+    # Async tier: concurrent sweeps, sync vs jobs
+    # ------------------------------------------------------------------
+    _run_async_tier(args, results)
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
+        print(f"\nresults written to {args.json}")
 
     failures = [
         (tier, n_exec)

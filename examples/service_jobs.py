@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Async jobs quickstart: sweeps off the request path.
+
+The sync endpoints answer on the caller's thread — fine when the cache
+is warm, but a cold sweep makes the client hold a connection open for
+the whole evaluation.  The job subsystem decouples the two: submit the
+same body to ``POST /jobs``, get an id back immediately, poll (or
+``wait``) for the result, cancel if you change your mind.
+
+This example drives the whole lifecycle in-process (no sockets needed;
+swap ``ServiceClient`` for ``HttpServiceClient("http://host:port")`` to
+do the same against a ``repro-lppm serve --workers 4`` daemon):
+
+1. submit a sweep job and watch its progress counters move;
+2. wait for the result — identical to the sync endpoint's payload;
+3. submit the same body again: the job replays the response cache;
+4. cancel a job mid-sweep and observe the ``cancelled`` state.
+
+Run:  PYTHONPATH=src python examples/service_jobs.py
+"""
+
+import time
+
+from repro.service import ConfigService, ServiceClient
+
+FLEET = {"workload": "taxi", "users": 6, "seed": 42}
+BODY = {"dataset": FLEET, "points": 8, "replications": 2}
+
+
+def main() -> None:
+    with ServiceClient(ConfigService(workers=2)) as client:
+        # -- 1. submit, then poll progress ----------------------------
+        submitted = client.submit("sweep", BODY)
+        print(f"submitted {submitted['job_id']} "
+              f"(poll {submitted['poll']})")
+        while True:
+            snapshot = client.status(submitted["job_id"])
+            progress = snapshot["progress"]
+            print(f"  {snapshot['status']:>8}  "
+                  f"{progress['completed']:>3}/{progress['total']} "
+                  f"engine jobs")
+            if snapshot["status"] in ("done", "failed", "cancelled"):
+                break
+            time.sleep(0.05)
+
+        # -- 2. the result is the sync endpoint's payload -------------
+        result = snapshot["result"]
+        print(f"sweep of {result['param']} done: "
+              f"{len(result['points'])} points, "
+              f"{result['engine']['executions_this_request']} executions")
+
+        # -- 3. a repeated job replays the response cache -------------
+        repeat = client.wait(
+            client.submit("sweep", BODY)["job_id"], timeout_s=60
+        )
+        print(f"repeat came from response cache: "
+              f"{repeat['from_response_cache']}")
+
+        # -- 4. cancellation is cooperative, between engine chunks ----
+        big = client.submit("sweep", {
+            "dataset": {"workload": "taxi", "users": 10, "seed": 7},
+            "points": 40, "replications": 4,
+        })
+        time.sleep(0.05)              # let a few chunks run
+        client.cancel(big["job_id"])
+        final = client.wait(big["job_id"], timeout_s=60)
+        progress = final["progress"]
+        print(f"cancelled mid-sweep at {progress['completed']}"
+              f"/{progress['total']} engine jobs "
+              f"(status: {final['status']})")
+
+
+if __name__ == "__main__":
+    main()

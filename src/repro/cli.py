@@ -15,7 +15,9 @@ The commands cover the library's workflow end to end:
 * ``list``     — available mechanisms and metrics;
 * ``serve``    — run the long-lived configuration service (JSON over
   HTTP, one shared engine and warm cache across all requests; see
-  docs/service.md).
+  docs/service.md);
+* ``job``      — drive a running daemon's async jobs: ``submit`` a
+  sweep/configure/recommend body, ``status``/``wait``/``cancel`` it.
 """
 
 from __future__ import annotations
@@ -187,7 +189,67 @@ def build_parser() -> argparse.ArgumentParser:
                           "binds with an authenticating proxy)")
     srv.add_argument("--port", type=_port, default=8080,
                      help="TCP port; 0 picks a free one (default: 8080)")
+    srv.add_argument("--workers", type=_positive_int, default=2, metavar="N",
+                     help="async job worker threads (default: 2); sweeps "
+                          "submitted to POST /jobs run on these, off the "
+                          "request path")
+    srv.add_argument("--job-ttl", type=float, default=600.0, metavar="S",
+                     help="seconds a finished job stays pollable "
+                          "(default: 600)")
+    srv.add_argument("--grace", type=float, default=10.0, metavar="S",
+                     help="shutdown grace period for in-flight jobs on "
+                          "SIGTERM/SIGINT (default: 10)")
     _add_engine_options(srv)
+
+    job = sub.add_parser(
+        "job",
+        help="submit/inspect async jobs on a running daemon",
+    )
+    job_sub = job.add_subparsers(dest="job_command", required=True)
+
+    def _add_url(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--url", default="http://127.0.0.1:8080",
+                         help="daemon base URL "
+                              "(default: http://127.0.0.1:8080)")
+
+    job_submit = job_sub.add_parser(
+        "submit", help="enqueue a sweep/configure/recommend job")
+    job_submit.add_argument(
+        "endpoint", choices=["sweep", "configure", "recommend"],
+        help="which evaluation endpoint the job runs",
+    )
+    body = job_submit.add_mutually_exclusive_group(required=True)
+    body.add_argument("--body", metavar="JSON",
+                      help="request body as inline JSON (what the sync "
+                           "endpoint would take)")
+    body.add_argument("--body-file", metavar="PATH",
+                      help="request body from a JSON file ('-' for stdin)")
+    job_submit.add_argument("--wait", action="store_true",
+                            help="poll until the job finishes and print "
+                                 "its final snapshot")
+    job_submit.add_argument("--timeout", type=float, default=600.0,
+                            metavar="S",
+                            help="--wait deadline in seconds (default: 600)")
+    _add_url(job_submit)
+
+    job_status = job_sub.add_parser("status", help="one job's status")
+    job_status.add_argument("job_id", help="the id POST /jobs returned")
+    _add_url(job_status)
+
+    job_wait = job_sub.add_parser(
+        "wait", help="poll with backoff until a job finishes")
+    job_wait.add_argument("job_id", help="the id POST /jobs returned")
+    job_wait.add_argument("--timeout", type=float, default=600.0, metavar="S",
+                          help="deadline in seconds (default: 600)")
+    _add_url(job_wait)
+
+    job_cancel = job_sub.add_parser(
+        "cancel", help="cancel a queued or running job")
+    job_cancel.add_argument("job_id", help="the id POST /jobs returned")
+    _add_url(job_cancel)
+
+    job_list = job_sub.add_parser("list", help="live jobs + pool counters")
+    _add_url(job_list)
     return parser
 
 
@@ -347,7 +409,68 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # Imported here: only the daemon needs the service package.
     from .service import serve
 
-    return serve(host=args.host, port=args.port, engine=_engine_from(args))
+    return serve(
+        host=args.host,
+        port=args.port,
+        engine=_engine_from(args),
+        workers=args.workers,
+        job_ttl_s=args.job_ttl,
+        grace_s=args.grace,
+    )
+
+
+def _cmd_job(args: argparse.Namespace) -> int:
+    """Drive a running daemon's async-job endpoints; prints JSON."""
+    import json
+
+    from .service import HttpServiceClient, ServiceClientError
+
+    client = HttpServiceClient(args.url)
+
+    def emit(payload: dict) -> None:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+
+    try:
+        if args.job_command == "submit":
+            if args.body is not None:
+                raw = args.body
+            elif args.body_file == "-":
+                raw = sys.stdin.read()
+            else:
+                with open(args.body_file, "r", encoding="utf-8") as fh:
+                    raw = fh.read()
+            try:
+                body = json.loads(raw)
+            except ValueError as exc:
+                print(f"error: body is not valid JSON: {exc}",
+                      file=sys.stderr)
+                return 2
+            if not isinstance(body, dict):
+                print("error: body must be a JSON object", file=sys.stderr)
+                return 2
+            submitted = client.submit(args.endpoint, body)
+            if not args.wait:
+                emit(submitted)
+                return 0
+            emit(client.wait(submitted["job_id"], timeout_s=args.timeout))
+            return 0
+        if args.job_command == "status":
+            emit(client.status(args.job_id))
+            return 0
+        if args.job_command == "wait":
+            emit(client.wait(args.job_id, timeout_s=args.timeout))
+            return 0
+        if args.job_command == "cancel":
+            emit(client.cancel(args.job_id))
+            return 0
+        emit(client.jobs())
+        return 0
+    except ServiceClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except TimeoutError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -373,6 +496,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "stats": _cmd_stats,
         "list": _cmd_list,
         "serve": _cmd_serve,
+        "job": _cmd_job,
     }
     try:
         return handlers[args.command](args)

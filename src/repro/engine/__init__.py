@@ -18,7 +18,7 @@ from .backends import (
     execute_job,
 )
 from .cache import ResultCache
-from .core import ENGINE_CHOICES, EvaluationEngine
+from .core import ENGINE_CHOICES, EvaluationCancelled, EvaluationEngine
 from .jobs import (
     EvalJob,
     EvalResult,
@@ -30,6 +30,7 @@ from .jobs import (
 __all__ = [
     "ENGINE_CHOICES",
     "EvaluationEngine",
+    "EvaluationCancelled",
     "EvalJob",
     "EvalResult",
     "ExecutionBackend",

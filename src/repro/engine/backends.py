@@ -22,6 +22,7 @@ from __future__ import annotations
 import abc
 import multiprocessing
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
@@ -74,6 +75,14 @@ class ExecutionBackend(abc.ABC):
 
     #: Human-readable backend name (mirrors the CLI ``--engine`` knob).
     name: str = "abstract"
+
+    #: Re-entrant lock a caller should hold across a *series* of
+    #: :meth:`run` calls for one logical batch, or ``None`` when the
+    #: backend is stateless.  The engine submits chunked batches; for
+    #: pooled backends, interleaving chunks from different (system,
+    #: dataset) pairs would rebuild the warm pool on every alternation,
+    #: so the engine leases the backend for the whole chunk series.
+    batch_lock: Optional[threading.RLock] = None
 
     @abc.abstractmethod
     def run(
@@ -131,6 +140,16 @@ class ProcessPoolBackend(ExecutionBackend):
     step.  Call :meth:`close` (or rely on finalisation) to release the
     worker processes.
 
+    The backend is a singleton resource with mutable pool state, so
+    :meth:`run` and :meth:`close` serialise on :attr:`batch_lock` —
+    without it, a concurrent batch for a *different* (system, dataset)
+    pair would shut the pool down under a running ``map``.  The lock is
+    re-entrant and public: the engine holds it across one batch's whole
+    chunk series, so two concurrent sweeps over different datasets
+    alternate per *batch* (one pool rebuild each) instead of per chunk
+    (a rebuild every alternation).  The protect + measure work inside a
+    batch still parallelises across the pool's processes.
+
     Parameters
     ----------
     max_workers:
@@ -143,6 +162,17 @@ class ProcessPoolBackend(ExecutionBackend):
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be at least 1")
         self.max_workers = int(max_workers or default_max_workers())
+        self.batch_lock = threading.RLock()
+        # Guards the pool fields and the closed flag.  A forced close
+        # (timed-out lease) runs WITHOUT batch_lock, so pool selection
+        # and teardown must synchronise on this narrower lock; lock
+        # order where both are held is batch_lock, then this.
+        self._state_lock = threading.Lock()
+        # Set by a timed-out close(): the backend is being abandoned at
+        # process exit, and a leaseholder's next chunk must not rebuild
+        # the pools (concurrent.futures' atexit hook would then wait
+        # for them, unbounding the shutdown the timeout bounded).
+        self._closed = False
         self._job_pool: Optional[ProcessPoolExecutor] = None
         # What the current job pool's workers hold, as a content key
         # when the caller supplies one (so equal-but-not-identical
@@ -161,45 +191,89 @@ class ProcessPoolBackend(ExecutionBackend):
             return multiprocessing.get_context("fork")
         return multiprocessing.get_context()
 
+    def _check_open(self) -> None:
+        """Refuse pool (re)builds after a forced close.
+
+        Caller holds ``_state_lock``, so the check cannot interleave
+        with the forced close's flag-set-and-null sequence.
+        """
+        if self._closed:
+            raise RuntimeError(
+                "ProcessPoolBackend was force-closed during shutdown"
+            )
+
     def _job_pool_of(self, system, dataset, key) -> ProcessPoolExecutor:
-        if self._job_pool is not None:
-            if key is not None and self._job_pool_key == key:
-                # Same content: the workers' baked-in objects compute
-                # identical results, whichever instances they are.
-                return self._job_pool
-            current = self._job_pool_for
-            if key is None and current is not None and (
-                current[0] is system and current[1] is dataset
-            ):
-                return self._job_pool
-            self._job_pool.shutdown(wait=True)
-        self._job_pool = ProcessPoolExecutor(
-            max_workers=self.max_workers,
-            mp_context=self._mp_context(),
-            initializer=_init_worker,
-            initargs=(system, dataset),
-        )
-        self._job_pool_key = key
-        self._job_pool_for = (system, dataset)
-        return self._job_pool
+        with self._state_lock:
+            self._check_open()
+            if self._job_pool is not None:
+                if key is not None and self._job_pool_key == key:
+                    # Same content: the workers' baked-in objects
+                    # compute identical results, whichever instances
+                    # they are.
+                    return self._job_pool
+                current = self._job_pool_for
+                if key is None and current is not None and (
+                    current[0] is system and current[1] is dataset
+                ):
+                    return self._job_pool
+                # Idle (batch_lock is held, so nothing is in flight):
+                # this shutdown returns promptly.
+                self._job_pool.shutdown(wait=True)
+            self._job_pool = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                mp_context=self._mp_context(),
+                initializer=_init_worker,
+                initargs=(system, dataset),
+            )
+            self._job_pool_key = key
+            self._job_pool_for = (system, dataset)
+            return self._job_pool
 
     def _trace_pool_of(self, workers: int) -> ProcessPoolExecutor:
-        if self._trace_pool is None:
-            self._trace_pool = ProcessPoolExecutor(
-                max_workers=workers, mp_context=self._mp_context()
-            )
-        return self._trace_pool
+        with self._state_lock:
+            self._check_open()
+            if self._trace_pool is None:
+                self._trace_pool = ProcessPoolExecutor(
+                    max_workers=workers, mp_context=self._mp_context()
+                )
+            return self._trace_pool
 
-    def close(self) -> None:
-        """Shut down the worker pools (idempotent)."""
-        if self._job_pool is not None:
-            self._job_pool.shutdown(wait=True)
+    def close(self, timeout_s: Optional[float] = None) -> None:
+        """Shut down the worker pools (idempotent).
+
+        ``timeout_s`` bounds how long to wait for an in-flight batch's
+        lease.  On timeout the pools are released *without* waiting for
+        running work — the daemon's SIGTERM path uses this so process
+        exit stays bounded by ``--grace`` even when a cancelled job is
+        still mid-chunk (the leaseholder may then see its map fail,
+        which its job worker reports as a failed job; the process is
+        exiting either way).
+        """
+        if timeout_s is None:
+            acquired = self.batch_lock.acquire()
+        else:
+            acquired = self.batch_lock.acquire(timeout=max(0.0, timeout_s))
+        with self._state_lock:
+            if not acquired:
+                # Forced close: refuse rebuilds, or a leaseholder's
+                # next chunk would resurrect a pool the exit path
+                # cannot reap.
+                self._closed = True
+            job_pool, trace_pool = self._job_pool, self._trace_pool
             self._job_pool = None
             self._job_pool_key = None
             self._job_pool_for = None
-        if self._trace_pool is not None:
-            self._trace_pool.shutdown(wait=True)
             self._trace_pool = None
+        try:
+            for pool in (job_pool, trace_pool):
+                if pool is not None:
+                    if acquired:
+                        pool.shutdown(wait=True)
+                    else:
+                        pool.shutdown(wait=False, cancel_futures=True)
+        finally:
+            if acquired:
+                self.batch_lock.release()
 
     def __del__(self):  # pragma: no cover - finalisation best effort
         try:
@@ -213,26 +287,29 @@ class ProcessPoolBackend(ExecutionBackend):
             return []
         if self.max_workers <= 1:
             return SerialBackend().run(system, dataset, jobs)
-        if len(jobs) >= 2:
-            # Job-level parallelism: the dataset ships to the workers
-            # once, via the pool initializer.
-            pool = self._job_pool_of(system, dataset, key)
-            return list(pool.map(_run_job_in_worker, jobs))
-        # A lone job cannot be split across workers at the job level;
-        # parallelise inside it instead, across the dataset's traces.
-        workers = min(self.max_workers, max(1, len(dataset)))
-        if workers <= 1:
-            return SerialBackend().run(system, dataset, jobs)
-        pool = self._trace_pool_of(workers)
+        with self.batch_lock:
+            if len(jobs) >= 2:
+                # Job-level parallelism: the dataset ships to the
+                # workers once, via the pool initializer.
+                pool = self._job_pool_of(system, dataset, key)
+                return list(pool.map(_run_job_in_worker, jobs))
+            # A lone job cannot be split across workers at the job
+            # level; parallelise inside it instead, across the
+            # dataset's traces.
+            workers = min(self.max_workers, max(1, len(dataset)))
+            if workers <= 1:
+                return SerialBackend().run(system, dataset, jobs)
+            pool = self._trace_pool_of(workers)
 
-        def trace_mapper(fn, traces):
-            # Chunking bounds how often fn (carrying the LPPM, which
-            # may embed dataset-sized state like an elastic density
-            # prior) is pickled: once per chunk, not once per trace.
-            chunksize = max(1, len(traces) // workers)
-            return pool.map(fn, traces, chunksize=chunksize)
+            def trace_mapper(fn, traces):
+                # Chunking bounds how often fn (carrying the LPPM,
+                # which may embed dataset-sized state like an elastic
+                # density prior) is pickled: once per chunk, not once
+                # per trace.
+                chunksize = max(1, len(traces) // workers)
+                return pool.map(fn, traces, chunksize=chunksize)
 
-        return [
-            execute_job(system, dataset, job, mapper=trace_mapper)
-            for job in jobs
-        ]
+            return [
+                execute_job(system, dataset, job, mapper=trace_mapper)
+                for job in jobs
+            ]

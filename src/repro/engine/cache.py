@@ -53,28 +53,70 @@ class ResultCache:
         stale-format files count as misses — the entry is simply
         recomputed and rewritten.
         """
-        if fingerprint in self._memory:
-            self.memory_hits += 1
-            return self._memory[fingerprint]
-        if self.cache_dir is not None:
-            # Imported here, not at module level: the engine sits below
-            # the framework layer, whose store module provides the
-            # versioned record format.
-            from ..framework.store import load_eval_record
-
-            path = self._path_of(fingerprint)
-            if path.exists():
-                try:
-                    record = load_eval_record(path)
-                except (ValueError, OSError, KeyError):
-                    pass
-                else:
-                    value = (record["privacy"], record["utility"])
-                    self._memory[fingerprint] = value
-                    self.disk_hits += 1
-                    return value
-        self.misses += 1
+        value = self.get_memory(fingerprint)
+        if value is not None:
+            return value
+        value = self.read_disk(fingerprint)
+        if value is not None:
+            self.promote(fingerprint, value)
+            return value
+        self.note_miss()
         return None
+
+    def get_memory(self, fingerprint: str) -> Optional[Tuple[float, float]]:
+        """Memory-tier-only lookup; counts a hit, never a miss.
+
+        The engine probes this tier under its bookkeeping lock and
+        defers :meth:`read_disk` until after releasing it, so a
+        warm-disk batch's file reads never stall concurrent callers.
+        """
+        value = self._memory.get(fingerprint)
+        if value is not None:
+            self.memory_hits += 1
+        return value
+
+    def peek_memory(self, fingerprint: str) -> Optional[Tuple[float, float]]:
+        """Memory-tier lookup that leaves every counter untouched.
+
+        For re-probes of fingerprints already counted once (the engine
+        re-checks its miss set after waiting for a backend lease, in
+        case a concurrent batch settled them) — a second count would
+        make the hit/miss totals stop reconciling with requested work.
+        """
+        return self._memory.get(fingerprint)
+
+    def read_disk(self, fingerprint: str) -> Optional[Tuple[float, float]]:
+        """Disk-tier read with no counter or memory mutation.
+
+        Pure IO — safe to call without any lock; pair with
+        :meth:`promote` (hit) or :meth:`note_miss` (miss) to keep the
+        counters truthful.
+        """
+        if self.cache_dir is None:
+            return None
+        # Imported here, not at module level: the engine sits below
+        # the framework layer, whose store module provides the
+        # versioned record format.
+        from ..framework.store import load_eval_record
+
+        path = self._path_of(fingerprint)
+        if path.exists():
+            try:
+                record = load_eval_record(path)
+            except (ValueError, OSError, KeyError):
+                pass
+            else:
+                return (record["privacy"], record["utility"])
+        return None
+
+    def promote(self, fingerprint: str, value: Tuple[float, float]) -> None:
+        """Install a disk-read value into the memory tier (a disk hit)."""
+        self._memory[fingerprint] = value
+        self.disk_hits += 1
+
+    def note_miss(self) -> None:
+        """Record one miss (the caller will compute and re-``put``)."""
+        self.misses += 1
 
     def put(
         self,
@@ -89,7 +131,33 @@ class ResultCache:
         is persisted alongside the values so a cache directory can be
         audited without the code that produced it.
         """
+        self.put_memory(fingerprint, privacy, utility)
+        self.write_disk(fingerprint, privacy, utility, provenance)
+
+    def put_memory(
+        self, fingerprint: str, privacy: float, utility: float
+    ) -> None:
+        """Insert into the memory tier only — a dict write, no IO.
+
+        The engine calls this under its bookkeeping lock and defers
+        :meth:`write_disk` until after releasing it, so concurrent
+        workers never queue behind another chunk's disk flush.
+        """
         self._memory[fingerprint] = (float(privacy), float(utility))
+
+    def write_disk(
+        self,
+        fingerprint: str,
+        privacy: float,
+        utility: float,
+        provenance: Optional[dict] = None,
+    ) -> None:
+        """Persist one result to the disk tier (no-op without one).
+
+        Safe to call without any lock: concurrent writers of the same
+        fingerprint write the same content, and a torn file is read
+        back as a miss and simply rewritten.
+        """
         if self.cache_dir is not None:
             from ..framework.store import save_eval_record
 

@@ -15,12 +15,37 @@ Centralising the service buys three things at once:
 * **honest accounting** — :attr:`n_executions` counts real, non-cached
   protect + measure executions, which is the quantity the paper's cost
   comparisons are stated in.
+
+The engine is safe to share between threads: cache lookups, execution
+counters and fingerprint memoisation sit under one internal lock, while
+the protect + measure work itself runs outside it.  The configuration
+service's job workers rely on this — several jobs drive one engine
+concurrently, each observing its own cost through thread-local
+:meth:`EvaluationEngine.measure` counters.
+
+Long batches execute in *chunks* so that callers can observe progress
+and cancel between chunks: install per-thread hooks with
+:meth:`EvaluationEngine.hooks` and the engine reports completed jobs
+after every chunk and raises :class:`EvaluationCancelled` as soon as
+the cancellation predicate turns true.  Results computed before a
+cancellation are already cached — a resubmitted batch resumes instead
+of restarting.
 """
 
 from __future__ import annotations
 
+import threading
 import weakref
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from contextlib import contextmanager
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from .backends import (
     ExecutionBackend,
@@ -41,9 +66,62 @@ if TYPE_CHECKING:
     from ..framework.spec import SystemDefinition
     from ..mobility import Dataset
 
-__all__ = ["EvaluationEngine", "ENGINE_CHOICES"]
+__all__ = ["EvaluationEngine", "EvaluationCancelled", "ENGINE_CHOICES"]
 
 ENGINE_CHOICES = ("auto", "serial", "process")
+
+
+class EvaluationCancelled(RuntimeError):
+    """Raised between execution chunks when the installed cancellation
+    predicate turns true.  Everything computed before the cancellation
+    is already in the result cache."""
+
+
+def _chunk_bounds(n: int, size: int):
+    """(low, high) slice bounds splitting ``n`` items into chunks.
+
+    A trailing 1-item chunk is avoided when chunks are larger than one
+    item: pooled backends treat a lone job specially (trace-level
+    parallelism through a *second* pool), which would spin that pool
+    up mid-batch for the tail of e.g. 9 jobs on 8 workers.  The tail
+    is merged into the previous chunk instead (9 on 8 -> one chunk of
+    9; 5 on 2 -> (2, 3)) — a slightly oversized final chunk costs one
+    extra task per worker at most, a second pool costs a process spawn.
+    """
+    bounds = list(range(0, n, size)) + [n]
+    if size > 1 and len(bounds) >= 3 and bounds[-1] - bounds[-2] == 1:
+        del bounds[-2]
+    return zip(bounds[:-1], bounds[1:])
+
+
+class _Hooks:
+    """Per-thread observation hooks, installed by :meth:`~EvaluationEngine.hooks`.
+
+    ``batch_start(n)`` announces that ``n`` jobs entered :meth:`run`;
+    ``jobs_done(n)`` reports ``n`` of them completed (cache hits count
+    immediately); ``should_cancel()`` is polled between chunks.
+    """
+
+    __slots__ = ("batch_start", "jobs_done", "should_cancel")
+
+    def __init__(
+        self,
+        batch_start: Optional[Callable[[int], None]] = None,
+        jobs_done: Optional[Callable[[int], None]] = None,
+        should_cancel: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        self.batch_start = batch_start
+        self.jobs_done = jobs_done
+        self.should_cancel = should_cancel
+
+
+class _ExecutionCounter:
+    """Mutable per-thread execution count, yielded by :meth:`measure`."""
+
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
 
 
 class EvaluationEngine:
@@ -81,12 +159,78 @@ class EvaluationEngine:
         self._process: Optional[ProcessPoolBackend] = None
         #: Real (non-cached) protect + measure executions performed.
         self.n_executions = 0
+        # Guards the cache, the execution counter, the fingerprint memo
+        # and backend construction.  Never held while a backend runs
+        # protect + measure work, so concurrent callers only serialise
+        # on bookkeeping.
+        self._lock = threading.RLock()
+        # Per-thread state: observation hooks and measure() counters.
+        self._tls = threading.local()
         # Dataset fingerprints are O(dataset) to compute; memoise per
         # engine.  Entries hold weak references so a long-lived engine
         # does not pin every dataset it ever saw, and each hit verifies
         # the referent is still the same object (a recycled id with a
         # dead reference recomputes instead of aliasing).
         self._dataset_fp: Dict[int, Tuple[weakref.ref, str]] = {}
+
+    # ------------------------------------------------------------------
+    # Per-thread hooks and accounting
+    # ------------------------------------------------------------------
+    @contextmanager
+    def hooks(
+        self,
+        batch_start: Optional[Callable[[int], None]] = None,
+        jobs_done: Optional[Callable[[int], None]] = None,
+        should_cancel: Optional[Callable[[], bool]] = None,
+    ):
+        """Install progress/cancellation hooks for the calling thread.
+
+        Inside the ``with`` block, every :meth:`run` on this thread
+        announces its batch size, reports completions chunk by chunk,
+        and polls ``should_cancel`` between chunks (raising
+        :class:`EvaluationCancelled` when it returns true).  The
+        service's job manager wraps each job execution in exactly one
+        of these blocks.
+        """
+        previous = getattr(self._tls, "hooks", None)
+        self._tls.hooks = _Hooks(batch_start, jobs_done, should_cancel)
+        try:
+            yield
+        finally:
+            self._tls.hooks = previous
+
+    @contextmanager
+    def measure(self):
+        """Count this thread's real executions within the block.
+
+        Yields a counter whose ``count`` is the number of non-cached
+        protect + measure executions the calling thread triggered —
+        the concurrency-safe version of diffing :attr:`n_executions`,
+        which other threads may move at any time.  Nested blocks each
+        see their own total.
+        """
+        counter = _ExecutionCounter()
+        stack = getattr(self._tls, "counters", None)
+        if stack is None:
+            stack = self._tls.counters = []
+        stack.append(counter)
+        try:
+            yield counter
+        finally:
+            stack.remove(counter)
+
+    def _note_executions(self, n: int) -> None:
+        """Record ``n`` fresh executions (lock held by the caller)."""
+        self.n_executions += n
+        for counter in getattr(self._tls, "counters", ()):
+            counter.count += n
+
+    def _check_cancelled(self, hooks: Optional[_Hooks]) -> None:
+        if hooks is not None and hooks.should_cancel is not None \
+                and hooks.should_cancel():
+            raise EvaluationCancelled(
+                "evaluation batch cancelled between chunks"
+            )
 
     # ------------------------------------------------------------------
     # Backend selection
@@ -106,24 +250,39 @@ class EvaluationEngine:
             return self._process_backend()
         return self._serial
 
+    def _chunk_size(self, backend: ExecutionBackend) -> int:
+        """Jobs per execution chunk: the progress/cancel granularity.
+
+        Serial execution reports after every job; a pooled backend
+        keeps every worker busy within a chunk, so progress lands at
+        worker-count strides and cancellation reacts within one stride.
+        """
+        if backend is self._serial:
+            return 1
+        return max(1, self.max_workers)
+
     # ------------------------------------------------------------------
     # Fingerprinting
     # ------------------------------------------------------------------
     def fingerprint_of(self, dataset: "Dataset") -> str:
         """Memoised content fingerprint of a dataset."""
         key = id(dataset)
-        entry = self._dataset_fp.get(key)
-        if entry is not None and entry[0]() is dataset:
-            return entry[1]
+        with self._lock:
+            entry = self._dataset_fp.get(key)
+            if entry is not None and entry[0]() is dataset:
+                return entry[1]
+        # O(dataset) hashing happens outside the lock; a racing second
+        # computation of the same fingerprint is identical by content.
         fp = dataset_fingerprint(dataset)
-        if len(self._dataset_fp) > 64:
-            # Drop entries whose datasets are gone before adding more.
-            self._dataset_fp = {
-                k: (ref, v)
-                for k, (ref, v) in self._dataset_fp.items()
-                if ref() is not None
-            }
-        self._dataset_fp[key] = (weakref.ref(dataset), fp)
+        with self._lock:
+            if len(self._dataset_fp) > 64:
+                # Drop entries whose datasets are gone before adding more.
+                self._dataset_fp = {
+                    k: (ref, v)
+                    for k, (ref, v) in self._dataset_fp.items()
+                    if ref() is not None
+                }
+            self._dataset_fp[key] = (weakref.ref(dataset), fp)
         return fp
 
     # ------------------------------------------------------------------
@@ -140,65 +299,178 @@ class EvaluationEngine:
         Cache hits (either tier) come back with ``cached=True`` and do
         not count as executions; duplicate jobs within the batch are
         executed once, with only the first occurrence marked as a real
-        execution.
+        execution.  With :meth:`hooks` installed on the calling thread,
+        progress is reported as chunks complete and the batch raises
+        :class:`EvaluationCancelled` between chunks once the predicate
+        turns true (already-computed chunks stay cached).
         """
         jobs = list(jobs)
         if not jobs:
             return []
+        hooks: Optional[_Hooks] = getattr(self._tls, "hooks", None)
         ds_fp = self.fingerprint_of(dataset)
         sig = system_signature(system)
         fingerprints = [job_fingerprint(ds_fp, sig, job) for job in jobs]
 
+        if hooks is not None and hooks.batch_start is not None:
+            hooks.batch_start(len(jobs))
+
         results: List[Optional[EvalResult]] = [None] * len(jobs)
+        unknown: Dict[str, List[int]] = {}
+        seen_hits: Dict[str, Tuple[float, float]] = {}
+        n_hits = 0
+        with self._lock:
+            # Memory tier only under the lock: pure dict lookups.
+            # Duplicates fold into their first occurrence — hit or
+            # miss — so the cache counters reconcile with distinct
+            # work requested, not with batch length.
+            for i, (job, fp) in enumerate(zip(jobs, fingerprints)):
+                if fp in unknown:
+                    unknown[fp].append(i)
+                    continue
+                hit = seen_hits.get(fp)
+                if hit is None:
+                    hit = self.cache.get_memory(fp)
+                if hit is not None:
+                    seen_hits[fp] = hit
+                    results[i] = EvalResult(
+                        job=job, privacy=hit[0], utility=hit[1],
+                        cached=True, fingerprint=fp,
+                    )
+                    n_hits += 1
+                else:
+                    unknown.setdefault(fp, []).append(i)
         pending: Dict[str, List[int]] = {}
-        for i, (job, fp) in enumerate(zip(jobs, fingerprints)):
-            if fp in pending:
-                # Duplicate of a job already bound for execution: fold
-                # it in without a second cache lookup, so the hit/miss
-                # counters reconcile with distinct work requested.
-                pending[fp].append(i)
-                continue
-            hit = self.cache.get(fp)
-            if hit is not None:
-                results[i] = EvalResult(
-                    job=job, privacy=hit[0], utility=hit[1],
-                    cached=True, fingerprint=fp,
-                )
-            else:
-                pending.setdefault(fp, []).append(i)
+        if unknown:
+            # Disk-tier probes are file reads — done OUTSIDE the lock
+            # (a warm-disk cold-memory batch would otherwise stall
+            # every concurrent caller for one JSON load per job), then
+            # settled under a short lock hold.
+            disk = {fp: self.cache.read_disk(fp) for fp in unknown}
+            with self._lock:
+                for fp, indices in unknown.items():
+                    value = disk[fp]
+                    if value is not None:
+                        self.cache.promote(fp, value)
+                        for i in indices:
+                            results[i] = EvalResult(
+                                job=jobs[i], privacy=value[0],
+                                utility=value[1], cached=True,
+                                fingerprint=fp,
+                            )
+                        n_hits += len(indices)
+                    else:
+                        self.cache.note_miss()
+                        pending[fp] = indices
+        if hooks is not None and hooks.jobs_done is not None and n_hits:
+            hooks.jobs_done(n_hits)
 
         if pending:
-            to_run = [jobs[indices[0]] for indices in pending.values()]
-            backend = self._backend_for(len(to_run))
-            values = backend.run(system, dataset, to_run, key=(sig, ds_fp))
-            self.n_executions += len(to_run)
-            for (fp, indices), (privacy, utility) in zip(
-                pending.items(), values
-            ):
-                job = jobs[indices[0]]
-                self.cache.put(
-                    fp, privacy, utility,
-                    provenance={
-                        "system_name": system.name,
-                        "params": job.params_dict,
-                        "seed": job.seed,
-                        "dataset_fingerprint": ds_fp,
-                    },
-                )
-                for rank, i in enumerate(indices):
-                    results[i] = EvalResult(
-                        job=jobs[i], privacy=privacy, utility=utility,
-                        cached=rank > 0, fingerprint=fp,
+            with self._lock:
+                backend = self._backend_for(len(pending))
+            chunk_size = self._chunk_size(backend)
+            items = list(pending.items())
+            # Lease a stateful backend for the whole chunk series: two
+            # concurrent batches over different datasets then alternate
+            # per batch (one warm-pool rebuild each) instead of per
+            # chunk (a rebuild at every alternation).  Acquisition
+            # polls the cancellation hook so a queued batch can still
+            # be cancelled while it waits for the backend.
+            lease = backend.batch_lock
+            if lease is not None:
+                if hooks is None or hooks.should_cancel is None:
+                    # No cancellation to observe: a plain blocking
+                    # acquire starts work the instant the lease frees,
+                    # instead of up to one poll interval later.
+                    lease.acquire()
+                else:
+                    while not lease.acquire(timeout=0.1):
+                        self._check_cancelled(hooks)
+            try:
+                for low, high in _chunk_bounds(len(items), chunk_size):
+                    chunk = items[low:high]
+                    self._check_cancelled(hooks)
+                    # Re-probe before executing: a concurrent batch may
+                    # have computed these jobs while this one waited
+                    # for the lease (or ran its earlier chunks) — a
+                    # repeat must stay free, not run twice.
+                    settled = 0
+                    fresh = []
+                    with self._lock:
+                        for fp, indices in chunk:
+                            hit = self.cache.peek_memory(fp)
+                            if hit is None:
+                                fresh.append((fp, indices))
+                                continue
+                            for i in indices:
+                                results[i] = EvalResult(
+                                    job=jobs[i], privacy=hit[0],
+                                    utility=hit[1], cached=True,
+                                    fingerprint=fp,
+                                )
+                            settled += len(indices)
+                    if hooks is not None and hooks.jobs_done is not None \
+                            and settled:
+                        hooks.jobs_done(settled)
+                    if not fresh:
+                        continue
+                    chunk = fresh
+                    to_run = [jobs[indices[0]] for _, indices in chunk]
+                    values = backend.run(
+                        system, dataset, to_run, key=(sig, ds_fp)
                     )
+                    with self._lock:
+                        # Only dict writes and counters under the lock;
+                        # the disk tier is flushed after releasing it so
+                        # other workers' bookkeeping never queues behind
+                        # IO.
+                        self._note_executions(len(to_run))
+                        for (fp, _), (privacy, utility) in zip(
+                            chunk, values
+                        ):
+                            self.cache.put_memory(fp, privacy, utility)
+                    for (fp, indices), (privacy, utility) in zip(
+                        chunk, values
+                    ):
+                        job = jobs[indices[0]]
+                        self.cache.write_disk(
+                            fp, privacy, utility,
+                            provenance={
+                                "system_name": system.name,
+                                "params": job.params_dict,
+                                "seed": job.seed,
+                                "dataset_fingerprint": ds_fp,
+                            },
+                        )
+                        for rank, i in enumerate(indices):
+                            results[i] = EvalResult(
+                                job=jobs[i], privacy=privacy,
+                                utility=utility, cached=rank > 0,
+                                fingerprint=fp,
+                            )
+                    if hooks is not None and hooks.jobs_done is not None:
+                        hooks.jobs_done(
+                            sum(len(indices) for _, indices in chunk)
+                        )
+            finally:
+                if lease is not None:
+                    lease.release()
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def close(self) -> None:
-        """Release backend resources (worker pools); idempotent."""
-        if self._process is not None:
-            self._process.close()
+    def close(self, timeout_s: Optional[float] = None) -> None:
+        """Release backend resources (worker pools); idempotent.
+
+        ``timeout_s`` bounds the wait for an in-flight batch before
+        pools are released without draining — the daemon's graceful
+        shutdown passes its grace period here so exit stays bounded.
+        """
+        with self._lock:
+            process = self._process
+        if process is not None:
+            process.close(timeout_s=timeout_s)
 
     def __enter__(self) -> "EvaluationEngine":
         return self
@@ -218,7 +490,8 @@ class EvaluationEngine:
         the paper's cost comparisons — and the service's ``/metrics``
         endpoint — are stated in.
         """
-        return {"executions": self.n_executions, **self.cache.stats}
+        with self._lock:
+            return {"executions": self.n_executions, **self.cache.stats}
 
     def __repr__(self) -> str:
         cache_dir = self.cache.cache_dir

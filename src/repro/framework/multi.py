@@ -17,11 +17,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..mobility import Dataset
 from .runner import ExperimentRunner, SweepPoint
 from .spec import ParameterSpec, SystemDefinition
 

@@ -9,7 +9,7 @@ San Francisco block) and exposes set operations on covered cells.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, Iterable, Tuple
 
 import numpy as np

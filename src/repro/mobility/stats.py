@@ -12,7 +12,7 @@ from typing import Dict
 
 import numpy as np
 
-from ..geo import LatLon, SpatialGrid, haversine_m_arrays
+from ..geo import SpatialGrid, haversine_m_arrays
 from .dataset import Dataset
 from .trace import Trace
 

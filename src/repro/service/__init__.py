@@ -18,7 +18,8 @@ Start a daemon with ``repro-lppm serve``; talk to it with
 
 from .app import CACHEABLE_ENDPOINTS, ConfigService, serve
 from .client import HttpServiceClient, ServiceClient, ServiceClientError
-from .handlers import SCHEMAS, make_handlers
+from .handlers import SCHEMAS, make_handlers, make_job_handlers
+from .jobs import JOB_ENDPOINTS, JOB_STATES, Job, JobManager
 from .middleware import (
     ErrorBoundaryMiddleware,
     Field,
@@ -66,4 +67,10 @@ __all__ = [
     "resolve_dataset_spec",
     "SCHEMAS",
     "make_handlers",
+    "make_job_handlers",
+    # async jobs
+    "Job",
+    "JobManager",
+    "JOB_ENDPOINTS",
+    "JOB_STATES",
 ]

@@ -14,21 +14,29 @@ Endpoints::
     POST /sweep       the framework's offline parameter sweep
     POST /configure   sweep + fitted equation-(2) model
     POST /recommend   invert the model at designer objectives
+    POST /jobs        run sweep/configure/recommend asynchronously (202)
+    GET  /jobs        list live jobs + worker-pool counters
+    GET  /jobs/<id>   job status, progress, result when done
+    DELETE /jobs/<id> cancel a job (cooperative, between engine chunks)
     GET  /healthz     liveness + shared-state summary
     GET  /metrics     request counters, engine/cache statistics
 """
 
 from __future__ import annotations
 
+import copy
 import json
 import logging
+import signal
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Dict, Optional
 
 from ..engine import EvaluationEngine
 from ..framework import geo_ind_system
-from .handlers import SCHEMAS, make_handlers
+from .handlers import SCHEMAS, make_handlers, make_job_handlers
+from .jobs import JOB_ENDPOINTS, Job, JobManager
 from .middleware import (
     ErrorBoundaryMiddleware,
     LoggingMiddleware,
@@ -101,6 +109,12 @@ class ConfigService:
         Builds the analysed system (default: the paper's GEO-I).
     response_cache_size:
         Bound on the response-cache middleware's entry count.
+    workers:
+        Job-worker threads — the daemon's async evaluation concurrency.
+    max_queued_jobs:
+        Waiting-job bound; a full queue turns ``POST /jobs`` into 429.
+    job_ttl_s:
+        Seconds a finished job stays pollable before it expires.
     """
 
     def __init__(
@@ -109,14 +123,26 @@ class ConfigService:
         system_factory=geo_ind_system,
         response_cache_size: int = 1024,
         log: Optional[logging.Logger] = None,
+        workers: int = 2,
+        max_queued_jobs: int = 16,
+        job_ttl_s: float = 600.0,
     ) -> None:
         self.state = ServiceState(engine=engine, system_factory=system_factory)
+        self.jobs = JobManager(
+            execute=self._execute_job,
+            workers=workers,
+            max_queued=max_queued_jobs,
+            ttl_s=job_ttl_s,
+        )
         routes: Dict[str, Callable[[Request], dict]] = make_handlers(
             self.state
         )
+        routes.update(make_job_handlers(self.jobs))
         routes["GET /metrics"] = self._metrics_handler
         self._routes = routes
         self._known_paths = {key.split(" ", 1)[1] for key in routes}
+        #: Success statuses that differ from the default 200.
+        self._status_overrides = {"POST /jobs": 202}
         self.metrics = MetricsMiddleware(known_endpoints=routes)
         self.response_cache = ResponseCacheMiddleware(
             CACHEABLE_ENDPOINTS,
@@ -151,6 +177,38 @@ class ConfigService:
         return body
 
     # ------------------------------------------------------------------
+    # Job execution (runs on JobManager worker threads)
+    # ------------------------------------------------------------------
+    def _execute_job(self, job: Job) -> Response:
+        """Run one async job's endpoint off the request path.
+
+        The validated body flows through the *same* response-cache
+        middleware and handler as a sync request — a job repeated
+        verbatim is a cache hit, and a job's result later warms the
+        sync endpoint.  The engine's per-thread hooks thread progress
+        (completed/total batch items) and cooperative cancellation into
+        the evaluation loop.
+        """
+        route = JOB_ENDPOINTS[job.endpoint]
+        request = Request(
+            method="POST",
+            path=route.split(" ", 1)[1],
+            # The handler and cache must never mutate the job's copy.
+            body=copy.deepcopy(job.body),
+            context={"job_id": job.id},
+        )
+
+        def inner(req: Request) -> Response:
+            return Response(status=200, body=self._routes[route](req))
+
+        with self.state.engine.hooks(
+            batch_start=job.note_batch,
+            jobs_done=job.note_done,
+            should_cancel=job.cancel.is_set,
+        ):
+            return self.response_cache.handle(request, inner)
+
+    # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
     def _route(self, request: Request) -> Response:
@@ -166,11 +224,32 @@ class ConfigService:
                 f"no such endpoint: {request.path}",
                 details={"endpoints": sorted(self._routes)},
             )
-        return Response(status=200, body=handler(request))
+        return Response(
+            status=self._status_overrides.get(request.endpoint, 200),
+            body=handler(request),
+        )
+
+    @staticmethod
+    def _canonicalise(request: Request) -> Request:
+        """Rewrite ``/jobs/<id>`` paths to their canonical route.
+
+        The real id moves to ``context["job_id"]`` and the original
+        path to ``context["raw_path"]`` (logging prefers it), so
+        routing, validation schemas and metrics cardinality all see
+        one stable ``/jobs/<id>`` endpoint instead of one per job.
+        """
+        prefix = "/jobs/"
+        if request.path.startswith(prefix):
+            job_id = request.path[len(prefix):]
+            if job_id and "/" not in job_id:
+                request.context["job_id"] = job_id
+                request.context["raw_path"] = request.path
+                request.path = "/jobs/<id>"
+        return request
 
     def dispatch(self, request: Request) -> Response:
         """Run one request through the full middleware pipeline."""
-        return self._entry(request)
+        return self._entry(self._canonicalise(request))
 
     def handle(
         self, method: str, path: str, body: Optional[dict] = None
@@ -187,6 +266,7 @@ class ConfigService:
             "service": self.metrics.snapshot(),
             "engine": self.state.engine.stats,
             "response_cache": self.response_cache.snapshot(),
+            "jobs": self.jobs.stats(),
             "registry": {
                 "datasets": self.state.n_datasets,
                 "configurators": self.state.n_configurators,
@@ -212,9 +292,19 @@ class ConfigService:
 
         return _QuietThreadingHTTPServer((host, port), Handler)
 
-    def close(self) -> None:
-        """Release shared resources (engine worker pools); idempotent."""
-        self.state.close()
+    def close(self, grace_s: float = 10.0) -> None:
+        """Drain jobs, then release shared resources; idempotent.
+
+        Running jobs get ``grace_s`` seconds to finish before they are
+        cancelled cooperatively; queued jobs cancel immediately.  The
+        engine's worker pools shut down last, within whatever remains
+        of the *same* budget — total shutdown stays bounded by roughly
+        one grace period, not one per layer.
+        """
+        started = time.monotonic()
+        self.jobs.close(grace_s=grace_s)
+        remaining = max(0.0, grace_s - (time.monotonic() - started))
+        self.state.close(timeout_s=remaining)
 
 
 class _QuietThreadingHTTPServer(ThreadingHTTPServer):
@@ -254,6 +344,12 @@ class _ServiceHTTPHandler(BaseHTTPRequestHandler):
             # keep-alive (its bytes parse as the next request line).
             self.close_connection = True
         self._respond(self.app.handle("GET", self._route_path()))
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        if self.headers.get("Content-Length") not in (None, "0"):
+            # DELETEs are bodyless here, same keep-alive rule as GET.
+            self.close_connection = True
+        self._respond(self.app.handle("DELETE", self._route_path()))
 
     def do_POST(self) -> None:  # noqa: N802
         path = self._route_path()
@@ -351,25 +447,51 @@ def serve(
     engine: Optional[EvaluationEngine] = None,
     service: Optional[ConfigService] = None,
     ready: Optional[threading.Event] = None,
+    workers: int = 2,
+    job_ttl_s: float = 600.0,
+    grace_s: float = 10.0,
 ) -> int:
     """Run the configuration service until interrupted.
 
     The CLI's ``repro-lppm serve`` lands here.  ``ready`` (if given) is
     set once the socket is bound — test harnesses use it to know when
     requests may be sent.
+
+    SIGTERM and SIGINT both shut down cleanly: the socket closes, jobs
+    drain with a ``grace_s``-bounded grace period (still-running jobs
+    are then cancelled cooperatively), and the process exits 0 — what
+    CI runners and container orchestrators expect of a stop.
     """
-    app = service if service is not None else ConfigService(engine=engine)
+    app = service if service is not None else ConfigService(
+        engine=engine, workers=workers, job_ttl_s=job_ttl_s
+    )
     server = app.make_server(host, port)
     bound_host, bound_port = server.server_address[:2]
     logger.info("serving on http://%s:%d", bound_host, bound_port)
-    print(f"repro-lppm service listening on http://{bound_host}:{bound_port}")
+    print(f"repro-lppm service listening on http://{bound_host}:{bound_port}",
+          flush=True)
+    def _sigterm_handler(signo, frame):
+        # Same exception as Ctrl-C, so one shutdown sequence serves
+        # both signals.
+        raise KeyboardInterrupt
+
+    previous_sigterm = None
+    try:
+        # signal.signal only works on the main thread; embedded callers
+        # (tests running serve() on a helper thread) keep their own
+        # handling.
+        previous_sigterm = signal.signal(signal.SIGTERM, _sigterm_handler)
+    except ValueError:
+        pass
     if ready is not None:
         ready.set()
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        print("shutting down")
+        print("shutting down (draining jobs)", flush=True)
     finally:
+        if previous_sigterm is not None:
+            signal.signal(signal.SIGTERM, previous_sigterm)
         server.server_close()
-        app.close()
+        app.close(grace_s=grace_s)
     return 0

@@ -11,11 +11,19 @@ Two transports behind one interface:
 
 Both raise :class:`ServiceClientError` on non-2xx responses, carrying
 the service's typed error payload (code, message, details).
+
+Async jobs use the same interface: ``submit`` enqueues a sweep,
+configure or recommend body and returns immediately with a job id;
+``status``/``cancel`` poll and cancel it; ``wait`` polls with
+exponential backoff until the job reaches a terminal state, raising
+:class:`ServiceClientError` for failed jobs and :class:`TimeoutError`
+when the deadline passes first.
 """
 
 from __future__ import annotations
 
 import json
+import time
 import urllib.error
 import urllib.request
 from typing import List, Optional
@@ -92,6 +100,71 @@ class _BaseClient:
             "points": points, "replications": replications,
             "policy": policy,
         })
+
+    # -- async jobs ----------------------------------------------------
+    def submit(self, endpoint: str, body: dict) -> dict:
+        """Enqueue ``body`` on an async worker; returns the 202 payload.
+
+        ``endpoint`` is the short name (``"sweep"``, ``"configure"``
+        or ``"recommend"``); ``body`` is exactly what the sync endpoint
+        would take.  The returned dict carries ``job_id`` and ``poll``.
+        """
+        return self._request("POST", "/jobs",
+                             {"endpoint": endpoint, "body": body})
+
+    def status(self, job_id: str) -> dict:
+        """Current status/progress of a job (result included when done)."""
+        return self._request("GET", f"/jobs/{job_id}", None)
+
+    def cancel(self, job_id: str) -> dict:
+        """Request cooperative cancellation; returns the job snapshot."""
+        return self._request("DELETE", f"/jobs/{job_id}", None)
+
+    def jobs(self) -> dict:
+        """All live jobs plus worker-pool counters."""
+        return self._request("GET", "/jobs", None)
+
+    def wait(
+        self,
+        job_id: str,
+        timeout_s: float = 120.0,
+        poll_s: float = 0.05,
+        max_poll_s: float = 1.0,
+    ) -> dict:
+        """Poll with backoff until the job finishes; return its snapshot.
+
+        * ``done`` — returns the snapshot (``result`` holds the same
+          payload the sync endpoint would have returned);
+        * ``cancelled`` — returns the snapshot (cancellation is an
+          answer, not an error);
+        * ``failed`` — raises :class:`ServiceClientError` built from
+          the job's typed error payload, mirroring the sync endpoint;
+        * deadline passed — raises :class:`TimeoutError` (the job keeps
+          running server-side; ``cancel`` it if that is unwanted).
+        """
+        if timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        deadline = time.monotonic() + timeout_s
+        delay = max(0.001, poll_s)
+        while True:
+            snapshot = self.status(job_id)
+            if snapshot["status"] in ("done", "cancelled"):
+                return snapshot
+            if snapshot["status"] == "failed":
+                error = snapshot.get("error", {})
+                raise ServiceClientError(
+                    int(error.get("status", 500)), error
+                )
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"job {job_id} still {snapshot['status']} after "
+                    f"{timeout_s:g}s (progress "
+                    f"{snapshot['progress']['completed']}"
+                    f"/{snapshot['progress']['total']})"
+                )
+            time.sleep(min(delay, remaining))
+            delay = min(delay * 1.6, max_poll_s)
 
     # -- introspection endpoints ---------------------------------------
     def healthz(self) -> dict:

@@ -16,15 +16,16 @@ headline claim.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Mapping, Optional
+from typing import Callable, Dict, List, Mapping
 
 from .. import __version__
 from ..framework import Objective
 from ..lppm import available_lppms, lppm_class, primary_param
-from .middleware import Field, Request, ServiceError
+from .jobs import JOB_ENDPOINTS, JobManager
+from .middleware import Field, Request, ServiceError, validate_body
 from .state import ServiceState
 
-__all__ = ["SCHEMAS", "make_handlers"]
+__all__ = ["SCHEMAS", "make_handlers", "make_job_handlers"]
 
 
 #: Validation schemas, by ``"METHOD /path"`` endpoint key.  The
@@ -59,6 +60,16 @@ SCHEMAS: Dict[str, Mapping[str, Field]] = {
             type=str, default="max_utility",
             choices=("max_utility", "max_privacy", "midpoint"),
         ),
+    },
+    "POST /jobs": {
+        # The inner body is validated against the named endpoint's own
+        # schema at submit time, so a malformed sweep fails with the
+        # same typed 400 the sync endpoint gives — synchronously, not
+        # as a failed job discovered by polling.
+        "endpoint": Field(
+            type=str, required=True, choices=tuple(sorted(JOB_ENDPOINTS)),
+        ),
+        "body": Field(type=dict, default=None),
     },
 }
 
@@ -124,22 +135,25 @@ def make_handlers(
     """The endpoint routing table, bound to one service state."""
 
     def _engine_cost(run) -> dict:
-        """Run ``run()`` under the evaluation lock, reporting its cost.
+        """Run ``run()``, reporting the thread's own engine cost.
 
-        Framework :class:`ValueError`\\ s (a sweep too coarse for the
-        model fit, jointly degenerate objectives, …) are the caller's
-        data, not server faults — they surface as typed 422s.
+        The engine is thread-safe and shared, so the receipt comes from
+        a per-thread :meth:`~repro.engine.EvaluationEngine.measure`
+        counter — concurrent requests cannot inflate each other's
+        ``executions_this_request``.  Framework :class:`ValueError`\\ s
+        (a sweep too coarse for the model fit, jointly degenerate
+        objectives, …) are the caller's data, not server faults — they
+        surface as typed 422s.
         """
-        with state.evaluation_lock:
-            before = state.engine.n_executions
+        with state.engine.measure() as cost:
             try:
                 result = run()
             except ValueError as exc:
                 raise ServiceError(422, "evaluation-failed", str(exc))
-            return result, {
-                "executions_this_request": state.engine.n_executions - before,
-                **state.engine.stats,
-            }
+        return result, {
+            "executions_this_request": cost.count,
+            **state.engine.stats,
+        }
 
     # ------------------------------------------------------------------
     # POST /protect
@@ -162,8 +176,9 @@ def make_handlers(
             raise ServiceError(
                 400, "invalid-param", f"{name}: {exc}"
             )
-        with state.evaluation_lock:
-            protected = lppm.protect(dataset, seed=body["seed"])
+        # No lock: LPPM protection is pure (per-(seed, user) RNG
+        # derivation) and the dataset is read-only once registered.
+        protected = lppm.protect(dataset, seed=body["seed"])
         payload = {
             "lppm": name,
             "param_name": param_name,
@@ -286,4 +301,62 @@ def make_handlers(
         "POST /configure": configure,
         "POST /recommend": recommend,
         "GET /healthz": healthz,
+    }
+
+
+def make_job_handlers(
+    manager: JobManager,
+) -> Dict[str, Callable[[Request], dict]]:
+    """The async-job routing table, bound to one :class:`JobManager`.
+
+    ``/jobs/<id>`` paths are canonicalised by the app before dispatch:
+    the handler reads the real id from ``request.context["job_id"]``.
+    """
+
+    def _job_id_of(request: Request) -> str:
+        job_id = request.context.get("job_id")
+        if not isinstance(job_id, str) or not job_id:
+            raise ServiceError(
+                404, "job-not-found", "no job id in the request path"
+            )
+        return job_id
+
+    def submit(request: Request) -> dict:
+        body = request.body
+        endpoint = body["endpoint"]
+        route = JOB_ENDPOINTS[endpoint]
+        # Same validation as the sync endpoint — bad bodies fail the
+        # POST /jobs request itself with the endpoint's typed 400.
+        validated = validate_body(body["body"], SCHEMAS[route], route)
+        job = manager.submit(endpoint, validated)
+        return {
+            "job_id": job.id,
+            "endpoint": endpoint,
+            # The status at enqueue time, not a re-read: a worker may
+            # already have started (or even finished) a fast job, and
+            # the documented 202 shape is "queued".
+            "status": "queued",
+            "poll": f"/jobs/{job.id}",
+        }
+
+    def status(request: Request) -> dict:
+        return manager.get(_job_id_of(request)).snapshot()
+
+    def cancel(request: Request) -> dict:
+        return manager.cancel(_job_id_of(request)).snapshot()
+
+    def listing(request: Request) -> dict:
+        return {
+            "jobs": [
+                job.snapshot(include_result=False)
+                for job in manager.jobs()
+            ],
+            **manager.stats(),
+        }
+
+    return {
+        "POST /jobs": submit,
+        "GET /jobs": listing,
+        "GET /jobs/<id>": status,
+        "DELETE /jobs/<id>": cancel,
     }

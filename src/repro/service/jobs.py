@@ -1,0 +1,422 @@
+"""Async job subsystem: sweeps off the request path.
+
+The sync evaluation endpoints answer on the caller's thread, which is
+fine for warm-cache requests but makes a cold sweep's latency the
+client's problem.  The :class:`JobManager` moves that work to a bounded
+pool of worker threads: ``POST /jobs`` validates the body exactly as
+the sync endpoint would, enqueues a :class:`Job`, and returns ``202``
+with a job id immediately; ``GET /jobs/<id>`` reports status and
+progress; ``DELETE /jobs/<id>`` cancels cooperatively between engine
+chunks.  Finished jobs carry the full result payload — the same JSON
+the sync endpoint would have returned, response cache included — and
+expire after a TTL so a long-lived daemon's job table stays bounded.
+
+Lifecycle::
+
+    queued ──▶ running ──▶ done
+       │          │   └──▶ failed      (typed error payload)
+       └──────────┴──────▶ cancelled   (cooperative, between chunks)
+
+Progress is threaded through the engine's per-thread hooks
+(:meth:`repro.engine.EvaluationEngine.hooks`): each engine batch
+announces its job count, and completions arrive chunk by chunk, so
+``progress.completed / progress.total`` is monotone within a job.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+import logging
+import queue
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+from ..engine import EvaluationCancelled
+from .middleware import Response, ServiceError, instance_tag
+
+__all__ = ["Job", "JobManager", "JOB_ENDPOINTS", "JOB_STATES"]
+
+logger = logging.getLogger("repro.service")
+
+#: Endpoints a job may run, by their short client-facing name.  Exactly
+#: the sync evaluation endpoints whose work is long-running; ``/protect``
+#: stays sync-only (it is cheap and its response embeds record dumps).
+JOB_ENDPOINTS: Dict[str, str] = {
+    "sweep": "POST /sweep",
+    "configure": "POST /configure",
+    "recommend": "POST /recommend",
+}
+
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: States a job never leaves.
+_TERMINAL = ("done", "failed", "cancelled")
+
+
+class Job:
+    """One asynchronous evaluation job and its observable state.
+
+    All mutation happens under :attr:`lock`; readers take it too (every
+    hold is a few field writes, never evaluation work, so status polls
+    stay fast even while the job runs).
+    """
+
+    __slots__ = (
+        "id", "endpoint", "body", "status", "lock", "cancel",
+        "created_at", "started_at", "finished_at", "expires_at",
+        "completed", "total", "result", "error", "from_response_cache",
+        "done_event",
+    )
+
+    def __init__(self, job_id: str, endpoint: str, body: dict) -> None:
+        self.id = job_id
+        #: Short endpoint name ("sweep" | "configure" | "recommend").
+        self.endpoint = endpoint
+        #: The *validated* request body (defaults filled at submit).
+        self.body = body
+        self.status = "queued"
+        self.lock = threading.Lock()
+        #: Cooperative cancellation flag, polled between engine chunks.
+        self.cancel = threading.Event()
+        self.created_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        #: Monotonic deadline after which a finished job is purged.
+        self.expires_at: Optional[float] = None
+        #: Progress in engine jobs (batch items); total grows as the
+        #: framework submits batches, completed never decreases.
+        self.completed = 0
+        self.total = 0
+        self.result: Optional[dict] = None
+        self.error: Optional[dict] = None
+        self.from_response_cache = False
+        #: Set on entry to any terminal state (in-process waiters).
+        self.done_event = threading.Event()
+
+    # -- engine hook targets (called from the worker thread) -----------
+    def note_batch(self, n: int) -> None:
+        with self.lock:
+            self.total += n
+
+    def note_done(self, n: int) -> None:
+        with self.lock:
+            self.completed += n
+
+    # -- snapshots ------------------------------------------------------
+    def snapshot(self, include_result: bool = True) -> dict:
+        """JSON-ready view of the job, as ``GET /jobs/<id>`` returns it."""
+        result = None
+        with self.lock:
+            payload = {
+                "job_id": self.id,
+                "endpoint": self.endpoint,
+                "status": self.status,
+                "progress": {
+                    "completed": self.completed,
+                    "total": self.total,
+                },
+                "created_at": self.created_at,
+                "started_at": self.started_at,
+                "finished_at": self.finished_at,
+                "cancel_requested": self.cancel.is_set(),
+            }
+            if self.started_at is not None:
+                end = self.finished_at or time.time()
+                payload["runtime_s"] = round(end - self.started_at, 6)
+            if self.status == "done":
+                payload["from_response_cache"] = self.from_response_cache
+                if include_result:
+                    result = self.result
+            if self.error is not None:
+                payload["error"] = self.error
+        if result is not None:
+            # A fresh copy — in-process clients receive this dict
+            # itself and must not be able to corrupt the stored result
+            # through it (same discipline as the response cache's
+            # replayed bodies) — made OUTSIDE the lock: the result is
+            # immutable once the job is terminal, and a large payload's
+            # deepcopy must not stall status polls on other threads.
+            payload["result"] = copy.deepcopy(result)
+        return payload
+
+
+class JobManager:
+    """Bounded worker pool running evaluation jobs off the request path.
+
+    Parameters
+    ----------
+    execute:
+        ``execute(job) -> Response`` — runs one job's endpoint through
+        the response cache and handler with the engine's progress and
+        cancellation hooks installed for ``job``.  Provided by
+        :class:`~repro.service.app.ConfigService`, which owns the
+        middleware instances.
+    workers:
+        Worker thread count — the daemon's evaluation concurrency.
+    max_queued:
+        Bound on *waiting* jobs (running jobs do not count).  A full
+        queue turns ``POST /jobs`` into a typed ``429`` so a traffic
+        spike degrades into backpressure instead of unbounded memory.
+    ttl_s:
+        Seconds a finished job (any terminal state) remains pollable;
+        after that, ``GET /jobs/<id>`` is a 404 and the entry is gone.
+    clock:
+        Monotonic clock, injectable for TTL tests.
+    """
+
+    def __init__(
+        self,
+        execute: Callable[[Job], Response],
+        workers: int = 2,
+        max_queued: int = 16,
+        ttl_s: float = 600.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if max_queued < 1:
+            raise ValueError("max_queued must be at least 1")
+        if ttl_s <= 0:
+            raise ValueError("ttl_s must be positive")
+        self._execute = execute
+        self.workers = int(workers)
+        self.max_queued = int(max_queued)
+        self.ttl_s = float(ttl_s)
+        self._clock = clock
+        self._queue: "queue.Queue[Optional[Job]]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._n_queued = 0
+        self._n_running = 0
+        self._accepting = True
+        self._counter = itertools.count(1)
+        self._instance = instance_tag(self)
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"job-worker-{i}", daemon=True
+            )
+            for i in range(self.workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Submission and lookup
+    # ------------------------------------------------------------------
+    def submit(self, endpoint: str, body: dict) -> Job:
+        """Enqueue a validated job; raises typed 429/503 when refused."""
+        if endpoint not in JOB_ENDPOINTS:
+            raise ServiceError(
+                400, "invalid-request",
+                f"endpoint must be one of {sorted(JOB_ENDPOINTS)}, "
+                f"got {endpoint!r}",
+            )
+        job = Job(f"job-{self._instance}-{next(self._counter)}",
+                  endpoint, body)
+        with self._lock:
+            self._purge_locked()
+            if not self._accepting:
+                raise ServiceError(
+                    503, "shutting-down",
+                    "the service is draining and accepts no new jobs",
+                )
+            if self._n_queued >= self.max_queued:
+                raise ServiceError(
+                    429, "jobs-saturated",
+                    f"job queue is full ({self._n_queued} waiting, "
+                    f"{self._n_running} running on {self.workers} "
+                    f"worker(s)); retry later or raise --workers",
+                    details={
+                        "queued": self._n_queued,
+                        "running": self._n_running,
+                        "workers": self.workers,
+                        "max_queued": self.max_queued,
+                    },
+                )
+            self._jobs[job.id] = job
+            self._n_queued += 1
+        self._queue.put(job)
+        return job
+
+    def get(self, job_id: str) -> Job:
+        """The job by id; typed 404 for unknown or expired ids."""
+        with self._lock:
+            self._purge_locked()
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ServiceError(
+                404, "job-not-found",
+                f"no such job: {job_id} (unknown id, or expired after "
+                f"{self.ttl_s:g}s TTL)",
+            )
+        return job
+
+    def cancel(self, job_id: str) -> Job:
+        """Request cancellation; queued jobs cancel immediately.
+
+        Running jobs abort cooperatively at the next engine chunk
+        boundary; terminal jobs are left untouched (the returned
+        snapshot shows their final state).
+        """
+        job = self.get(job_id)
+        finished = False
+        with job.lock:
+            if job.status not in _TERMINAL:
+                # Terminal jobs are left untouched — a late DELETE is a
+                # no-op and must not claim a cancellation was requested.
+                job.cancel.set()
+            if job.status == "queued":
+                job.status = "cancelled"
+                job.finished_at = time.time()
+                job.expires_at = self._clock() + self.ttl_s
+                finished = True
+        if finished:
+            with self._lock:
+                self._n_queued -= 1
+            job.done_event.set()
+        return job
+
+    def jobs(self) -> List[Job]:
+        """Live jobs, oldest first (purges expired entries)."""
+        with self._lock:
+            self._purge_locked()
+            return list(self._jobs.values())
+
+    def stats(self) -> dict:
+        """Queue/worker counters for ``GET /jobs`` and ``/metrics``."""
+        with self._lock:
+            self._purge_locked()
+            by_status: Dict[str, int] = {}
+            for job in self._jobs.values():
+                with job.lock:
+                    by_status[job.status] = by_status.get(job.status, 0) + 1
+            return {
+                "workers": self.workers,
+                "max_queued": self.max_queued,
+                "ttl_s": self.ttl_s,
+                "queued": self._n_queued,
+                "running": self._n_running,
+                "tracked": len(self._jobs),
+                "by_status": by_status,
+            }
+
+    # ------------------------------------------------------------------
+    # Worker loop
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:  # shutdown sentinel
+                self._queue.task_done()
+                return
+            try:
+                self._run_job(job)
+            finally:
+                self._queue.task_done()
+
+    def _run_job(self, job: Job) -> None:
+        with job.lock:
+            if job.status != "queued":
+                # Cancelled while waiting; counters already adjusted.
+                return
+            job.status = "running"
+            job.started_at = time.time()
+        with self._lock:
+            self._n_queued -= 1
+            self._n_running += 1
+        status, result, error, cached = "failed", None, None, False
+        try:
+            response = self._execute(job)
+            if response.ok:
+                status = "done"
+                result = response.body
+                cached = response.headers.get("X-Response-Cache") == "hit"
+            else:  # pragma: no cover - handlers raise instead
+                error = response.body.get("error", {"message": "failed"})
+        except EvaluationCancelled:
+            status = "cancelled"
+        except ServiceError as exc:
+            error = {"status": exc.status, "code": exc.code,
+                     "message": exc.message}
+            if exc.details is not None:
+                error["details"] = exc.details
+        except Exception:
+            logger.exception("job %s (%s) crashed", job.id, job.endpoint)
+            error = {"status": 500, "code": "internal-error",
+                     "message": "internal server error"}
+        with job.lock:
+            job.status = status
+            job.result = result
+            job.error = error
+            job.from_response_cache = cached
+            job.finished_at = time.time()
+            job.expires_at = self._clock() + self.ttl_s
+        with self._lock:
+            self._n_running -= 1
+        job.done_event.set()
+
+    # ------------------------------------------------------------------
+    # Expiry and shutdown
+    # ------------------------------------------------------------------
+    def _purge_locked(self) -> None:
+        """Drop finished jobs past their TTL (``self._lock`` held)."""
+        now = self._clock()
+        expired = [
+            job_id
+            for job_id, job in self._jobs.items()
+            if job.expires_at is not None and job.expires_at <= now
+        ]
+        for job_id in expired:
+            del self._jobs[job_id]
+
+    def close(self, grace_s: float = 10.0) -> None:
+        """Drain and stop the pool; idempotent.
+
+        New submissions are refused immediately (typed 503), queued
+        jobs are cancelled, and running jobs get ``grace_s`` seconds to
+        finish before their cancellation flags are set and the workers
+        are given one more short wait.  Worker threads are daemons, so
+        a job that ignores cooperative cancellation cannot block
+        process exit.
+        """
+        with self._lock:
+            if not self._accepting and not any(
+                t.is_alive() for t in self._threads
+            ):
+                return
+            self._accepting = False
+            tracked = list(self._jobs.values())
+        for job in tracked:
+            # Cancel queued jobs only, re-checked under the job lock: a
+            # job that just went running keeps its grace period (the
+            # join below) instead of being aborted at its next chunk.
+            finished = False
+            with job.lock:
+                if job.status == "queued":
+                    job.cancel.set()
+                    job.status = "cancelled"
+                    job.finished_at = time.time()
+                    job.expires_at = self._clock() + self.ttl_s
+                    finished = True
+            if finished:
+                with self._lock:
+                    self._n_queued -= 1
+                job.done_event.set()
+        for _ in self._threads:
+            self._queue.put(None)
+        deadline = time.monotonic() + max(0.0, grace_s)
+        for thread in self._threads:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+        still_running = [t for t in self._threads if t.is_alive()]
+        if still_running:
+            with self._lock:
+                running = [
+                    job for job in self._jobs.values()
+                    if job.status == "running"
+                ]
+            for job in running:
+                job.cancel.set()
+            for thread in still_running:
+                thread.join(timeout=1.0)

@@ -58,6 +58,7 @@ __all__ = [
     "Field",
     "validate_body",
     "canonical_body_key",
+    "instance_tag",
 ]
 
 logger = logging.getLogger("repro.service")
@@ -200,6 +201,17 @@ def _bind(middleware: Middleware, inner: Handler) -> Handler:
 # ----------------------------------------------------------------------
 # Request id + logging
 # ----------------------------------------------------------------------
+def instance_tag(owner: object) -> str:
+    """Short per-instance tag for restart-safe id schemes.
+
+    Request ids and job ids both embed one of these: a counter orders
+    ids within one service instance, and this hash disambiguates
+    across restarts without any global coordination.
+    """
+    seed = f"{id(owner)}-{time.time_ns()}".encode("utf-8")
+    return hashlib.sha256(seed).hexdigest()[:6]
+
+
 class RequestIdMiddleware(Middleware):
     """Assigns each request a unique id and echoes it to the client.
 
@@ -212,8 +224,7 @@ class RequestIdMiddleware(Middleware):
 
     def __init__(self) -> None:
         self._counter = itertools.count(1)
-        seed = f"{id(self)}-{time.time_ns()}".encode("utf-8")
-        self._instance = hashlib.sha256(seed).hexdigest()[:6]
+        self._instance = instance_tag(self)
 
     def handle(self, request: Request, call_next: Handler) -> Response:
         number = next(self._counter)
@@ -239,7 +250,9 @@ class LoggingMiddleware(Middleware):
         self._log.info(
             "%s %s -> %d in %.1f ms [%s]%s",
             request.method,
-            request.path,
+            # Canonicalised routes (e.g. /jobs/<id>) stash the real
+            # path in context so the log line stays greppable by id.
+            request.context.get("raw_path", request.path),
             response.status,
             elapsed_ms,
             request.context.get("request_id", "-"),

@@ -11,14 +11,16 @@ dataset spec is the registry key, so two clients asking for the same
 synthetic fleet (or the same CSV path) share one in-memory dataset, one
 engine fingerprint, and one fitted model.
 
-The engine and the framework objects are not thread-safe; the service's
-HTTP front-end is threaded.  All evaluation work therefore funnels
-through :meth:`ServiceState.evaluation_lock` — requests queue for the
-engine, which then batches each sweep across its own worker pool.  The
-lock serialises Python-side bookkeeping, not the useful work.  The
-registries themselves sit under a separate, never-held-long lock, so
-``/healthz`` and ``/metrics`` stay responsive while a long sweep holds
-the evaluation lock.
+Concurrency: the :class:`~repro.engine.EvaluationEngine` is itself
+thread-safe (its bookkeeping sits under an internal lock, the protect +
+measure work runs outside it), so requests and job workers evaluate
+concurrently without any state-wide evaluation lock.  What *is*
+deduplicated is model fitting: one never-shared-with-evaluation lock
+per (dataset, resolution) key means two callers asking for the same
+fit pay it once, while fits for different keys proceed in parallel.
+The registry dicts sit under a separate, never-held-long lock, so
+``/healthz``, ``/metrics`` and job-status polls stay responsive while
+sweeps run.
 """
 
 from __future__ import annotations
@@ -206,15 +208,16 @@ class ServiceState:
         self.max_datasets = int(max_datasets)
         self.started_at = time.time()
         self._monotonic_start = time.monotonic()
-        #: Serialises all engine/framework work (they are not
-        #: thread-safe; the HTTP front-end is threaded).
-        self.evaluation_lock = threading.RLock()
-        # Guards only the registry dicts.  Never held while evaluating,
-        # so introspection endpoints never queue behind a sweep.  Lock
-        # order where both are taken: evaluation_lock, then this.
+        # Guards only the registry dicts (and the fit-lock table).
+        # Never held while evaluating, so introspection endpoints and
+        # job-status polls never queue behind a sweep.
         self._registry_lock = threading.Lock()
         self._datasets: Dict[str, Dataset] = {}
         self._configurators: Dict[Tuple[str, int, int, int], Configurator] = {}
+        # One lock per in-flight fit key: concurrent requests for the
+        # SAME (dataset, resolution) deduplicate into one fit; fits for
+        # different keys run in parallel on the thread-safe engine.
+        self._fit_locks: Dict[Tuple[str, int, int, int], threading.Lock] = {}
 
     # ------------------------------------------------------------------
     # Registries
@@ -270,6 +273,11 @@ class ServiceState:
                             for k, v in self._configurators.items()
                             if k[0] != evicted
                         }
+                        self._fit_locks = {
+                            k: v
+                            for k, v in self._fit_locks.items()
+                            if k[0] != evicted
+                        }
                     self._datasets[key] = dataset
         return key, dataset
 
@@ -291,9 +299,10 @@ class ServiceState:
         key = (dataset_key, int(n_points), int(n_replications), int(base_seed))
         with self._registry_lock:
             configurator = self._configurators.get(key)
-        if configurator is not None:
-            return configurator
-        with self.evaluation_lock:
+            if configurator is not None:
+                return configurator
+            fit_lock = self._fit_locks.setdefault(key, threading.Lock())
+        with fit_lock:
             # Double-check: a thread that queued behind the fitting one
             # finds the result instead of fitting again.
             with self._registry_lock:
@@ -310,6 +319,10 @@ class ServiceState:
                 configurator.fit()
                 with self._registry_lock:
                     self._configurators[key] = configurator
+                    # The result is registered; late arrivals re-check
+                    # the registry, so the lock entry can go (a racer
+                    # already holding the object just re-checks too).
+                    self._fit_locks.pop(key, None)
             return configurator
 
     # ------------------------------------------------------------------
@@ -347,8 +360,7 @@ class ServiceState:
                 base_seed=base_seed,
                 engine=self.engine,
             )
-            with self.evaluation_lock:
-                return configurator.runner.sweep(n_points=n_points)
+            return configurator.runner.sweep(n_points=n_points)
 
     @property
     def uptime_s(self) -> float:
@@ -374,7 +386,12 @@ class ServiceState:
         with self._registry_lock:
             self._datasets.clear()
             self._configurators.clear()
+            self._fit_locks.clear()
 
-    def close(self) -> None:
-        """Release the engine's backend resources; idempotent."""
-        self.engine.close()
+    def close(self, timeout_s: Optional[float] = None) -> None:
+        """Release the engine's backend resources; idempotent.
+
+        ``timeout_s`` bounds the wait for in-flight engine work (the
+        daemon passes its shutdown grace period).
+        """
+        self.engine.close(timeout_s=timeout_s)

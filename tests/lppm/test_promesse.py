@@ -6,7 +6,7 @@ import pytest
 from repro.attacks import extract_pois
 from repro.lppm import Promesse, resample_polyline
 from repro.metrics import AreaCoverageUtility, PoiRetrievalPrivacy
-from repro.mobility import Dataset, Trace
+from repro.mobility import Trace
 
 
 class TestResamplePolyline:

@@ -9,7 +9,7 @@ from repro.metrics import (
     jensen_shannon_divergence,
     visit_distribution,
 )
-from repro.mobility import Dataset, Trace
+from repro.mobility import Dataset
 
 SF = LatLon(37.7749, -122.4194)
 

@@ -1,6 +1,5 @@
 """Tests of dataset splitting utilities."""
 
-import numpy as np
 import pytest
 
 from repro.mobility import Dataset, Trace, split_by_time_fraction, split_users

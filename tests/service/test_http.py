@@ -197,3 +197,48 @@ class TestHttpRoundTrip:
         assert not errors
         assert len(results) == 4
         assert all(r["points"] == results[0]["points"] for r in results)
+
+
+class TestJobsOverHttp:
+    """The async-job surface over real sockets."""
+
+    def test_submit_poll_cancel_round_trip(self, http_client):
+        submitted = http_client.submit("sweep", {
+            "dataset": {"workload": "taxi", "users": 4, "seed": 21},
+            "points": 4, "replications": 1,
+        })
+        assert submitted["status"] == "queued"
+        final = http_client.wait(submitted["job_id"], timeout_s=120)
+        assert final["status"] == "done"
+        assert len(final["result"]["points"]) == 4
+        # Terminal DELETE is a no-op answer, not an error.
+        after = http_client.cancel(submitted["job_id"])
+        assert after["status"] == "done"
+
+    def test_submit_is_202_with_location_style_poll(self, http_service):
+        base_url, _ = http_service
+        request = urllib.request.Request(
+            base_url + "/jobs",
+            data=json.dumps({
+                "endpoint": "sweep",
+                "body": {
+                    "dataset": {"workload": "taxi", "users": 3, "seed": 22},
+                    "points": 4, "replications": 1,
+                },
+            }).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request) as response:
+            assert response.status == 202
+            payload = json.loads(response.read().decode("utf-8"))
+        assert payload["poll"] == f"/jobs/{payload['job_id']}"
+
+    def test_unknown_job_404_over_http(self, http_client):
+        with pytest.raises(ServiceClientError) as excinfo:
+            http_client.status("job-missing-1")
+        assert excinfo.value.status == 404
+        assert excinfo.value.code == "job-not-found"
+
+    def test_jobs_listing_over_http(self, http_client):
+        listing = http_client.jobs()
+        assert "jobs" in listing and "workers" in listing

@@ -5,7 +5,6 @@ import pytest
 
 from repro.attacks import extract_pois
 from repro.synth import (
-    CityModel,
     CommuterConfig,
     LevyFlightConfig,
     RandomWaypointConfig,

@@ -59,6 +59,43 @@ class TestParser:
         assert args.port == 0
         assert args.jobs == 2
 
+    def test_serve_worker_pool_options(self):
+        args = build_parser().parse_args(["serve"])
+        assert (args.workers, args.job_ttl, args.grace) == (2, 600.0, 10.0)
+        args = build_parser().parse_args(
+            ["serve", "--workers", "4", "--job-ttl", "30", "--grace", "2"]
+        )
+        assert (args.workers, args.job_ttl, args.grace) == (4, 30.0, 2.0)
+
+    def test_serve_rejects_zero_workers(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["serve", "--workers", "0"])
+        assert excinfo.value.code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_job_submit_requires_a_body_source(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["job", "submit", "sweep"])
+        assert excinfo.value.code == 2
+        assert "--body" in capsys.readouterr().err
+
+    def test_job_submit_rejects_unknown_endpoint(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["job", "submit", "protect", "--body", "{}"]
+            )
+
+    def test_job_subcommands_parse(self):
+        args = build_parser().parse_args(
+            ["job", "wait", "job-x-1", "--timeout", "5",
+             "--url", "http://localhost:9"]
+        )
+        assert args.job_command == "wait"
+        assert args.job_id == "job-x-1"
+        assert args.timeout == 5.0
+        assert build_parser().parse_args(["job", "list"]).job_command == \
+            "list"
+
 
 class TestErrorPaths:
     """Operator mistakes exit 2 with a message, never a traceback."""
@@ -237,3 +274,96 @@ class TestSweepAndConfigure:
         out = capsys.readouterr().out
         assert "epsilon" in out
         assert code in (0, 1)  # feasibility depends on the tiny dataset
+
+
+class TestJobCommand:
+    """The ``repro-lppm job`` subcommands against a live daemon."""
+
+    @pytest.fixture
+    def daemon_url(self):
+        import threading
+
+        from repro.service import ConfigService
+
+        app = ConfigService(workers=1)
+        server = app.make_server("127.0.0.1", 0)
+        host, port = server.server_address[:2]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield f"http://{host}:{port}"
+        finally:
+            server.shutdown()
+            server.server_close()
+            app.close()
+            thread.join(timeout=5)
+
+    def test_submit_wait_status_cancel_flow(self, daemon_url, capsys):
+        import json
+
+        body = json.dumps({
+            "dataset": {"workload": "taxi", "users": 3, "seed": 4},
+            "points": 4, "replications": 1,
+        })
+        assert main(["job", "submit", "sweep", "--body", body,
+                     "--url", daemon_url]) == 0
+        submitted = json.loads(capsys.readouterr().out)
+        job_id = submitted["job_id"]
+
+        assert main(["job", "wait", job_id, "--url", daemon_url]) == 0
+        final = json.loads(capsys.readouterr().out)
+        assert final["status"] == "done"
+        assert len(final["result"]["points"]) == 4
+
+        assert main(["job", "status", job_id, "--url", daemon_url]) == 0
+        assert json.loads(capsys.readouterr().out)["status"] == "done"
+
+        assert main(["job", "cancel", job_id, "--url", daemon_url]) == 0
+        assert json.loads(capsys.readouterr().out)["status"] == "done"
+
+        assert main(["job", "list", "--url", daemon_url]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        assert listing["by_status"].get("done") == 1
+
+    def test_submit_wait_inline(self, daemon_url, capsys):
+        import json
+
+        body = json.dumps({
+            "dataset": {"workload": "taxi", "users": 3, "seed": 5},
+            "points": 4, "replications": 1,
+        })
+        assert main(["job", "submit", "sweep", "--body", body, "--wait",
+                     "--url", daemon_url]) == 0
+        assert json.loads(capsys.readouterr().out)["status"] == "done"
+
+    def test_submit_body_file(self, daemon_url, tmp_path, capsys):
+        import json
+
+        body_file = tmp_path / "body.json"
+        body_file.write_text(json.dumps({
+            "dataset": {"workload": "taxi", "users": 3, "seed": 6},
+            "points": 4, "replications": 1,
+        }))
+        assert main(["job", "submit", "sweep",
+                     "--body-file", str(body_file),
+                     "--url", daemon_url]) == 0
+        assert "job_id" in json.loads(capsys.readouterr().out)
+
+    def test_submit_invalid_json_body_exits_2(self, daemon_url, capsys):
+        assert main(["job", "submit", "sweep", "--body", "{nope",
+                     "--url", daemon_url]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_rejected_body_is_typed_error_exit_2(self, daemon_url, capsys):
+        assert main(["job", "submit", "sweep", "--body", "{}",
+                     "--url", daemon_url]) == 2
+        assert "invalid-request" in capsys.readouterr().err
+
+    def test_unknown_job_exit_2(self, daemon_url, capsys):
+        assert main(["job", "status", "job-nope-9",
+                     "--url", daemon_url]) == 2
+        assert "job-not-found" in capsys.readouterr().err
+
+    def test_daemon_down_is_clean_error(self, capsys):
+        assert main(["job", "list", "--url", "http://127.0.0.1:9"]) == 2
+        assert "error:" in capsys.readouterr().err

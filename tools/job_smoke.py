@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Job-lifecycle smoke test against a real ``repro-lppm serve`` daemon.
+
+Spawns the daemon as a subprocess (``python -m repro.cli serve``),
+then exercises the async-job surface end to end over real sockets:
+
+1. **submit → poll → result** — a sweep job runs to ``done`` and its
+   result matches what the sync endpoint returns for the same body;
+2. **responsiveness under load** — while a second sweep job is
+   running, ``GET /healthz`` and ``GET /jobs/<id>`` answer fast;
+3. **cancel** — a running job cancelled mid-sweep reaches
+   ``cancelled`` without a result;
+4. **clean shutdown** — SIGTERM drains the daemon and it exits 0.
+
+Exit status 0 when every step passes; a JSON summary (``--json``) is
+written for CI artifacts either way.  CI runs this in the smoke job.
+
+Run:  PYTHONPATH=src python tools/job_smoke.py [--json out.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.service import HttpServiceClient, ServiceClientError  # noqa: E402
+
+_LISTENING = re.compile(r"listening on (http://[\d.]+:\d+)")
+
+
+def start_daemon(workers: int) -> "tuple[subprocess.Popen, str]":
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(REPO_ROOT / "src")
+        + (os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--port", "0", "--workers", str(workers), "--grace", "5"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=str(REPO_ROOT),
+    )
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            break
+        match = _LISTENING.search(line)
+        if match:
+            return process, match.group(1)
+    process.kill()
+    raise SystemExit("FAIL: daemon never announced its address")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write a JSON summary to this file")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="daemon job workers (default 1: makes the "
+                             "responsiveness check adversarial)")
+    args = parser.parse_args()
+
+    summary: dict = {"steps": {}, "ok": False}
+    process, base_url = start_daemon(args.workers)
+    client = HttpServiceClient(base_url, timeout_s=30.0)
+    print(f"daemon up at {base_url} (pid {process.pid})")
+
+    try:
+        # -- 1. submit → poll → result --------------------------------
+        body = {"dataset": {"workload": "taxi", "users": 4, "seed": 7},
+                "points": 5, "replications": 1}
+        started = time.perf_counter()
+        job = client.submit("sweep", body)
+        assert job["status"] == "queued", job
+        final = client.wait(job["job_id"], timeout_s=120.0)
+        elapsed = time.perf_counter() - started
+        assert final["status"] == "done", final
+        result = final["result"]
+        assert result["param"] == "epsilon" and len(result["points"]) == 5
+        progress = final["progress"]
+        assert progress["completed"] == progress["total"] > 0, progress
+        sync = client.sweep(**{"dataset": body["dataset"]},
+                            points=5, replications=1)
+        assert [p["epsilon"] for p in sync["points"]] == \
+            [p["epsilon"] for p in result["points"]]
+        summary["steps"]["lifecycle"] = {
+            "ok": True, "wall_s": round(elapsed, 3),
+            "progress": progress,
+        }
+        print(f"lifecycle: done in {elapsed:.2f}s, "
+              f"progress {progress['completed']}/{progress['total']}")
+
+        # -- 2. responsiveness while a job runs -----------------------
+        # Big enough (120 evaluations) that it cannot finish before
+        # the probes below and the cancel in step 3 land.
+        slow = client.submit("sweep", {
+            "dataset": {"workload": "taxi", "users": 8, "seed": 8},
+            "points": 30, "replications": 4,
+        })
+        probes = []
+        for _ in range(10):
+            t0 = time.perf_counter()
+            client.healthz()
+            client.status(slow["job_id"])
+            probes.append((time.perf_counter() - t0) / 2)
+        worst_ms = max(probes) * 1000.0
+        summary["steps"]["responsiveness"] = {
+            "ok": worst_ms < 250.0, "worst_probe_ms": round(worst_ms, 2),
+        }
+        assert worst_ms < 250.0, f"probes too slow: {worst_ms:.1f} ms"
+        print(f"responsiveness: worst healthz/status probe "
+              f"{worst_ms:.1f} ms while sweeping")
+
+        # -- 3. cancel mid-sweep --------------------------------------
+        cancelled = client.cancel(slow["job_id"])
+        assert cancelled["cancel_requested"] is True
+        final = client.wait(slow["job_id"], timeout_s=120.0)
+        assert final["status"] == "cancelled", final
+        assert "result" not in final
+        summary["steps"]["cancel"] = {"ok": True,
+                                      "progress": final["progress"]}
+        print(f"cancel: job stopped at "
+              f"{final['progress']['completed']}"
+              f"/{final['progress']['total']} engine jobs")
+
+        # -- 4. SIGTERM drains and exits 0 ----------------------------
+        process.send_signal(signal.SIGTERM)
+        returncode = process.wait(timeout=30.0)
+        summary["steps"]["sigterm"] = {"ok": returncode == 0,
+                                       "returncode": returncode}
+        assert returncode == 0, f"daemon exited {returncode} on SIGTERM"
+        print("sigterm: daemon drained and exited 0")
+
+        summary["ok"] = True
+        print("\njob smoke: all steps passed")
+        return 0
+    except (AssertionError, ServiceClientError, TimeoutError) as exc:
+        summary["error"] = str(exc)
+        print(f"\nFAIL: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10.0)
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(summary, fh, indent=2, sort_keys=True)
+            print(f"summary written to {args.json}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())
