@@ -17,7 +17,11 @@ The commands cover the library's workflow end to end:
   HTTP, one shared engine and warm cache across all requests; see
   docs/service.md);
 * ``job``      — drive a running daemon's async jobs: ``submit`` a
-  sweep/configure/recommend body, ``status``/``wait``/``cancel`` it.
+  sweep/configure/recommend body, ``status``/``wait``/``cancel`` it;
+* ``datasets`` — the scenario registry: ``list`` named scenarios,
+  ``show`` one (optionally resolving it), ``register`` a new one —
+  locally, or on a running daemon with ``--url`` (see
+  docs/datasets.md).
 """
 
 from __future__ import annotations
@@ -46,6 +50,7 @@ from .report import (
     recommendation_summary,
     sweep_table,
 )
+from .scenarios import SCENARIO_KINDS, ScenarioSpec, default_registry
 from .synth import (
     CommuterConfig,
     TaxiFleetConfig,
@@ -250,6 +255,54 @@ def build_parser() -> argparse.ArgumentParser:
 
     job_list = job_sub.add_parser("list", help="live jobs + pool counters")
     _add_url(job_list)
+
+    datasets = sub.add_parser(
+        "datasets",
+        help="the scenario registry: named, parameterised datasets",
+    )
+    ds_sub = datasets.add_subparsers(dest="datasets_command", required=True)
+
+    def _add_ds_common(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--url", default=None, metavar="URL",
+                         help="operate on a running daemon's registry "
+                              "instead of the local built-ins")
+        cmd.add_argument("--json", action="store_true",
+                         help="emit machine-readable JSON")
+
+    ds_list = ds_sub.add_parser(
+        "list", help="registered scenarios (local, or a daemon's)")
+    _add_ds_common(ds_list)
+
+    ds_show = ds_sub.add_parser(
+        "show", help="one scenario's spec, fingerprint and shape")
+    ds_show.add_argument("name", help="scenario name")
+    ds_show.add_argument("--resolve", action="store_true",
+                         help="also resolve the dataset and report its "
+                              "users/records (local only; may generate "
+                              "or read data)")
+    _add_ds_common(ds_show)
+
+    ds_register = ds_sub.add_parser(
+        "register",
+        help="register a scenario on a daemon (--url), or validate and "
+             "resolve it locally as a dry run",
+    )
+    ds_register.add_argument("name", help="scenario name to register")
+    ds_register.add_argument(
+        "--kind", required=True, choices=list(SCENARIO_KINDS),
+        help="generator family or on-disk format",
+    )
+    ds_register.add_argument(
+        "--params", metavar="JSON", default=None,
+        help="kind parameters as JSON, e.g. "
+             "'{\"users\": 5, \"seed\": 42}' or '{\"path\": \"dir/\"}'",
+    )
+    ds_register.add_argument("--description", default="",
+                             help="free-text description for listings")
+    ds_register.add_argument("--replace", action="store_true",
+                             help="redefine the name if it exists with a "
+                                  "different spec")
+    _add_ds_common(ds_register)
     return parser
 
 
@@ -473,6 +526,139 @@ def _cmd_job(args: argparse.Namespace) -> int:
         return 3
 
 
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    """The scenario registry: list / show / register."""
+    import json
+
+    from .service import HttpServiceClient, ServiceClientError
+
+    def emit(payload) -> None:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+
+    def scenario_rows(scenarios: List[dict]) -> int:
+        print(format_table(
+            ["name", "kind", "params", "description"],
+            [
+                (
+                    s["name"], s["kind"],
+                    json.dumps(s["params"], sort_keys=True),
+                    s.get("description", ""),
+                )
+                for s in scenarios
+            ],
+        ))
+        return 0
+
+    try:
+        if args.datasets_command == "list":
+            if args.url:
+                listing = HttpServiceClient(args.url).datasets()
+                scenarios = listing["scenarios"]
+            else:
+                scenarios = [
+                    s.to_jsonable() for s in default_registry().specs()
+                ]
+            if args.json:
+                emit({"scenarios": scenarios})
+                return 0
+            return scenario_rows(scenarios)
+
+        if args.datasets_command == "show":
+            if args.url and args.resolve:
+                # The daemon's spec may name server-side paths (or
+                # generate large data); resolving it on this machine
+                # would be misleading at best.
+                print("error: --resolve is local-only and cannot be "
+                      "combined with --url", file=sys.stderr)
+                return 2
+            if args.url:
+                listing = HttpServiceClient(args.url).datasets()
+                matches = [
+                    s for s in listing["scenarios"]
+                    if s["name"] == args.name
+                ]
+                if not matches:
+                    print(f"error: no scenario named {args.name!r}",
+                          file=sys.stderr)
+                    return 2
+                payload = matches[0]
+                spec = None
+            else:
+                try:
+                    spec = default_registry().get(args.name)
+                except KeyError as exc:
+                    print(f"error: {exc.args[0]}", file=sys.stderr)
+                    return 2
+                payload = spec.to_jsonable()
+            if args.resolve:
+                dataset = default_registry().resolve_spec(spec)
+                payload = dict(
+                    payload,
+                    users=len(dataset),
+                    records=dataset.n_records,
+                    fingerprint=spec.fingerprint(),
+                )
+            if args.json:
+                emit(payload)
+                return 0
+            for key in ("name", "kind", "description"):
+                print(f"{key}: {payload.get(key, '')}")
+            print(f"params: {json.dumps(payload['params'], sort_keys=True)}")
+            if args.resolve:
+                print(f"users: {payload['users']}")
+                print(f"records: {payload['records']}")
+                print(f"fingerprint: {payload['fingerprint']}")
+            return 0
+
+        # register
+        params = {}
+        if args.params is not None:
+            try:
+                params = json.loads(args.params)
+            except ValueError as exc:
+                print(f"error: --params is not valid JSON: {exc}",
+                      file=sys.stderr)
+                return 2
+            if not isinstance(params, dict):
+                print("error: --params must be a JSON object",
+                      file=sys.stderr)
+                return 2
+        if args.url:
+            result = HttpServiceClient(args.url).register_dataset(
+                args.name, args.kind, params,
+                description=args.description, replace=args.replace,
+            )
+            if args.json:
+                emit(result)
+            else:
+                print(f"registered {args.name!r} "
+                      f"({result['scenarios']} scenarios on the daemon)")
+            return 0
+        # No daemon: validate the spec and resolve it once, so a typo'd
+        # registration fails here instead of in some later request.
+        spec = ScenarioSpec.make(
+            args.name, args.kind, params, args.description
+        )
+        default_registry().register(spec, replace=args.replace)
+        dataset = default_registry().resolve_spec(spec)
+        if args.json:
+            emit(dict(
+                spec.to_jsonable(),
+                users=len(dataset),
+                records=dataset.n_records,
+                fingerprint=spec.fingerprint(),
+            ))
+        else:
+            print(f"validated {args.name!r}: {len(dataset)} users, "
+                  f"{dataset.n_records} records "
+                  "(local registration lasts this process only; use "
+                  "--url to register on a daemon)")
+        return 0
+    except ServiceClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code.
 
@@ -497,6 +683,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "list": _cmd_list,
         "serve": _cmd_serve,
         "job": _cmd_job,
+        "datasets": _cmd_datasets,
     }
     try:
         return handlers[args.command](args)

@@ -10,6 +10,17 @@ Three formats are supported:
   ``lat lon occupancy time`` lines, newest first) of the San Francisco
   taxi dataset the paper evaluates on.
 
+All readers stream their input line by line — memory is bounded by the
+parsed records, never by file size — and share one validation pass:
+
+* numbers that fail to parse, NaN/infinite values and out-of-range
+  coordinates (|lat| > 90, |lon| > 180) are rejected with a
+  :class:`ValueError` naming the offending file and line;
+* records are stably sorted by timestamp (the on-disk order need not be
+  chronological — Cabspotting is newest-first by design);
+* records sharing a timestamp are collapsed to the first one in sorted
+  order, matching :func:`repro.mobility.filters.dedupe_timestamps`.
+
 The experiments in this reproduction run on synthetic data (see
 ``repro.synth`` and DESIGN.md), but these parsers let anyone with the
 real datasets re-run every experiment unchanged.
@@ -19,8 +30,9 @@ from __future__ import annotations
 
 import csv
 import datetime as _dt
+import math
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import List, Union
 
 import numpy as np
 
@@ -43,6 +55,99 @@ _GEOLIFE_HEADER_LINES = 6
 
 
 # ----------------------------------------------------------------------
+# Shared parsing / validation helpers
+# ----------------------------------------------------------------------
+def _parse_number(source, lineno: int, name: str, text: str) -> float:
+    """Parse one numeric field, diagnosing failures by file and line."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise ValueError(
+            f"{source}:{lineno}: {name} is not a number: {text!r}"
+        ) from None
+    if not math.isfinite(value):
+        raise ValueError(
+            f"{source}:{lineno}: {name} must be finite, got {text!r}"
+        )
+    return value
+
+
+def _parse_coords(source, lineno: int, lat_text: str, lon_text: str):
+    """One validated (lat, lon) pair, errors named by file:line."""
+    lat = _parse_number(source, lineno, "lat", lat_text)
+    lon = _parse_number(source, lineno, "lon", lon_text)
+    if not -90.0 <= lat <= 90.0:
+        raise ValueError(
+            f"{source}:{lineno}: lat must be in [-90, 90], got {lat!r}"
+        )
+    if not -180.0 <= lon <= 180.0:
+        raise ValueError(
+            f"{source}:{lineno}: lon must be in [-180, 180], got {lon!r}"
+        )
+    return lat, lon
+
+
+def _parse_record(
+    source, lineno: int, time_text: str, lat_text: str, lon_text: str
+):
+    """One validated (time, lat, lon) triple, errors named by file:line."""
+    time_s = _parse_number(source, lineno, "time_s", time_text)
+    return (time_s, *_parse_coords(source, lineno, lat_text, lon_text))
+
+
+class _TraceBuilder:
+    """Accumulates one user's validated records and finalises a trace.
+
+    Finalisation applies the shared cleaning pass: a stable sort by
+    timestamp, then collapse of duplicate timestamps to the first
+    record in sorted order.
+    """
+
+    __slots__ = ("user", "times", "lats", "lons")
+
+    def __init__(self, user: str) -> None:
+        self.user = user
+        self.times: List[float] = []
+        self.lats: List[float] = []
+        self.lons: List[float] = []
+
+    def add(self, time_s: float, lat: float, lon: float) -> None:
+        self.times.append(time_s)
+        self.lats.append(lat)
+        self.lons.append(lon)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def build(self, newest_first: bool = False) -> Trace:
+        times = np.asarray(self.times, dtype=float)
+        lats = np.asarray(self.lats, dtype=float)
+        lons = np.asarray(self.lons, dtype=float)
+        if newest_first:
+            # Reverse a newest-first layout (Cabspotting) before the
+            # stable sort, so records sharing a timestamp keep their
+            # *chronological* write order and the duplicate collapse
+            # below keeps the same record every format keeps.
+            times, lats, lons = times[::-1], lats[::-1], lons[::-1]
+        order = np.argsort(times, kind="stable")
+        times, lats, lons = times[order], lats[order], lons[order]
+        if times.size:
+            keep = np.concatenate([[True], np.diff(times) > 0])
+            times, lats, lons = times[keep], lats[keep], lons[keep]
+        return Trace(self.user, times, lats, lons)
+
+
+def _format_time(time_s: float) -> str:
+    """Render a timestamp without losing sub-second precision.
+
+    Integral times stay integers (the layout the real Cabspotting files
+    use); fractional times round-trip exactly via ``repr``.
+    """
+    time_s = float(time_s)
+    return str(int(time_s)) if time_s.is_integer() else repr(time_s)
+
+
+# ----------------------------------------------------------------------
 # CSV interchange format
 # ----------------------------------------------------------------------
 def write_csv(dataset: Dataset, path: PathLike) -> None:
@@ -60,26 +165,28 @@ def write_csv(dataset: Dataset, path: PathLike) -> None:
 
 
 def read_csv(path: PathLike) -> Dataset:
-    """Read a dataset written by :func:`write_csv`."""
+    """Read a dataset written by :func:`write_csv` (streaming)."""
     path = Path(path)
-    rows: Dict[str, List[List[float]]] = {}
+    builders: dict = {}
     with path.open(newline="") as fh:
         reader = csv.reader(fh)
         header = next(reader, None)
         if header != ["user", "time_s", "lat", "lon"]:
             raise ValueError(f"{path}: unexpected CSV header {header!r}")
         for lineno, row in enumerate(reader, start=2):
-            if not row:
+            if not row or (len(row) == 1 and not row[0].strip()):
+                # Blank and whitespace-only lines are not records.
                 continue
             if len(row) != 4:
                 raise ValueError(f"{path}:{lineno}: expected 4 columns, got {len(row)}")
             user, t, lat, lon = row
-            rows.setdefault(user, []).append([float(t), float(lat), float(lon)])
-    traces = []
-    for user, triples in rows.items():
-        arr = np.asarray(triples, dtype=float)
-        traces.append(Trace(user, arr[:, 0], arr[:, 1], arr[:, 2]))
-    return Dataset.from_traces(traces)
+            if not user:
+                raise ValueError(f"{path}:{lineno}: user must be non-empty")
+            builder = builders.get(user)
+            if builder is None:
+                builder = builders[user] = _TraceBuilder(user)
+            builder.add(*_parse_record(path, lineno, t, lat, lon))
+    return Dataset.from_traces([b.build() for b in builders.values()])
 
 
 # ----------------------------------------------------------------------
@@ -98,8 +205,9 @@ def _unix_to_geolife_fields(time_s: float):
 def read_geolife(root: PathLike) -> Dataset:
     """Read a GeoLife-layout directory tree into a dataset.
 
-    Every ``.plt`` file of a user is concatenated into that user's single
-    trace (the :class:`Trace` constructor re-sorts by time).
+    Every ``.plt`` file of a user is concatenated into that user's
+    single trace.  Files are iterated line by line — a multi-gigabyte
+    user directory never holds more than the parsed records in memory.
     """
     root = Path(root)
     if not root.is_dir():
@@ -109,27 +217,27 @@ def read_geolife(root: PathLike) -> Dataset:
         plt_dir = user_dir / "Trajectory"
         if not plt_dir.is_dir():
             continue
-        times: List[float] = []
-        lats: List[float] = []
-        lons: List[float] = []
+        builder = _TraceBuilder(user_dir.name)
         for plt_file in sorted(plt_dir.glob("*.plt")):
             with plt_file.open() as fh:
-                lines = fh.read().splitlines()
-            for lineno, line in enumerate(
-                lines[_GEOLIFE_HEADER_LINES:], start=_GEOLIFE_HEADER_LINES + 1
-            ):
-                if not line.strip():
-                    continue
-                fields = line.split(",")
-                if len(fields) < 7:
-                    raise ValueError(
-                        f"{plt_file}:{lineno}: expected 7 PLT fields, got {len(fields)}"
+                for lineno, line in enumerate(fh, start=1):
+                    if lineno <= _GEOLIFE_HEADER_LINES or not line.strip():
+                        continue
+                    fields = line.split(",")
+                    if len(fields) < 7:
+                        raise ValueError(
+                            f"{plt_file}:{lineno}: expected 7 PLT fields, "
+                            f"got {len(fields)}"
+                        )
+                    days = _parse_number(
+                        plt_file, lineno, "day number", fields[4]
                     )
-                lats.append(float(fields[0]))
-                lons.append(float(fields[1]))
-                times.append(_geolife_days_to_unix(float(fields[4])))
-        if times:
-            traces.append(Trace(user_dir.name, times, lats, lons))
+                    lat, lon = _parse_coords(
+                        plt_file, lineno, fields[0], fields[1]
+                    )
+                    builder.add(_geolife_days_to_unix(days), lat, lon)
+        if len(builder):
+            traces.append(builder.build())
     return Dataset.from_traces(traces)
 
 
@@ -155,7 +263,7 @@ def write_geolife(dataset: Dataset, root: PathLike) -> None:
 # Cabspotting
 # ----------------------------------------------------------------------
 def read_cabspotting(directory: PathLike) -> Dataset:
-    """Read a Cabspotting-layout directory into a dataset.
+    """Read a Cabspotting-layout directory into a dataset (streaming).
 
     Each ``new_<cab>.txt`` file holds ``lat lon occupancy unix_time``
     lines, newest first; occupancy is ignored here (the paper's metrics
@@ -166,10 +274,7 @@ def read_cabspotting(directory: PathLike) -> Dataset:
         raise FileNotFoundError(f"not a directory: {directory}")
     traces = []
     for cab_file in sorted(directory.glob("new_*.txt")):
-        user = cab_file.stem[len("new_"):]
-        times: List[float] = []
-        lats: List[float] = []
-        lons: List[float] = []
+        builder = _TraceBuilder(cab_file.stem[len("new_"):])
         with cab_file.open() as fh:
             for lineno, line in enumerate(fh, start=1):
                 if not line.strip():
@@ -179,20 +284,28 @@ def read_cabspotting(directory: PathLike) -> Dataset:
                     raise ValueError(
                         f"{cab_file}:{lineno}: expected 4 fields, got {len(fields)}"
                     )
-                lats.append(float(fields[0]))
-                lons.append(float(fields[1]))
-                times.append(float(fields[3]))
-        if times:
-            traces.append(Trace(user, times, lats, lons))
+                time_s, lat, lon = _parse_record(
+                    cab_file, lineno, fields[3], fields[0], fields[1]
+                )
+                builder.add(time_s, lat, lon)
+        if len(builder):
+            traces.append(builder.build(newest_first=True))
     return Dataset.from_traces(traces)
 
 
 def write_cabspotting(dataset: Dataset, directory: PathLike) -> None:
-    """Write ``dataset`` in Cabspotting layout (newest record first)."""
+    """Write ``dataset`` in Cabspotting layout (newest record first).
+
+    Timestamps keep full precision: integral times are written as the
+    integers the real dataset uses, fractional (sub-second) times are
+    written with enough digits to round-trip exactly.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     for trace in dataset.traces:
         out = directory / f"new_{trace.user}.txt"
         with out.open("w") as fh:
             for rec in reversed(list(trace)):
-                fh.write(f"{rec.lat:.6f} {rec.lon:.6f} 0 {int(rec.time_s)}\n")
+                fh.write(
+                    f"{rec.lat:.6f} {rec.lon:.6f} 0 {_format_time(rec.time_s)}\n"
+                )

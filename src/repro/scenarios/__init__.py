@@ -1,0 +1,35 @@
+"""Scenario registry: one named, cached, validated dataset layer.
+
+The paper's middleware configures LPPMs over *any* user workload; this
+package is where workloads get names.  A :class:`ScenarioSpec` describes
+a dataset (synthetic generator config, or an on-disk CSV / GeoLife /
+Cabspotting path) without holding the data; a :class:`ScenarioRegistry`
+resolves specs to :class:`~repro.mobility.Dataset` objects through a
+bounded, content-fingerprinted LRU cache.  The CLI (``repro-lppm
+datasets``), the configuration service (``GET/POST /datasets``,
+``{"scenario": ...}`` dataset specs) and the benchmarks all ingest
+through this layer.
+"""
+
+from .registry import (
+    ScenarioRegistry,
+    available_scenarios,
+    default_registry,
+    register_scenario,
+    resolve_scenario,
+    scenario,
+)
+from .spec import FILE_KINDS, SCENARIO_KINDS, SYNTH_KINDS, ScenarioSpec
+
+__all__ = [
+    "ScenarioSpec",
+    "ScenarioRegistry",
+    "SCENARIO_KINDS",
+    "SYNTH_KINDS",
+    "FILE_KINDS",
+    "default_registry",
+    "register_scenario",
+    "available_scenarios",
+    "scenario",
+    "resolve_scenario",
+]

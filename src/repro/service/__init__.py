@@ -36,7 +36,7 @@ from .middleware import (
     canonical_body_key,
     validate_body,
 )
-from .state import ServiceState, resolve_dataset_spec
+from .state import ServiceState, resolve_dataset_spec, resolve_scenario_spec
 
 __all__ = [
     # app
@@ -65,6 +65,7 @@ __all__ = [
     # state & handlers
     "ServiceState",
     "resolve_dataset_spec",
+    "resolve_scenario_spec",
     "SCHEMAS",
     "make_handlers",
     "make_job_handlers",

@@ -18,6 +18,8 @@ Endpoints::
     GET  /jobs        list live jobs + worker-pool counters
     GET  /jobs/<id>   job status, progress, result when done
     DELETE /jobs/<id> cancel a job (cooperative, between engine chunks)
+    GET  /datasets    list registered scenarios + dataset-cache stats
+    POST /datasets    register a named scenario (201)
     GET  /healthz     liveness + shared-state summary
     GET  /metrics     request counters, engine/cache statistics
 """
@@ -72,30 +74,6 @@ CACHEABLE_ENDPOINTS = (
 MAX_BODY_BYTES = 32 * 1024 * 1024
 
 
-def _replayable(request: Request) -> bool:
-    """Whether a request's response really is a pure function of its body.
-
-    Dataset specs naming a server-side file are not: the file can
-    change between requests (the dataset registry re-reads it when it
-    does), so those requests bypass the response cache.
-    """
-    body = request.body if isinstance(request.body, dict) else {}
-    dataset = body.get("dataset")
-    return not (isinstance(dataset, dict) and "path" in dataset)
-
-
-def _cache_key_body(body: Optional[dict]) -> Optional[dict]:
-    """The body as keyed by the response cache: dataset defaults filled.
-
-    Validation already filled the top-level defaults; the nested
-    dataset spec gets the same treatment here so that equivalent
-    spellings of one workload share a cache entry.
-    """
-    if isinstance(body, dict) and isinstance(body.get("dataset"), dict):
-        return dict(body, dataset=normalised_dataset_spec(body["dataset"]))
-    return body
-
-
 class ConfigService:
     """One service instance: shared state + pipeline + routing table.
 
@@ -142,15 +120,31 @@ class ConfigService:
         self._routes = routes
         self._known_paths = {key.split(" ", 1)[1] for key in routes}
         #: Success statuses that differ from the default 200.
-        self._status_overrides = {"POST /jobs": 202}
+        self._status_overrides = {"POST /jobs": 202, "POST /datasets": 201}
         self.metrics = MetricsMiddleware(known_endpoints=routes)
         self.response_cache = ResponseCacheMiddleware(
             CACHEABLE_ENDPOINTS,
             max_entries=response_cache_size,
-            should_cache=_replayable,
-            key_body=_cache_key_body,
+            should_cache=self._replayable,
+            key_body=self._cache_key_body,
             on_hit=self._refresh_hit_body,
         )
+        # A replace-registration changes what a scenario name means.
+        # Fingerprint keying already isolates cache entries, but a
+        # request *racing* the re-registration can key on the old
+        # fingerprint while resolving the new data; dropping the
+        # response cache on every replace closes that window — the
+        # poisoned key could only replay after the name is restored,
+        # which is itself a replace.
+        register = routes["POST /datasets"]
+
+        def register_and_invalidate(request: Request) -> dict:
+            result = register(request)
+            if isinstance(request.body, dict) and request.body.get("replace"):
+                self.response_cache.clear()
+            return result
+
+        routes["POST /datasets"] = register_and_invalidate
         self.pipeline = MiddlewarePipeline([
             RequestIdMiddleware(),
             LoggingMiddleware(log),
@@ -160,6 +154,59 @@ class ConfigService:
             self.response_cache,
         ])
         self._entry = self.pipeline.wrap(self._route)
+
+    def _replayable(self, request: Request) -> bool:
+        """Whether a request's response really is a pure function of its body.
+
+        Dataset specs naming a server-side file are not: the file can
+        change between requests (the dataset registry re-reads it when
+        it does), so those requests bypass the response cache.  The
+        same goes for *file-backed* scenarios; synthetic scenarios are
+        deterministic in their fingerprint and cache normally.
+        """
+        body = request.body if isinstance(request.body, dict) else {}
+        dataset = body.get("dataset")
+        if not isinstance(dataset, dict):
+            return True
+        if "path" in dataset:
+            return False
+        name = dataset.get("scenario")
+        if name is not None:
+            if not isinstance(name, str):
+                return False
+            try:
+                spec = self.state.scenarios.get(name)
+            except KeyError:
+                # Unknown scenario: the handler will 404; nothing to
+                # cache either way.
+                return False
+            return not spec.is_file_backed
+        return True
+
+    def _cache_key_body(self, body: Optional[dict]) -> Optional[dict]:
+        """The body as keyed by the response cache: dataset defaults filled.
+
+        Validation already filled the top-level defaults; the nested
+        dataset spec gets the same treatment here so that equivalent
+        spellings of one workload share a cache entry.  Scenario specs
+        are keyed by their merged content fingerprint — re-registering
+        a name under a different spec changes the key, so a replayed
+        response can never describe the scenario's previous meaning.
+        """
+        if isinstance(body, dict) and isinstance(body.get("dataset"), dict):
+            dataset = body["dataset"]
+            if "scenario" in dataset:
+                try:
+                    return dict(
+                        body,
+                        dataset=self.state.scenario_key_spec(dataset),
+                    )
+                except ServiceError:
+                    # Malformed/unknown scenario: key on the raw spec;
+                    # the handler's error is never cached (non-2xx).
+                    return body
+            return dict(body, dataset=normalised_dataset_spec(dataset))
+        return body
 
     def _refresh_hit_body(self, body: dict) -> dict:
         """Fix up a replayed response body for its new request.
@@ -270,6 +317,8 @@ class ConfigService:
             "registry": {
                 "datasets": self.state.n_datasets,
                 "configurators": self.state.n_configurators,
+                "scenarios": self.state.n_scenarios,
+                "scenario_cache": self.state.scenarios.cache_stats(),
             },
             "pipeline": self.pipeline.names,
         }

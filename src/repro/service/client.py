@@ -101,6 +101,37 @@ class _BaseClient:
             "policy": policy,
         })
 
+    # -- scenario registry ---------------------------------------------
+    def datasets(self) -> dict:
+        """Registered scenarios plus the dataset LRU-cache counters."""
+        return self._request("GET", "/datasets", None)
+
+    def register_dataset(
+        self,
+        name: str,
+        kind: str,
+        params: Optional[dict] = None,
+        description: str = "",
+        replace: bool = False,
+    ) -> dict:
+        """Register a named scenario on the service (``POST /datasets``).
+
+        ``kind`` is a generator family (``taxi``, ``commuters``,
+        ``random_waypoint``, ``levy_flight``) or an on-disk format
+        (``csv``, ``geolife``, ``cabspotting``, whose ``params`` name a
+        server-side ``path``).  Once registered, evaluation endpoints
+        accept ``{"scenario": name, ...overrides}`` dataset specs.
+        """
+        body = {
+            "name": name, "kind": kind,
+            "description": description, "replace": replace,
+        }
+        if params is not None:
+            # Omitted, not null: the schema's dict field (rightly)
+            # rejects an explicit JSON null.
+            body["params"] = params
+        return self._request("POST", "/datasets", body)
+
     # -- async jobs ----------------------------------------------------
     def submit(self, endpoint: str, body: dict) -> dict:
         """Enqueue ``body`` on an async worker; returns the 202 payload.

@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Mapping
 from .. import __version__
 from ..framework import Objective
 from ..lppm import available_lppms, lppm_class, primary_param
+from ..scenarios import SCENARIO_KINDS, ScenarioSpec
 from .jobs import JOB_ENDPOINTS, JobManager
 from .middleware import Field, Request, ServiceError, validate_body
 from .state import ServiceState
@@ -70,6 +71,15 @@ SCHEMAS: Dict[str, Mapping[str, Field]] = {
             type=str, required=True, choices=tuple(sorted(JOB_ENDPOINTS)),
         ),
         "body": Field(type=dict, default=None),
+    },
+    "POST /datasets": {
+        "name": Field(type=str, required=True),
+        "kind": Field(type=str, required=True, choices=SCENARIO_KINDS),
+        "params": Field(type=dict, default=None),
+        "description": Field(type=str, default=""),
+        # Redefining an existing name under a different spec must be
+        # explicit: it changes what every later request means.
+        "replace": Field(type=bool, default=False),
     },
 }
 
@@ -274,6 +284,50 @@ def make_handlers(
         }
 
     # ------------------------------------------------------------------
+    # GET /datasets and POST /datasets — the scenario registry
+    # ------------------------------------------------------------------
+    def datasets_list(request: Request) -> dict:
+        return {
+            "scenarios": [
+                dict(spec.to_jsonable(), file_backed=spec.is_file_backed)
+                for spec in state.scenarios.specs()
+            ],
+            "cache": state.scenarios.cache_stats(),
+        }
+
+    def datasets_register(request: Request) -> dict:
+        body = request.body
+        try:
+            spec = ScenarioSpec.make(
+                body["name"], body["kind"], body["params"] or {},
+                body["description"],
+            )
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(400, "invalid-scenario", str(exc))
+        if spec.is_file_backed:
+            # Fail the registration, not some later sweep: the pinned
+            # fingerprint doubles as an existence/readability check.
+            try:
+                spec.fingerprint()
+            except FileNotFoundError:
+                raise ServiceError(
+                    404, "dataset-not-found",
+                    f"no such path: {spec.params_dict['path']}",
+                )
+            except OSError as exc:
+                raise ServiceError(
+                    400, "invalid-scenario", f"unreadable path: {exc}"
+                )
+        try:
+            state.scenarios.register(spec, replace=body["replace"])
+        except ValueError as exc:
+            raise ServiceError(409, "scenario-exists", str(exc))
+        return {
+            "registered": spec.to_jsonable(),
+            "scenarios": len(state.scenarios),
+        }
+
+    # ------------------------------------------------------------------
     # GET /healthz and /metrics (metrics blocks are filled by the app,
     # which owns the middleware instances)
     # ------------------------------------------------------------------
@@ -293,6 +347,7 @@ def make_handlers(
             },
             "datasets": state.n_datasets,
             "configurators": state.n_configurators,
+            "scenarios": state.n_scenarios,
         }
 
     return {
@@ -300,6 +355,8 @@ def make_handlers(
         "POST /sweep": sweep,
         "POST /configure": configure,
         "POST /recommend": recommend,
+        "GET /datasets": datasets_list,
+        "POST /datasets": datasets_register,
         "GET /healthz": healthz,
     }
 

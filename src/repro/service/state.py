@@ -9,7 +9,18 @@ instead of being rebuilt per CLI invocation.
 Datasets are named by *content*: the canonical JSON of the request's
 dataset spec is the registry key, so two clients asking for the same
 synthetic fleet (or the same CSV path) share one in-memory dataset, one
-engine fingerprint, and one fitted model.
+engine fingerprint, and one fitted model.  The dataset registry is a
+bounded **LRU**: the least recently requested dataset (with its fitted
+configurators) is evicted when the bound is hit, so hot workloads stay
+resident under scenario-diverse traffic.
+
+Named scenarios (:mod:`repro.scenarios`) plug in as a fourth spec form:
+``{"scenario": "taxi", "users": 5}`` resolves through the state's own
+:class:`~repro.scenarios.ScenarioRegistry` — seeded with the built-in
+workloads, extended by ``POST /datasets`` — and is keyed by the
+scenario's *content fingerprint*, so re-registering a name under a
+different spec (or editing a file-backed scenario's data) can never
+serve stale datasets or stale cached responses.
 
 Concurrency: the :class:`~repro.engine.EvaluationEngine` is itself
 thread-safe (its bookkeeping sits under an internal lock, the protect +
@@ -28,12 +39,14 @@ from __future__ import annotations
 import os
 import threading
 import time
+from collections import OrderedDict
 from typing import Callable, Dict, Optional, Tuple
 
 from ..engine import EvaluationEngine
 from ..framework import Configurator, geo_ind_system
 from ..framework.spec import SystemDefinition
 from ..mobility import Dataset, Trace, read_csv
+from ..scenarios import ScenarioRegistry
 from ..synth import (
     CommuterConfig,
     TaxiFleetConfig,
@@ -45,6 +58,7 @@ from .middleware import ServiceError, canonical_body_key
 __all__ = [
     "ServiceState",
     "resolve_dataset_spec",
+    "resolve_scenario_spec",
     "normalised_dataset_spec",
 ]
 
@@ -68,26 +82,97 @@ def normalised_dataset_spec(spec):
     return spec
 
 
-def resolve_dataset_spec(spec: dict) -> Dataset:
+def merge_scenario_spec(spec: dict, registry: ScenarioRegistry):
+    """The merged (base + overrides) spec a scenario form describes.
+
+    Every key besides ``scenario`` is a parameter override, validated
+    by the scenario kind itself — so ``{"scenario": "taxi", "users": 5,
+    "seed": 1}`` is the five-cab fleet regardless of what the
+    registered base spec says.  Errors map to the service's typed
+    vocabulary: unknown name → 404, bad overrides → 400.
+    """
+    name = spec.get("scenario")
+    if not isinstance(name, str) or not name:
+        raise ServiceError(
+            400, "invalid-dataset", "scenario must be a non-empty string"
+        )
+    try:
+        base = registry.get(name)
+    except KeyError:
+        raise ServiceError(
+            404, "scenario-not-found",
+            f"no scenario named {name!r}; known: {registry.names()}",
+        )
+    overrides = {k: v for k, v in spec.items() if k != "scenario"}
+    try:
+        return base.with_params(**overrides)
+    except (TypeError, ValueError) as exc:
+        raise ServiceError(
+            400, "invalid-dataset", f"scenario {name!r}: {exc}"
+        )
+
+
+def _resolve_merged(
+    merged, registry: ScenarioRegistry, fingerprint: Optional[str] = None
+) -> Dataset:
+    """Resolve a merged spec through the registry, with typed errors."""
+    try:
+        return registry.resolve_spec(merged, fingerprint=fingerprint)
+    except FileNotFoundError as exc:
+        raise ServiceError(404, "dataset-not-found", str(exc))
+    except (ValueError, OSError) as exc:
+        raise ServiceError(
+            400, "invalid-dataset",
+            f"scenario {merged.name!r} failed to resolve: {exc}",
+        )
+
+
+def resolve_scenario_spec(
+    spec: dict, registry: ScenarioRegistry
+) -> Dataset:
+    """Resolve a ``{"scenario": name, **overrides}`` dataset spec
+    through the registry's LRU; a file-backed scenario whose path
+    vanished is a typed 404."""
+    return _resolve_merged(merge_scenario_spec(spec, registry), registry)
+
+
+def resolve_dataset_spec(
+    spec: dict, registry: Optional[ScenarioRegistry] = None
+) -> Dataset:
     """Build the dataset a request's ``dataset`` spec describes.
 
-    Exactly one of three forms:
+    Exactly one of four forms:
 
     * ``{"path": "traces.csv"}`` — a CSV file on the server's disk;
     * ``{"workload": "taxi"|"commuters", "users": N, "seed": S}`` — a
       synthetic workload, generated deterministically;
-    * ``{"records": [[user, time_s, lat, lon], ...]}`` — inline data.
+    * ``{"records": [[user, time_s, lat, lon], ...]}`` — inline data;
+    * ``{"scenario": "name", ...overrides}`` — a named scenario from
+      ``registry`` (:class:`~repro.scenarios.ScenarioRegistry`),
+      resolved through its LRU dataset cache.
     """
     if not isinstance(spec, dict):
         raise ServiceError(
             400, "invalid-dataset", "dataset spec must be a JSON object"
         )
+    if "scenario" in spec:
+        # Scenario form first: its other keys are parameter overrides
+        # (the scenario kind validates them), not competing forms —
+        # this must agree with the cache keying in scenario_key_spec,
+        # or a spec would 400 cold and succeed warm.
+        if registry is None:
+            # Standalone callers see the process-global registry; the
+            # service always passes its own per-instance one.
+            from ..scenarios import default_registry
+
+            registry = default_registry()
+        return resolve_scenario_spec(spec, registry)
     forms = [k for k in ("path", "workload", "records") if k in spec]
     if len(forms) != 1:
         raise ServiceError(
             400, "invalid-dataset",
-            "dataset spec needs exactly one of 'path', 'workload' "
-            f"or 'records'; got {sorted(spec) or 'nothing'}",
+            "dataset spec needs exactly one of 'path', 'workload', "
+            f"'records' or 'scenario'; got {sorted(spec) or 'nothing'}",
         )
     allowed = {
         "path": {"path"},
@@ -191,8 +276,13 @@ class ServiceState:
         ``/configure`` and ``/recommend`` (default: the paper's GEO-I
         illustration).
     max_datasets:
-        Bound on the dataset registry; the oldest entry is evicted
-        (with its fitted configurators) when the bound is hit.
+        Bound on the dataset registry; the least recently used entry
+        is evicted (with its fitted configurators) when the bound is
+        hit.
+    scenarios:
+        The scenario registry backing ``{"scenario": ...}`` dataset
+        specs and the ``/datasets`` endpoints; ``None`` builds a fresh
+        one seeded with the built-in workloads.
     """
 
     def __init__(
@@ -200,19 +290,24 @@ class ServiceState:
         engine: Optional[EvaluationEngine] = None,
         system_factory: Callable[[], SystemDefinition] = geo_ind_system,
         max_datasets: int = 32,
+        scenarios: Optional[ScenarioRegistry] = None,
     ) -> None:
         if max_datasets < 1:
             raise ValueError("max_datasets must be at least 1")
         self.engine = engine if engine is not None else EvaluationEngine()
         self.system = system_factory()
         self.max_datasets = int(max_datasets)
+        self.scenarios = (
+            scenarios if scenarios is not None else ScenarioRegistry()
+        )
         self.started_at = time.time()
         self._monotonic_start = time.monotonic()
         # Guards only the registry dicts (and the fit-lock table).
         # Never held while evaluating, so introspection endpoints and
         # job-status polls never queue behind a sweep.
         self._registry_lock = threading.Lock()
-        self._datasets: Dict[str, Dataset] = {}
+        #: key -> dataset in LRU order (least recently used first).
+        self._datasets: "OrderedDict[str, Dataset]" = OrderedDict()
         self._configurators: Dict[Tuple[str, int, int, int], Configurator] = {}
         # One lock per in-flight fit key: concurrent requests for the
         # SAME (dataset, resolution) deduplicate into one fit; fits for
@@ -231,9 +326,15 @@ class ServiceState:
         specs are keyed by the file's identity (mtime and size) as
         well as its name, so a long-running daemon re-reads a CSV that
         changed on disk instead of serving the stale dataset forever.
+        Scenario-form specs are keyed by the merged spec's *content
+        fingerprint*, which carries the same guarantees: parameter
+        spellings canonicalise, and file-backed scenarios pin the file
+        tree's identity.
         """
         if not isinstance(spec, dict):
             return spec
+        if "scenario" in spec:
+            return self.scenario_key_spec(spec)
         if set(spec) == {"path"} and isinstance(spec.get("path"), str):
             try:
                 stat = os.stat(spec["path"])
@@ -251,23 +352,71 @@ class ServiceState:
             return dict(spec, _mtime_ns=stat.st_mtime_ns, _size=stat.st_size)
         return normalised_dataset_spec(spec)
 
+    def scenario_key_spec(self, spec: dict) -> dict:
+        """Canonical key form of a ``{"scenario": ...}`` dataset spec.
+
+        The key is the merged (base + overrides) spec's content
+        fingerprint — and *only* the fingerprint: two names describing
+        the same data (a preset and its spelled-out parameterisation)
+        share one dataset, one fitted model and one response-cache
+        entry, while re-registering a name with a different spec — or
+        editing a file-backed scenario's data — changes the key
+        instead of serving stale data.
+        """
+        merged = merge_scenario_spec(spec, self.scenarios)
+        return {"scenario_fingerprint": self._fingerprint_of(merged)}
+
+    @staticmethod
+    def _fingerprint_of(merged) -> str:
+        """A merged scenario spec's fingerprint, with typed errors."""
+        try:
+            return merged.fingerprint()
+        except FileNotFoundError as exc:
+            raise ServiceError(404, "dataset-not-found", str(exc))
+        except OSError as exc:
+            raise ServiceError(
+                400, "invalid-dataset",
+                f"scenario {merged.name!r} is unreadable: {exc}",
+            )
+
     def dataset_for(self, spec: dict) -> Tuple[str, Dataset]:
         """The (registry key, dataset) for a request's dataset spec."""
-        key = canonical_body_key("dataset", self._key_spec_of(spec))[:16]
+        if isinstance(spec, dict) and "scenario" in spec:
+            # Merge and fingerprint once, resolve against that same
+            # identity: for file-backed scenarios each fingerprint is
+            # a stat sweep of the tree, and key/data must agree even
+            # if a file changes mid-request.
+            merged = merge_scenario_spec(spec, self.scenarios)
+            fingerprint = self._fingerprint_of(merged)
+            key_spec: dict = {"scenario_fingerprint": fingerprint}
+
+            def resolve() -> Dataset:
+                return _resolve_merged(
+                    merged, self.scenarios, fingerprint=fingerprint
+                )
+        else:
+            key_spec = self._key_spec_of(spec)
+
+            def resolve() -> Dataset:
+                return resolve_dataset_spec(spec, registry=self.scenarios)
+
+        key = canonical_body_key("dataset", key_spec)[:16]
         with self._registry_lock:
             dataset = self._datasets.get(key)
+            if dataset is not None:
+                self._datasets.move_to_end(key)
         if dataset is None:
-            dataset = resolve_dataset_spec(spec)
+            dataset = resolve()
             with self._registry_lock:
                 existing = self._datasets.get(key)
                 if existing is not None:
                     # Another thread resolved the same spec first; keep
                     # its object so fingerprint memoisation stays shared.
                     dataset = existing
+                    self._datasets.move_to_end(key)
                 else:
-                    if len(self._datasets) >= self.max_datasets:
-                        evicted = next(iter(self._datasets))
-                        del self._datasets[evicted]
+                    while len(self._datasets) >= self.max_datasets:
+                        evicted, _ = self._datasets.popitem(last=False)
                         self._configurators = {
                             k: v
                             for k, v in self._configurators.items()
@@ -376,9 +525,15 @@ class ServiceState:
         with self._registry_lock:
             return len(self._configurators)
 
+    @property
+    def n_scenarios(self) -> int:
+        return len(self.scenarios)
+
     def clear_registries(self) -> None:
         """Drop every registered dataset and fitted configurator.
 
+        Scenario *specs* stay registered (they are configuration, not
+        cache) but their resolved-dataset LRU is dropped with the rest.
         The engine and its caches are untouched: a re-fit after this
         call re-reads cached evaluations (benchmarks use exactly that
         to isolate the warm-engine tier).
@@ -387,6 +542,7 @@ class ServiceState:
             self._datasets.clear()
             self._configurators.clear()
             self._fit_locks.clear()
+        self.scenarios.clear_cache()
 
     def close(self, timeout_s: Optional[float] = None) -> None:
         """Release the engine's backend resources; idempotent.

@@ -1,0 +1,298 @@
+"""Round-trip and validation properties of the streaming trace IO.
+
+These pin the ingestion-layer contract: unsorted and newest-first
+inputs come out time-sorted, sub-second timestamps survive write/read
+round trips (the bug ``int(rec.time_s)`` used to cause), duplicate
+timestamps collapse to the first record in sorted order, blank and
+whitespace-only lines are not records, malformed coordinates are
+rejected with errors naming file and line, and the parsers never slurp
+whole files into memory.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mobility import (
+    Dataset,
+    Trace,
+    read_cabspotting,
+    read_csv,
+    read_geolife,
+    write_cabspotting,
+    write_csv,
+    write_geolife,
+)
+
+BASE = 1_300_000_000.0
+
+
+def _random_dataset(rng, n_users=3, n_records=40) -> Dataset:
+    """Sub-second, strictly-increasing timestamps; jittered coords."""
+    traces = []
+    for u in range(n_users):
+        times = BASE + np.cumsum(rng.uniform(0.25, 90.0, n_records))
+        times = np.round(times, 3)
+        lats = 37.7 + rng.normal(0, 0.01, n_records)
+        lons = -122.4 + rng.normal(0, 0.01, n_records)
+        traces.append(Trace(f"u{u}", times, lats, lons))
+    return Dataset.from_traces(traces)
+
+
+class TestSubSecondRoundTrip:
+    @pytest.fixture
+    def dataset(self):
+        return _random_dataset(np.random.default_rng(7))
+
+    def test_cabspotting_times_exact(self, dataset, tmp_path):
+        write_cabspotting(dataset, tmp_path)
+        back = read_cabspotting(tmp_path)
+        for user in dataset.users:
+            assert np.array_equal(back[user].times_s, dataset[user].times_s)
+
+    def test_cabspotting_integral_times_stay_integers(self, tmp_path):
+        trace = Trace("c", [BASE, BASE + 60.0], [37.0, 37.1], [-122.0, -122.1])
+        write_cabspotting(Dataset.from_traces([trace]), tmp_path)
+        lines = (tmp_path / "new_c.txt").read_text().splitlines()
+        # The published layout uses bare integers; integral timestamps
+        # must not sprout ".0" suffixes.
+        assert lines[0].split()[3] == str(int(BASE) + 60)
+        assert "." not in lines[0].split()[3]
+
+    def test_cabspotting_newest_first_layout_kept(self, dataset, tmp_path):
+        write_cabspotting(dataset, tmp_path)
+        for user in dataset.users:
+            lines = (tmp_path / f"new_{user}.txt").read_text().splitlines()
+            times = [float(line.split()[3]) for line in lines]
+            assert times == sorted(times, reverse=True)
+
+    def test_csv_round_trip_exact(self, dataset, tmp_path):
+        path = tmp_path / "d.csv"
+        write_csv(dataset, path)
+        back = read_csv(path)
+        for user in dataset.users:
+            assert back[user] == dataset[user]
+
+    def test_geolife_times_within_day_fraction_resolution(
+        self, dataset, tmp_path
+    ):
+        write_geolife(dataset, tmp_path)
+        back = read_geolife(tmp_path)
+        for user in dataset.users:
+            # The PLT day-number column carries ~ms resolution at
+            # modern epochs; coordinates are written at 1e-6 degrees.
+            assert np.allclose(
+                back[user].times_s, dataset[user].times_s, atol=0.01
+            )
+            assert np.allclose(back[user].lats, dataset[user].lats, atol=1e-6)
+
+
+class TestUnsortedInput:
+    def test_cabspotting_oldest_first_file_reads_sorted(self, tmp_path):
+        # Violates the newest-first convention; order must not matter.
+        (tmp_path / "new_x.txt").write_text(
+            f"37.0 -122.0 0 {BASE}\n"
+            f"37.2 -122.2 0 {BASE + 120.5}\n"
+            f"37.1 -122.1 0 {BASE + 60.25}\n"
+        )
+        trace = read_cabspotting(tmp_path)["x"]
+        assert list(trace.times_s) == [BASE, BASE + 60.25, BASE + 120.5]
+        assert list(trace.lats) == [37.0, 37.1, 37.2]
+
+    def test_csv_shuffled_rows_read_sorted(self, tmp_path):
+        path = tmp_path / "d.csv"
+        path.write_text(
+            "user,time_s,lat,lon\n"
+            f"u,{BASE + 9.5},37.2,-122.2\n"
+            f"u,{BASE},37.0,-122.0\n"
+            f"u,{BASE + 4.25},37.1,-122.1\n"
+        )
+        trace = read_csv(path)["u"]
+        assert list(trace.times_s) == [BASE, BASE + 4.25, BASE + 9.5]
+        assert list(trace.lats) == [37.0, 37.1, 37.2]
+
+    def test_geolife_files_concatenate_sorted(self, tmp_path):
+        plt_dir = tmp_path / "u" / "Trajectory"
+        plt_dir.mkdir(parents=True)
+        header = "h\n" * 6
+        # Later file holds earlier times; concatenation must re-sort.
+        (plt_dir / "a.plt").write_text(
+            header + "37.1,-122.1,0,0,40000.5,2009-07-06,12:00:00\n"
+        )
+        (plt_dir / "b.plt").write_text(
+            header + "37.0,-122.0,0,0,40000.25,2009-07-06,06:00:00\n"
+        )
+        trace = read_geolife(tmp_path)["u"]
+        assert list(trace.lats) == [37.0, 37.1]
+        assert trace.times_s[0] < trace.times_s[1]
+
+
+class TestDuplicateTimestamps:
+    def test_cabspotting_duplicates_collapse_keep_first_sorted(
+        self, tmp_path
+    ):
+        # The file is newest-first, so among records sharing a
+        # timestamp the *later line* is the chronologically first
+        # record — that one survives, same rule as
+        # filters.dedupe_timestamps on the in-memory trace.
+        (tmp_path / "new_x.txt").write_text(
+            f"37.9 -122.9 0 {BASE + 60}\n"
+            f"37.6 -122.6 0 {BASE}\n"
+            f"37.5 -122.5 0 {BASE}\n"
+        )
+        trace = read_cabspotting(tmp_path)["x"]
+        assert len(trace) == 2
+        assert list(trace.times_s) == [BASE, BASE + 60]
+        assert trace.lats[0] == 37.5
+
+    def test_duplicate_collapse_is_format_independent(self, tmp_path):
+        # One dataset with a duplicated timestamp, saved in two
+        # formats, must reload with the *same* surviving record.
+        trace = Trace("u", [BASE, BASE, BASE + 60],
+                      [37.1, 37.2, 37.3], [-122.1, -122.2, -122.3])
+        dataset = Dataset.from_traces([trace])
+        write_csv(dataset, tmp_path / "d.csv")
+        write_cabspotting(dataset, tmp_path / "cabs")
+        via_csv = read_csv(tmp_path / "d.csv")["u"]
+        via_cabs = read_cabspotting(tmp_path / "cabs")["u"]
+        assert list(via_csv.lats) == list(via_cabs.lats) == [37.1, 37.3]
+
+    def test_csv_duplicates_collapse_keep_first_in_file(self, tmp_path):
+        path = tmp_path / "d.csv"
+        path.write_text(
+            "user,time_s,lat,lon\n"
+            f"u,{BASE},37.5,-122.5\n"
+            f"u,{BASE},37.6,-122.6\n"
+            f"u,{BASE + 1},37.7,-122.7\n"
+        )
+        trace = read_csv(path)["u"]
+        assert len(trace) == 2
+        assert trace.lats[0] == 37.5
+
+
+class TestBlankLines:
+    def test_cabspotting_blank_and_whitespace_lines_skipped(self, tmp_path):
+        (tmp_path / "new_x.txt").write_text(
+            f"37.0 -122.0 0 {BASE}\n\n   \n37.1 -122.1 0 {BASE + 60}\n"
+        )
+        assert len(read_cabspotting(tmp_path)["x"]) == 2
+
+    def test_csv_blank_and_whitespace_lines_skipped(self, tmp_path):
+        path = tmp_path / "d.csv"
+        path.write_text(
+            f"user,time_s,lat,lon\nu,{BASE},37.0,-122.0\n\n   \n"
+            f"u,{BASE + 1},37.1,-122.1\n"
+        )
+        assert len(read_csv(path)["u"]) == 2
+
+    def test_geolife_blank_lines_skipped(self, tmp_path):
+        plt_dir = tmp_path / "u" / "Trajectory"
+        plt_dir.mkdir(parents=True)
+        (plt_dir / "a.plt").write_text(
+            "h\n" * 6
+            + "37.0,-122.0,0,0,40000.5,2009-07-06,12:00:00\n\n   \n"
+        )
+        assert len(read_geolife(tmp_path)["u"]) == 1
+
+
+class TestMalformedCoordinates:
+    """NaN and out-of-range values are rejected, named by file:line."""
+
+    @pytest.mark.parametrize("lat,lon", [
+        ("nan", "-122.0"),
+        ("37.0", "nan"),
+        ("inf", "-122.0"),
+        ("91.0", "-122.0"),
+        ("-90.5", "-122.0"),
+        ("37.0", "180.5"),
+        ("37.0", "-181.0"),
+    ])
+    def test_cabspotting_rejects(self, tmp_path, lat, lon):
+        cab = tmp_path / "new_x.txt"
+        cab.write_text(f"37.0 -122.0 0 {BASE}\n{lat} {lon} 0 {BASE + 1}\n")
+        with pytest.raises(ValueError, match=rf"{cab.name}:2"):
+            read_cabspotting(tmp_path)
+
+    @pytest.mark.parametrize("lat,lon", [
+        ("nan", "-122.0"), ("95.0", "-122.0"), ("37.0", "200.0"),
+    ])
+    def test_csv_rejects(self, tmp_path, lat, lon):
+        path = tmp_path / "d.csv"
+        path.write_text(f"user,time_s,lat,lon\nu,{BASE},{lat},{lon}\n")
+        with pytest.raises(ValueError, match=r"d\.csv:2"):
+            read_csv(path)
+
+    def test_geolife_rejects_with_file_and_line(self, tmp_path):
+        plt_dir = tmp_path / "u" / "Trajectory"
+        plt_dir.mkdir(parents=True)
+        plt = plt_dir / "a.plt"
+        plt.write_text(
+            "h\n" * 6 + "99.0,-122.0,0,0,40000.5,2009-07-06,12:00:00\n"
+        )
+        with pytest.raises(ValueError, match=r"a\.plt:7"):
+            read_geolife(tmp_path)
+
+    def test_unparseable_number_named_by_line(self, tmp_path):
+        (tmp_path / "new_x.txt").write_text("37.0 -122.0 0 not-a-time\n")
+        with pytest.raises(ValueError, match=r"new_x\.txt:1.*not-a-time"):
+            read_cabspotting(tmp_path)
+
+    def test_non_finite_time_rejected(self, tmp_path):
+        (tmp_path / "new_x.txt").write_text("37.0 -122.0 0 inf\n")
+        with pytest.raises(ValueError, match=r"new_x\.txt:1"):
+            read_cabspotting(tmp_path)
+
+
+class _NoSlurpHandle:
+    """A file object that supports iteration but forbids bulk reads."""
+
+    def __init__(self, fh):
+        self._fh = fh
+
+    def __iter__(self):
+        return iter(self._fh)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return self._fh.__exit__(*exc_info)
+
+    def read(self, *args, **kwargs):
+        raise AssertionError("parser read the whole file into memory")
+
+    def __getattr__(self, name):
+        return getattr(self._fh, name)
+
+
+class TestStreaming:
+    """The readers iterate; they never call ``fh.read()``."""
+
+    @pytest.fixture
+    def no_slurp_open(self, monkeypatch):
+        from pathlib import Path
+
+        real_open = Path.open
+
+        def spy_open(self, *args, **kwargs):
+            return _NoSlurpHandle(real_open(self, *args, **kwargs))
+
+        return lambda: monkeypatch.setattr(Path, "open", spy_open)
+
+    def test_geolife_streams(self, tmp_path, no_slurp_open):
+        dataset = _random_dataset(np.random.default_rng(1), n_users=2)
+        write_geolife(dataset, tmp_path)
+        no_slurp_open()
+        assert read_geolife(tmp_path).n_records == dataset.n_records
+
+    def test_cabspotting_streams(self, tmp_path, no_slurp_open):
+        dataset = _random_dataset(np.random.default_rng(2), n_users=2)
+        write_cabspotting(dataset, tmp_path)
+        no_slurp_open()
+        assert read_cabspotting(tmp_path).n_records == dataset.n_records
+
+    def test_csv_streams(self, tmp_path, no_slurp_open):
+        dataset = _random_dataset(np.random.default_rng(3), n_users=2)
+        path = tmp_path / "d.csv"
+        write_csv(dataset, path)
+        no_slurp_open()
+        assert read_csv(path).n_records == dataset.n_records

@@ -367,3 +367,114 @@ class TestJobCommand:
     def test_daemon_down_is_clean_error(self, capsys):
         assert main(["job", "list", "--url", "http://127.0.0.1:9"]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestDatasetsCommand:
+    """The ``repro-lppm datasets`` subcommands, local and over HTTP."""
+
+    @pytest.fixture
+    def daemon_url(self):
+        import threading
+
+        from repro.service import ConfigService
+
+        app = ConfigService(workers=1)
+        server = app.make_server("127.0.0.1", 0)
+        host, port = server.server_address[:2]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield f"http://{host}:{port}"
+        finally:
+            server.shutdown()
+            server.server_close()
+            app.close()
+            thread.join(timeout=5)
+
+    def test_list_shows_builtins(self, capsys):
+        assert main(["datasets", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "taxi-small" in out and "commuters" in out
+
+    def test_list_json(self, capsys):
+        import json
+
+        assert main(["datasets", "list", "--json"]) == 0
+        names = [s["name"]
+                 for s in json.loads(capsys.readouterr().out)["scenarios"]]
+        assert "taxi" in names and "levy_flight" in names
+
+    def test_show_known(self, capsys):
+        assert main(["datasets", "show", "taxi-small"]) == 0
+        out = capsys.readouterr().out
+        assert "taxi-small" in out and '"users": 5' in out
+
+    def test_show_unknown_exit_2(self, capsys):
+        assert main(["datasets", "show", "nope"]) == 2
+        assert "nope" in capsys.readouterr().err
+
+    def test_show_resolve_rejected_with_url(self, capsys):
+        # --resolve is local-only: a daemon's spec may name paths that
+        # exist only on the server.
+        assert main(["datasets", "show", "taxi-small", "--resolve",
+                     "--url", "http://127.0.0.1:9"]) == 2
+        assert "local-only" in capsys.readouterr().err
+
+    def test_show_resolve_reports_shape(self, capsys):
+        import json
+
+        assert main(["datasets", "show", "commuters-small",
+                     "--resolve", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["users"] == 5
+        assert payload["records"] > 0
+        assert len(payload["fingerprint"]) == 64
+
+    def test_register_local_dry_run(self, capsys):
+        assert main(["datasets", "register", "cli-test-reg",
+                     "--kind", "taxi",
+                     "--params", '{"users": 2, "seed": 3}',
+                     "--replace"]) == 0
+        assert "2 users" in capsys.readouterr().out
+
+    def test_register_invalid_params_exit_2(self, capsys):
+        assert main(["datasets", "register", "x", "--kind", "taxi",
+                     "--params", "{nope"]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+        assert main(["datasets", "register", "x", "--kind", "taxi",
+                     "--params", '{"bogus": 1}']) == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_register_file_backed_local(self, taxi_csv, capsys):
+        import json
+
+        assert main(["datasets", "register", "cli-csv-reg",
+                     "--kind", "csv",
+                     "--params", json.dumps({"path": str(taxi_csv)}),
+                     "--replace", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["users"] == 3
+
+    def test_register_and_list_on_daemon(self, daemon_url, capsys):
+        import json
+
+        assert main(["datasets", "register", "daemon-reg",
+                     "--kind", "taxi", "--params", '{"users": 2}',
+                     "--url", daemon_url]) == 0
+        assert "registered" in capsys.readouterr().out
+        assert main(["datasets", "list", "--url", daemon_url,
+                     "--json"]) == 0
+        names = [s["name"]
+                 for s in json.loads(capsys.readouterr().out)["scenarios"]]
+        assert "daemon-reg" in names
+        assert main(["datasets", "show", "daemon-reg",
+                     "--url", daemon_url]) == 0
+        assert "daemon-reg" in capsys.readouterr().out
+
+    def test_daemon_conflict_exit_2(self, daemon_url, capsys):
+        assert main(["datasets", "register", "dup", "--kind", "taxi",
+                     "--params", '{"users": 2}', "--url", daemon_url]) == 0
+        capsys.readouterr()
+        assert main(["datasets", "register", "dup", "--kind", "taxi",
+                     "--params", '{"users": 3}', "--url", daemon_url]) == 2
+        assert "scenario-exists" in capsys.readouterr().err
