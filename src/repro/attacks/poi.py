@@ -71,14 +71,21 @@ def cluster_stay_points(
     if merge_m <= 0:
         raise ValueError("merge radius must be positive")
     ordered = sorted(stays, key=lambda s: (-s.duration_s, s.t_start_s))
-    lats: List[float] = []
-    lons: List[float] = []
-    visits: List[int] = []
-    dwells: List[float] = []
+    # Cluster centroids live in pre-sized numpy buffers (clusters can
+    # never outnumber stays), so the nearest-cluster probe below is a
+    # slice of a live float64 array instead of an O(k) list-to-array
+    # rebuild per stay point.  Same IEEE doubles, same arithmetic —
+    # output is bit-identical to the list-based formulation.
+    cap = len(ordered)
+    lats = np.empty(cap, dtype=float)
+    lons = np.empty(cap, dtype=float)
+    visits = np.empty(cap, dtype=int)
+    dwells = np.empty(cap, dtype=float)
+    k_clusters = 0
     for stay in ordered:
-        if lats:
+        if k_clusters:
             d = haversine_m_arrays(
-                np.asarray(lats), np.asarray(lons), stay.lat, stay.lon
+                lats[:k_clusters], lons[:k_clusters], stay.lat, stay.lon
             )
             k = int(np.argmin(d))
             if float(d[k]) <= merge_m:
@@ -91,13 +98,20 @@ def cluster_stay_points(
                 visits[k] += 1
                 dwells[k] += stay.duration_s
                 continue
-        lats.append(stay.lat)
-        lons.append(stay.lon)
-        visits.append(1)
-        dwells.append(stay.duration_s)
+        lats[k_clusters] = stay.lat
+        lons[k_clusters] = stay.lon
+        visits[k_clusters] = 1
+        dwells[k_clusters] = stay.duration_s
+        k_clusters += 1
     pois = [
-        Poi(lat=la, lon=lo, n_visits=v, total_dwell_s=dw)
-        for la, lo, v, dw in zip(lats, lons, visits, dwells)
+        Poi(
+            lat=float(la), lon=float(lo),
+            n_visits=int(v), total_dwell_s=float(dw),
+        )
+        for la, lo, v, dw in zip(
+            lats[:k_clusters], lons[:k_clusters],
+            visits[:k_clusters], dwells[:k_clusters],
+        )
         if v >= min_visits
     ]
     # Most significant first: by dwell, then visits.
