@@ -36,6 +36,7 @@ Quickstart::
     print(rec.value)   # the epsilon to deploy
 """
 
+from .analysis import AnalysisCache, pois_of, stay_points_of
 from .attacks import (
     HomeWorkGuess,
     Poi,
@@ -199,6 +200,10 @@ __all__ = [
     "Pipeline",
     "available_lppms",
     "lppm_class",
+    # analysis
+    "AnalysisCache",
+    "pois_of",
+    "stay_points_of",
     # attacks
     "StayPoint",
     "extract_stay_points",

@@ -1,0 +1,90 @@
+"""Stable, address-free renderings of configuration objects.
+
+Derived-artifact cache keys and evaluation fingerprints both need a
+textual identity for configuration objects (metric instances, POI
+extraction configs, spatial grids) that is deterministic across
+processes and releases.  The default ``repr`` of address-printing
+objects — and the ``...`` truncation of large arrays — would make such
+identities differ between processes, or worse, collide after an
+address is recycled; :func:`stable_repr` renders everything from
+*values* instead: primitives verbatim, arrays as content hashes,
+containers and attribute-bearing objects recursively (to a bounded
+depth).
+
+This module sits at the bottom of the stack (numpy and stdlib only) so
+both the analysis layer and the evaluation engine can share one
+implementation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Mapping, Optional
+
+import numpy as np
+
+__all__ = ["stable_repr"]
+
+
+def _attrs_of(obj) -> Optional[list]:
+    """(name, value) pairs of an object's configuration, if reachable.
+
+    Covers both ``__dict__`` instances and slotted classes; ``None``
+    means the object exposes no attributes to render.
+    """
+    try:
+        return sorted(vars(obj).items())
+    except TypeError:
+        pass
+    names = []
+    for klass in type(obj).__mro__:
+        slots = getattr(klass, "__slots__", ()) or ()
+        names.extend([slots] if isinstance(slots, str) else list(slots))
+    if not names:
+        return None
+    out = []
+    for name in names:
+        if name in ("__weakref__", "__dict__"):
+            continue
+        try:
+            out.append((name, getattr(obj, name)))
+        except AttributeError:
+            continue
+    return sorted(out)
+
+
+def stable_repr(value, depth: int = 0) -> str:
+    """A value-based rendering with no memory addresses in it."""
+    if depth > 4:
+        return f"<deep:{type(value).__name__}>"
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return repr(value)
+    if isinstance(value, np.ndarray):
+        digest = hashlib.sha256(
+            np.ascontiguousarray(value).tobytes()
+        ).hexdigest()[:16]
+        return f"ndarray({value.dtype},{value.shape},{digest})"
+    if isinstance(value, np.generic):
+        return repr(value.item())
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = [stable_repr(v, depth + 1) for v in value]
+        if isinstance(value, (set, frozenset)):
+            items = sorted(items)
+        return f"{type(value).__name__}[{','.join(items)}]"
+    if isinstance(value, Mapping):
+        items = sorted(
+            f"{stable_repr(k, depth + 1)}:{stable_repr(v, depth + 1)}"
+            for k, v in value.items()
+        )
+        return "{" + ",".join(items) + "}"
+    attrs = _attrs_of(value)
+    name = f"{type(value).__module__}.{type(value).__qualname__}"
+    if attrs is not None:
+        rendered = ",".join(
+            f"{k}={stable_repr(v, depth + 1)}" for k, v in attrs
+        )
+        return f"{name}({rendered})"
+    rendered = repr(value)
+    # Last resort for attribute-less objects whose repr embeds an
+    # address: fall back to the bare type (deterministic, if lossy).
+    return name if " at 0x" in rendered else rendered

@@ -12,10 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from ..analysis import stay_points_of
 from ..geo import LatLon, haversine_m
 from ..mobility import Trace
 from .poi import PoiExtractionConfig, cluster_stay_points
-from .staypoints import StayPoint, extract_stay_points
+from .staypoints import StayPoint
 
 __all__ = ["HomeWorkGuess", "overlap_with_hours_s", "infer_home_work"]
 
@@ -95,8 +96,11 @@ def infer_home_work(
     Home is the cluster with the most night dwell; work the cluster
     with the most working-hours dwell at least ``min_separation_m``
     from home (home-office users have no distinct workplace signal).
+
+    Stay-point extraction goes through the analysis cache, so a trace
+    analysed by several attacks (or several sweep points) pays it once.
     """
-    stays = extract_stay_points(trace, config.roam_m, config.min_dwell_s)
+    stays = stay_points_of(trace, config.roam_m, config.min_dwell_s)
     if not stays:
         return HomeWorkGuess(home=None, work=None)
 

@@ -119,10 +119,22 @@ _WORKER_SYSTEM: Optional["SystemDefinition"] = None
 _WORKER_DATASET: Optional["Dataset"] = None
 
 
-def _init_worker(system: "SystemDefinition", dataset: "Dataset") -> None:
+def _init_worker(
+    system: "SystemDefinition",
+    dataset: "Dataset",
+    dataset_fp: Optional[str] = None,
+) -> None:
     global _WORKER_SYSTEM, _WORKER_DATASET
     _WORKER_SYSTEM = system
     _WORKER_DATASET = dataset
+    if dataset_fp is not None:
+        # Seed the worker's process-local analysis cache by fingerprint
+        # (artifacts are computed in-worker and memoised there, never
+        # pickled across the process boundary): every job this worker
+        # runs shares one actual-side stay-point/POI extraction.
+        from ..analysis import default_cache
+
+        default_cache().seed_dataset(dataset, dataset_fp)
 
 
 def _run_job_in_worker(job: EvalJob) -> Tuple[float, float]:
@@ -223,7 +235,7 @@ class ProcessPoolBackend(ExecutionBackend):
                 max_workers=self.max_workers,
                 mp_context=self._mp_context(),
                 initializer=_init_worker,
-                initargs=(system, dataset),
+                initargs=(system, dataset, key[1] if key else None),
             )
             self._job_pool_key = key
             self._job_pool_for = (system, dataset)

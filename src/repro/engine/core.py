@@ -35,7 +35,6 @@ of restarting.
 from __future__ import annotations
 
 import threading
-import weakref
 from contextlib import contextmanager
 from typing import (
     TYPE_CHECKING,
@@ -47,6 +46,7 @@ from typing import (
     Tuple,
 )
 
+from ..analysis import AnalysisCache, use_cache
 from .backends import (
     ExecutionBackend,
     ProcessPoolBackend,
@@ -155,23 +155,24 @@ class EvaluationEngine:
         self.policy = engine
         self.max_workers = int(jobs or default_max_workers())
         self.cache = ResultCache(cache_dir)
+        #: Derived-artifact cache (stay points, POIs, heatmap counts)
+        #: shared by every batch this engine runs in-process; pooled
+        #: workers hold their own per-process cache, seeded with the
+        #: dataset fingerprint by the pool initializer.  Its LRU bound
+        #: grows to fit whatever dataset a batch announces, so large
+        #: fleets cannot thrash their own actual-side artifacts.
+        self.analysis = AnalysisCache()
         self._serial = SerialBackend()
         self._process: Optional[ProcessPoolBackend] = None
         #: Real (non-cached) protect + measure executions performed.
         self.n_executions = 0
-        # Guards the cache, the execution counter, the fingerprint memo
-        # and backend construction.  Never held while a backend runs
-        # protect + measure work, so concurrent callers only serialise
-        # on bookkeeping.
+        # Guards the cache, the execution counter and backend
+        # construction.  Never held while a backend runs protect +
+        # measure work, so concurrent callers only serialise on
+        # bookkeeping.
         self._lock = threading.RLock()
         # Per-thread state: observation hooks and measure() counters.
         self._tls = threading.local()
-        # Dataset fingerprints are O(dataset) to compute; memoise per
-        # engine.  Entries hold weak references so a long-lived engine
-        # does not pin every dataset it ever saw, and each hit verifies
-        # the referent is still the same object (a recycled id with a
-        # dead reference recomputes instead of aliasing).
-        self._dataset_fp: Dict[int, Tuple[weakref.ref, str]] = {}
 
     # ------------------------------------------------------------------
     # Per-thread hooks and accounting
@@ -265,25 +266,14 @@ class EvaluationEngine:
     # Fingerprinting
     # ------------------------------------------------------------------
     def fingerprint_of(self, dataset: "Dataset") -> str:
-        """Memoised content fingerprint of a dataset."""
-        key = id(dataset)
-        with self._lock:
-            entry = self._dataset_fp.get(key)
-            if entry is not None and entry[0]() is dataset:
-                return entry[1]
-        # O(dataset) hashing happens outside the lock; a racing second
-        # computation of the same fingerprint is identical by content.
-        fp = dataset_fingerprint(dataset)
-        with self._lock:
-            if len(self._dataset_fp) > 64:
-                # Drop entries whose datasets are gone before adding more.
-                self._dataset_fp = {
-                    k: (ref, v)
-                    for k, (ref, v) in self._dataset_fp.items()
-                    if ref() is not None
-                }
-            self._dataset_fp[key] = (weakref.ref(dataset), fp)
-        return fp
+        """Memoised content fingerprint of a dataset.
+
+        The memo lives module-wide in :mod:`repro.engine.jobs` (keyed
+        weakly by instance), so scenario resolution, the response
+        cache, the analysis cache and every engine share one hash per
+        loaded dataset.
+        """
+        return dataset_fingerprint(dataset)
 
     # ------------------------------------------------------------------
     # Execution
@@ -309,6 +299,11 @@ class EvaluationEngine:
             return []
         hooks: Optional[_Hooks] = getattr(self._tls, "hooks", None)
         ds_fp = self.fingerprint_of(dataset)
+        # Announce the dataset to the analysis cache: its traces get
+        # fingerprint-derived content keys, so actual-side artifacts
+        # (stay points, POIs, heatmap counts) are shared across every
+        # job of every batch over this dataset without re-hashing.
+        self.analysis.seed_dataset(dataset, ds_fp)
         sig = system_signature(system)
         fingerprints = [job_fingerprint(ds_fp, sig, job) for job in jobs]
 
@@ -416,9 +411,15 @@ class EvaluationEngine:
                         continue
                     chunk = fresh
                     to_run = [jobs[indices[0]] for _, indices in chunk]
-                    values = backend.run(
-                        system, dataset, to_run, key=(sig, ds_fp)
-                    )
+                    # The engine's analysis cache is ambient while the
+                    # backend runs: serial (and lone-job trace-level)
+                    # execution evaluates metrics on this thread and
+                    # hits it directly; pooled workers ignore it and
+                    # use their own per-process cache instead.
+                    with use_cache(self.analysis):
+                        values = backend.run(
+                            system, dataset, to_run, key=(sig, ds_fp)
+                        )
                     with self._lock:
                         # Only dict writes and counters under the lock;
                         # the disk tier is flushed after releasing it so
@@ -488,10 +489,19 @@ class EvaluationEngine:
         The cache-side keys come from :attr:`ResultCache.stats`;
         ``executions`` counts real protect + measure runs, the quantity
         the paper's cost comparisons — and the service's ``/metrics``
-        endpoint — are stated in.
+        endpoint — are stated in.  The ``analysis_*`` keys re-export
+        the derived-artifact cache's counters
+        (:attr:`AnalysisCache.stats`) under the same roof.  With the
+        process backend those counters cover only work done in this
+        process (cache hits, lone-job trace-level batches); pooled
+        workers cache in their own processes, whose counters are not
+        aggregated here.
         """
         with self._lock:
-            return {"executions": self.n_executions, **self.cache.stats}
+            stats = {"executions": self.n_executions, **self.cache.stats}
+        for key, value in self.analysis.stats.items():
+            stats[f"analysis_{key}"] = value
+        return stats
 
     def __repr__(self) -> str:
         cache_dir = self.cache.cache_dir

@@ -15,11 +15,12 @@ from __future__ import annotations
 import functools
 import hashlib
 import json
+import threading
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Mapping, Tuple
 
-import numpy as np
-
+from ..analysis.cache import WeakIdentityMemo
+from ..analysis.signature import stable_repr as _stable_repr
 from ..mobility import Dataset
 
 if TYPE_CHECKING:  # imported lazily to keep engine below framework
@@ -73,13 +74,17 @@ class EvalResult:
     fingerprint: str
 
 
-def dataset_fingerprint(dataset: Dataset) -> str:
-    """SHA-256 over every record of every trace, in user order.
+# Dataset fingerprints are O(dataset) to compute and are requested by
+# several layers for the same instance — the engine's result keying,
+# the analysis cache's seeding, service registries.  One module-wide
+# memo means each dataset object is hashed once per process, whichever
+# layer asks first.  Datasets are immutable, so a memoised hash can
+# never go stale; the weak-identity memo guards against id recycling.
+_FP_MEMO = WeakIdentityMemo()
+_FP_LOCK = threading.Lock()
 
-    The hash covers user ids, timestamps and coordinates, so any edit
-    to the data (cleaning, subsetting, regeneration with a new seed)
-    invalidates previously cached results.
-    """
+
+def _compute_dataset_fingerprint(dataset: Dataset) -> str:
     digest = hashlib.sha256()
     for trace in dataset.traces:
         digest.update(trace.user.encode("utf-8"))
@@ -90,76 +95,29 @@ def dataset_fingerprint(dataset: Dataset) -> str:
     return digest.hexdigest()
 
 
-def _attrs_of(obj) -> Optional[list]:
-    """(name, value) pairs of an object's configuration, if reachable.
+def dataset_fingerprint(dataset: Dataset) -> str:
+    """SHA-256 over every record of every trace, in user order.
 
-    Covers both ``__dict__`` instances and slotted classes; ``None``
-    means the object exposes no attributes to render.
+    The hash covers user ids, timestamps and coordinates, so any edit
+    to the data (cleaning, subsetting, regeneration with a new seed)
+    invalidates previously cached results.  Memoised per dataset
+    *instance* (weakly, by object identity), so every layer that keys
+    on the fingerprint shares one hash per loaded dataset.
     """
-    try:
-        return sorted(vars(obj).items())
-    except TypeError:
-        pass
-    names = []
-    for klass in type(obj).__mro__:
-        slots = getattr(klass, "__slots__", ()) or ()
-        names.extend([slots] if isinstance(slots, str) else list(slots))
-    if not names:
-        return None
-    out = []
-    for name in names:
-        if name in ("__weakref__", "__dict__"):
-            continue
-        try:
-            out.append((name, getattr(obj, name)))
-        except AttributeError:
-            continue
-    return sorted(out)
+    with _FP_LOCK:
+        fp = _FP_MEMO.get(dataset)
+    if fp is not None:
+        return fp
+    # O(dataset) hashing happens outside the lock; a racing second
+    # computation of the same fingerprint is identical by content.
+    fp = _compute_dataset_fingerprint(dataset)
+    with _FP_LOCK:
+        _FP_MEMO.put(dataset, fp)
+    return fp
 
 
-def _stable_repr(value, depth: int = 0) -> str:
-    """A value-based rendering with no memory addresses in it.
-
-    The default ``repr`` of address-printing objects (and the ``...``
-    truncation of large arrays) would make signatures differ across
-    processes — or worse, collide after an address is recycled — so
-    everything is rendered from *values*: primitives verbatim, arrays
-    as content hashes, containers and attribute-bearing objects
-    recursively (to a bounded depth).
-    """
-    if depth > 4:
-        return f"<deep:{type(value).__name__}>"
-    if value is None or isinstance(value, (bool, int, float, str, bytes)):
-        return repr(value)
-    if isinstance(value, np.ndarray):
-        digest = hashlib.sha256(
-            np.ascontiguousarray(value).tobytes()
-        ).hexdigest()[:16]
-        return f"ndarray({value.dtype},{value.shape},{digest})"
-    if isinstance(value, np.generic):
-        return repr(value.item())
-    if isinstance(value, (list, tuple, set, frozenset)):
-        items = [_stable_repr(v, depth + 1) for v in value]
-        if isinstance(value, (set, frozenset)):
-            items = sorted(items)
-        return f"{type(value).__name__}[{','.join(items)}]"
-    if isinstance(value, Mapping):
-        items = sorted(
-            f"{_stable_repr(k, depth + 1)}:{_stable_repr(v, depth + 1)}"
-            for k, v in value.items()
-        )
-        return "{" + ",".join(items) + "}"
-    attrs = _attrs_of(value)
-    name = f"{type(value).__module__}.{type(value).__qualname__}"
-    if attrs is not None:
-        rendered = ",".join(
-            f"{k}={_stable_repr(v, depth + 1)}" for k, v in attrs
-        )
-        return f"{name}({rendered})"
-    rendered = repr(value)
-    # Last resort for attribute-less objects whose repr embeds an
-    # address: fall back to the bare type (deterministic, if lossy).
-    return name if " at 0x" in rendered else rendered
+# The stable value-based rendering moved to repro.analysis.signature
+# (the analysis cache keys on it too); imported above as _stable_repr.
 
 
 def _metric_signature(metric) -> str:

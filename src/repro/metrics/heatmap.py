@@ -12,8 +12,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Optional, Tuple
 
-import numpy as np
-
+from ..analysis import visit_counts_of
 from ..geo import LatLon, SpatialGrid
 from ..mobility import Dataset
 from .base import Metric, register_metric
@@ -28,18 +27,21 @@ Cell = Tuple[int, int]
 
 
 def visit_distribution(dataset: Dataset, grid: SpatialGrid) -> Dict[Cell, float]:
-    """Probability of a record falling in each grid cell."""
+    """Probability of a record falling in each grid cell.
+
+    The per-trace cell counting (the ``np.unique`` pass over every
+    record) goes through the analysis cache, so the actual side of a
+    heatmap metric counts each trace once per sweep; the cheap merge
+    across traces runs per call.
+    """
     counts: Dict[Cell, int] = {}
     total = 0
     for trace in dataset.traces:
         if trace.is_empty:
             continue
-        cells, cell_counts = np.unique(
-            grid.cells_of(trace.lats, trace.lons), axis=0, return_counts=True
-        )
-        for cell, n in zip(map(tuple, cells.tolist()), cell_counts.tolist()):
-            counts[cell] = counts.get(cell, 0) + int(n)
-            total += int(n)
+        for cell, n in visit_counts_of(trace, grid):
+            counts[cell] = counts.get(cell, 0) + n
+            total += n
     if total == 0:
         raise ValueError("dataset has no records")
     return {cell: n / total for cell, n in counts.items()}

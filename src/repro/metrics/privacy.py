@@ -12,9 +12,9 @@ from typing import Dict
 
 import numpy as np
 
+from ..analysis import pois_of
 from ..attacks import (
     PoiExtractionConfig,
-    extract_pois,
     reidentify,
     retrieved_fraction,
 )
@@ -55,10 +55,13 @@ class PoiRetrievalPrivacy(Metric):
     ) -> Dict[str, float]:
         values: Dict[str, float] = {}
         for user in self._common_users(actual, protected):
-            actual_pois = extract_pois(actual[user], self.extraction)
+            # Through the analysis cache: identical to extract_pois,
+            # but the actual side is computed once per dataset per
+            # sweep instead of once per (config x seed x metric).
+            actual_pois = pois_of(actual[user], self.extraction)
             if not actual_pois:
                 continue
-            found = extract_pois(protected[user], self.extraction)
+            found = pois_of(protected[user], self.extraction)
             values[user] = retrieved_fraction(
                 actual_pois, found, self.match_m, self.one_to_one
             )

@@ -47,7 +47,9 @@ class Trace:
         Coordinates in degrees, same length as ``times_s``.
     """
 
-    __slots__ = ("user", "times_s", "lats", "lons")
+    # __weakref__ lets long-lived caches (the analysis layer's
+    # trace-key memo) reference traces without pinning them.
+    __slots__ = ("user", "times_s", "lats", "lons", "__weakref__")
 
     def __init__(self, user: str, times_s, lats, lons) -> None:
         if not user:
@@ -79,13 +81,21 @@ class Trace:
         return int(self.times_s.size)
 
     def __iter__(self) -> Iterator[TraceRecord]:
-        for i in range(len(self)):
-            yield TraceRecord(
-                self.user,
-                float(self.times_s[i]),
-                float(self.lats[i]),
-                float(self.lons[i]),
-            )
+        for t, lat, lon in self.iter_arrays():
+            yield TraceRecord(self.user, t, lat, lon)
+
+    def iter_arrays(self) -> Iterator[tuple]:
+        """Iterate ``(time_s, lat, lon)`` tuples of Python floats.
+
+        The columnar fast path for hot loops: one ``tolist()`` bulk
+        conversion per array instead of a :class:`TraceRecord`
+        allocation and three scalar ``float()`` casts per record.
+        Values are identical to record iteration (``tolist`` performs
+        the same float64 → Python float conversion).
+        """
+        return zip(
+            self.times_s.tolist(), self.lats.tolist(), self.lons.tolist()
+        )
 
     def __getitem__(self, i: int) -> TraceRecord:
         if isinstance(i, slice):

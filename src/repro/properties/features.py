@@ -14,7 +14,8 @@ from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
-from ..attacks import PoiExtractionConfig, extract_pois
+from ..analysis import pois_of
+from ..attacks import PoiExtractionConfig
 from ..geo import SpatialGrid
 from ..mobility import Dataset, radius_of_gyration_m
 
@@ -99,7 +100,7 @@ def _top_cell_uniqueness(dataset: Dataset, cell_size_m: float = 200.0) -> float:
 
 def _mean_poi_count(dataset: Dataset) -> float:
     config = PoiExtractionConfig()
-    return float(np.mean([len(extract_pois(t, config)) for t in dataset.traces]))
+    return float(np.mean([len(pois_of(t, config)) for t in dataset.traces]))
 
 
 def _night_activity_fraction(dataset: Dataset) -> float:
@@ -150,7 +151,7 @@ def _mean_inter_poi_distance_m(dataset: Dataset) -> float:
     config = PoiExtractionConfig()
     spreads = []
     for trace in dataset.traces:
-        pois = extract_pois(trace, config)
+        pois = pois_of(trace, config)
         if len(pois) < 2:
             continue
         lats = [p.lat for p in pois]

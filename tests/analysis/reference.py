@@ -1,0 +1,152 @@
+"""Reference implementations of the vectorised attack kernels.
+
+These are the pre-optimisation (seed) implementations of
+``extract_stay_points`` and ``cluster_stay_points``, kept verbatim so
+the parity suite can prove the vectorised kernels in
+``repro.attacks`` return **bit-identical** results — same stays, same
+POIs, same floats — on synthetic and adversarial traces alike.  They
+are test fixtures, not library code: slow on purpose.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.attacks.poi import Poi
+from repro.attacks.staypoints import StayPoint
+from repro.geo import LocalProjection, haversine_m_arrays
+from repro.mobility import Trace
+
+
+def _reference_extract_stay_points(
+    trace: Trace,
+    roam_m: float = 200.0,
+    min_dwell_s: float = 900.0,
+) -> List[StayPoint]:
+    """The seed anchor algorithm: full-suffix distance scan per anchor."""
+    if roam_m <= 0 or min_dwell_s <= 0:
+        raise ValueError("roaming radius and minimum dwell must be positive")
+    n = len(trace)
+    if n < 2:
+        return []
+
+    projection = LocalProjection.for_data(trace.lats, trace.lons)
+    x, y = projection.to_xy(trace.lats, trace.lons)
+    times = trace.times_s
+
+    stays: List[StayPoint] = []
+    i = 0
+    while i < n - 1:
+        d2 = (x[i + 1:] - x[i]) ** 2 + (y[i + 1:] - y[i]) ** 2
+        outside = np.nonzero(d2 > roam_m**2)[0]
+        j = (i + 1 + outside[0]) if outside.size else n
+        if times[j - 1] - times[i] >= min_dwell_s:
+            sl = slice(i, j)
+            cx, cy = float(np.mean(x[sl])), float(np.mean(y[sl]))
+            centre = projection.point_to_latlon(cx, cy)
+            stays.append(
+                StayPoint(
+                    lat=centre.lat,
+                    lon=centre.lon,
+                    t_start_s=float(times[i]),
+                    t_end_s=float(times[j - 1]),
+                    n_records=j - i,
+                )
+            )
+            i = j
+        else:
+            i += 1
+    return stays
+
+
+def _reference_cluster_stay_points(
+    stays: Sequence[StayPoint],
+    merge_m: float = 100.0,
+    min_visits: int = 1,
+) -> List[Poi]:
+    """The seed greedy agglomeration: list-backed running centroids."""
+    if merge_m <= 0:
+        raise ValueError("merge radius must be positive")
+    ordered = sorted(stays, key=lambda s: (-s.duration_s, s.t_start_s))
+    lats: List[float] = []
+    lons: List[float] = []
+    visits: List[int] = []
+    dwells: List[float] = []
+    for stay in ordered:
+        if lats:
+            d = haversine_m_arrays(
+                np.asarray(lats), np.asarray(lons), stay.lat, stay.lon
+            )
+            k = int(np.argmin(d))
+            if float(d[k]) <= merge_m:
+                w_old = dwells[k]
+                w_new = stay.duration_s
+                total = w_old + w_new
+                if total > 0:
+                    lats[k] = (lats[k] * w_old + stay.lat * w_new) / total
+                    lons[k] = (lons[k] * w_old + stay.lon * w_new) / total
+                visits[k] += 1
+                dwells[k] += stay.duration_s
+                continue
+        lats.append(stay.lat)
+        lons.append(stay.lon)
+        visits.append(1)
+        dwells.append(stay.duration_s)
+    pois = [
+        Poi(lat=la, lon=lo, n_visits=v, total_dwell_s=dw)
+        for la, lo, v, dw in zip(lats, lons, visits, dwells)
+        if v >= min_visits
+    ]
+    return sorted(pois, key=lambda p: (-p.total_dwell_s, -p.n_visits))
+
+
+def _reference_extract_pois(trace: Trace, config) -> List[Poi]:
+    """Seed POI pipeline: reference stays through reference clustering."""
+    stays = _reference_extract_stay_points(
+        trace, config.roam_m, config.min_dwell_s
+    )
+    return _reference_cluster_stay_points(
+        stays, config.merge_m, config.min_visits
+    )
+
+
+def make_dwelling_trace(
+    n: int,
+    seed: int = 0,
+    n_places: int = 6,
+    block: int = 150,
+    jitter_deg: float = 2e-4,
+    user: str = None,
+) -> Trace:
+    """A trace alternating dwells and trips — genuine stay structure.
+
+    Shared by the parity suite and ``benchmarks/bench_metrics.py`` so
+    both measure/verify the kernels on the same workload shape:
+    ``block`` records of dwelling at one of ``n_places`` anchors, then
+    ``block`` records of travel, repeated.
+    """
+    rng = np.random.default_rng(seed)
+    times = 1.3e9 + np.cumsum(rng.uniform(20.0, 90.0, n))
+    places = [
+        (48.85 + float(rng.normal(0, 0.02)), 2.35 + float(rng.normal(0, 0.02)))
+        for _ in range(n_places)
+    ]
+    lats = np.empty(n)
+    lons = np.empty(n)
+    for i in range(n):
+        phase = (i // block) % (2 * n_places)
+        if phase % 2 == 0:  # dwelling at a place
+            base = places[(phase // 2) % n_places]
+            lats[i] = base[0] + float(rng.normal(0, jitter_deg))
+            lons[i] = base[1] + float(rng.normal(0, jitter_deg))
+        else:  # travelling between places
+            lats[i] = 48.85 + float(rng.uniform(-0.05, 0.05))
+            lons[i] = 2.35 + float(rng.uniform(-0.05, 0.05))
+    return Trace(
+        user if user is not None else f"u{seed}",
+        times,
+        np.clip(lats, -90, 90),
+        np.clip(lons, -180, 180),
+    )
