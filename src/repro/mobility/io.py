@@ -158,10 +158,11 @@ def write_csv(dataset: Dataset, path: PathLike) -> None:
         writer = csv.writer(fh)
         writer.writerow(["user", "time_s", "lat", "lon"])
         for trace in dataset.traces:
-            for rec in trace:
-                writer.writerow(
-                    [rec.user, repr(rec.time_s), repr(rec.lat), repr(rec.lon)]
-                )
+            user = trace.user
+            # Columnar iteration: one bulk tolist() per array instead
+            # of a TraceRecord allocation per point.
+            for t, lat, lon in trace.iter_arrays():
+                writer.writerow([user, repr(t), repr(lat), repr(lon)])
 
 
 def read_csv(path: PathLike) -> Dataset:
@@ -251,10 +252,10 @@ def write_geolife(dataset: Dataset, root: PathLike) -> None:
         with out.open("w") as fh:
             fh.write("Geolife trajectory\nWGS 84\nAltitude is in Feet\n")
             fh.write("Reserved 3\n0,2,255,My Track,0,0,2,8421376\n0\n")
-            for rec in trace:
-                days, date_str, time_str = _unix_to_geolife_fields(rec.time_s)
+            for t, lat, lon in trace.iter_arrays():
+                days, date_str, time_str = _unix_to_geolife_fields(t)
                 fh.write(
-                    f"{rec.lat:.6f},{rec.lon:.6f},0,0,{days:.10f},"
+                    f"{lat:.6f},{lon:.6f},0,0,{days:.10f},"
                     f"{date_str},{time_str}\n"
                 )
 
@@ -305,7 +306,7 @@ def write_cabspotting(dataset: Dataset, directory: PathLike) -> None:
     for trace in dataset.traces:
         out = directory / f"new_{trace.user}.txt"
         with out.open("w") as fh:
-            for rec in reversed(list(trace)):
+            for t, lat, lon in reversed(list(trace.iter_arrays())):
                 fh.write(
-                    f"{rec.lat:.6f} {rec.lon:.6f} 0 {_format_time(rec.time_s)}\n"
+                    f"{lat:.6f} {lon:.6f} 0 {_format_time(t)}\n"
                 )

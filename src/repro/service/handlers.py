@@ -198,10 +198,12 @@ def make_handlers(
             "n_records": protected.n_records,
         }
         if body["include_records"]:
+            # Columnar iteration: bulk array-to-float conversion per
+            # trace instead of one TraceRecord allocation per point.
             payload["records"] = [
-                [rec.user, rec.time_s, rec.lat, rec.lon]
+                [trace.user, t, lat, lon]
                 for trace in protected.traces
-                for rec in trace
+                for t, lat, lon in trace.iter_arrays()
             ]
         return payload
 
