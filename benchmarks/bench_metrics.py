@@ -1,0 +1,277 @@
+#!/usr/bin/env python3
+"""Metric evaluation cost: analysis cache cold vs warm, kernel speedups.
+
+Three measurements on a 50-user synthetic commuter dataset:
+
+* **per-metric wall time** — each registered heavyweight metric
+  evaluated with a cold analysis cache (every artifact computed) and
+  again warm (actual- and protected-side artifacts answered from the
+  cache);
+* **sweep cost** — a ``poi_retrieval`` + ``reidentification`` sweep
+  over several protected datasets, run cold (a fresh cache per metric
+  call, the pre-analysis-layer behaviour) vs warm (one shared cache,
+  the engine's behaviour): the headline number the analysis layer is
+  gated on (≥ 3× expected);
+* **kernel speedups** — the vectorised ``extract_stay_points`` (on a
+  100k-record trace) and ``cluster_stay_points`` against the seed
+  implementations, which must stay bit-identical while being faster
+  (≥ 1.5× expected for stay-point extraction).
+
+Run:  PYTHONPATH=src python benchmarks/bench_metrics.py
+      (--smoke for the CI-sized run, --json PATH for artifacts)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import CommuterConfig, GeoIndistinguishability, generate_commuters
+from repro.analysis import AnalysisCache, use_cache
+from repro.attacks import cluster_stay_points, extract_stay_points
+from repro.attacks.staypoints import StayPoint
+from repro.metrics import metric_class
+
+#: Metrics whose evaluation is dominated by derived-artifact analysis.
+BENCH_METRICS = (
+    "poi_retrieval",
+    "reidentification",
+    "home_identification",
+    "heatmap",
+    "distortion",
+)
+
+
+def _reference_module():
+    """The seed kernels and the shared dwelling-trace fixture.
+
+    One canonical copy lives with the parity suite
+    (``tests/analysis/reference.py``) so the bench's speedup baseline
+    and the tests' bit-identity baseline can never drift apart; the
+    tests package is imported from the repo root, wherever the bench
+    is launched from.
+    """
+    repo_root = Path(__file__).resolve().parents[1]
+    if str(repo_root) not in sys.path:
+        sys.path.insert(0, str(repo_root))
+    from tests.analysis import reference
+
+    return reference
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# Sections
+# ----------------------------------------------------------------------
+def bench_per_metric(actual, protected) -> dict:
+    """Cold vs warm analysis cache, one evaluation per metric."""
+    rows = {}
+    for name in BENCH_METRICS:
+        metric = metric_class(name)()
+        cache = AnalysisCache()
+        with use_cache(cache):
+            cold_s = _timed(lambda: metric.evaluate(actual, protected))
+            warm_s = _timed(lambda: metric.evaluate(actual, protected))
+        rows[name] = {
+            "cold_s": round(cold_s, 4),
+            "warm_s": round(warm_s, 4),
+            "speedup": round(cold_s / warm_s, 2) if warm_s > 0 else None,
+        }
+    return rows
+
+
+def bench_sweep(actual, protected_worlds) -> dict:
+    """The headline number: a poi_retrieval + reidentification sweep.
+
+    Three timings of the same sweep:
+
+    * **cold** — a fresh cache per metric call: no artifact reuse
+      anywhere, which is exactly what every evaluation paid before the
+      analysis layer existed;
+    * **first pass** — one shared cache, populated as it goes: the
+      actual side is analysed once for the whole sweep and each
+      protected world's extraction is shared between the two metrics
+      (what one engine batch pays today);
+    * **warm** — the identical sweep again over the populated cache:
+      every artifact on both sides is answered from the LRU (what a
+      re-evaluated sweep pays, e.g. after a metric-parameter change
+      that misses the result cache but not the artifact cache).
+    """
+    metrics = [metric_class("poi_retrieval")(), metric_class("reidentification")()]
+
+    def run_point(protected, cache) -> None:
+        for metric in metrics:
+            with use_cache(cache):
+                metric.evaluate(actual, protected)
+
+    def cold_run() -> None:
+        for protected in protected_worlds:
+            for metric in metrics:
+                with use_cache(AnalysisCache()):
+                    metric.evaluate(actual, protected)
+
+    cold_s = _timed(cold_run)
+
+    shared = AnalysisCache()
+
+    def shared_run() -> None:
+        for protected in protected_worlds:
+            run_point(protected, shared)
+
+    first_pass_s = _timed(shared_run)
+    warm_s = _timed(shared_run)
+    return {
+        "points": len(protected_worlds),
+        "metrics": [m.name for m in metrics],
+        "cold_s": round(cold_s, 3),
+        "first_pass_s": round(first_pass_s, 3),
+        "warm_s": round(warm_s, 4),
+        "speedup": round(cold_s / warm_s, 2) if warm_s > 0 else None,
+        "first_pass_speedup": (
+            round(cold_s / first_pass_s, 2) if first_pass_s > 0 else None
+        ),
+        "analysis_cache": shared.stats,
+    }
+
+
+def bench_kernels(n_records: int, n_stays: int) -> dict:
+    """Vectorised kernels vs the seed implementations (bit-identical)."""
+    reference = _reference_module()
+    trace = reference.make_dwelling_trace(
+        n_records, n_places=8, block=400, user="bench"
+    )
+    new = extract_stay_points(trace)  # warm numpy before timing
+    new_s = _timed(lambda: extract_stay_points(trace))
+    ref = reference._reference_extract_stay_points(trace)
+    ref_s = _timed(lambda: reference._reference_extract_stay_points(trace))
+    stay_identical = new == ref
+
+    rng = np.random.default_rng(1)
+    stays = [
+        StayPoint(
+            lat=48.85 + float(rng.normal(0, 0.02)),
+            lon=2.35 + float(rng.normal(0, 0.02)),
+            t_start_s=float(i * 1000),
+            t_end_s=float(i * 1000 + rng.uniform(900, 5000)),
+            n_records=10,
+        )
+        for i in range(n_stays)
+    ]
+    cluster_new_s = _timed(lambda: cluster_stay_points(stays))
+    cluster_ref_s = _timed(
+        lambda: reference._reference_cluster_stay_points(stays)
+    )
+    cluster_identical = (
+        cluster_stay_points(stays)
+        == reference._reference_cluster_stay_points(stays)
+    )
+    return {
+        "stay_points": {
+            "records": n_records,
+            "n_stays": len(new),
+            "reference_s": round(ref_s, 3),
+            "vectorized_s": round(new_s, 3),
+            "speedup": round(ref_s / new_s, 1) if new_s > 0 else None,
+            "bit_identical": bool(stay_identical),
+        },
+        "cluster": {
+            "stays": n_stays,
+            "reference_s": round(cluster_ref_s, 3),
+            "vectorized_s": round(cluster_new_s, 3),
+            "speedup": (
+                round(cluster_ref_s / cluster_new_s, 2)
+                if cluster_new_s > 0 else None
+            ),
+            "bit_identical": bool(cluster_identical),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--users", type=int, default=50,
+                        help="synthetic commuter users (default: 50)")
+    parser.add_argument("--days", type=int, default=2,
+                        help="simulated days per user (default: 2)")
+    parser.add_argument("--sweep-points", type=int, default=5,
+                        help="protected datasets in the sweep (default: 5)")
+    parser.add_argument("--kernel-records", type=int, default=100_000,
+                        help="records in the kernel trace (default: 100000)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (1 day, 3 points, 20k records)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the numbers as JSON")
+    args = parser.parse_args(argv)
+
+    days = 1 if args.smoke else args.days
+    sweep_points = 3 if args.smoke else args.sweep_points
+    kernel_records = 20_000 if args.smoke else args.kernel_records
+
+    actual = generate_commuters(
+        CommuterConfig(n_users=args.users, n_days=days, seed=0)
+    )
+    epsilons = np.geomspace(2e-3, 5e-2, sweep_points)
+    protected_worlds = [
+        GeoIndistinguishability(epsilon=float(eps)).protect(actual, seed=s)
+        for s, eps in enumerate(epsilons)
+    ]
+    protected = protected_worlds[0]
+
+    results = {
+        "users": len(actual),
+        "records": actual.n_records,
+        "smoke": bool(args.smoke),
+        "per_metric": bench_per_metric(actual, protected),
+        "sweep": bench_sweep(actual, protected_worlds),
+        "kernels": bench_kernels(kernel_records, 2500 if args.smoke else 4000),
+    }
+
+    print(f"metric fixture: {results['records']} records, "
+          f"{results['users']} users\n")
+    print(f"{'metric':<20} {'cold s':>9} {'warm s':>9} {'speedup':>8}")
+    for name, row in results["per_metric"].items():
+        print(f"{name:<20} {row['cold_s']:>9} {row['warm_s']:>9} "
+              f"{row['speedup']:>7}x")
+    sweep = results["sweep"]
+    print(f"\nsweep ({sweep['points']} points, poi_retrieval + "
+          f"reidentification): cold {sweep['cold_s']}s, first pass "
+          f"{sweep['first_pass_s']}s ({sweep['first_pass_speedup']}x), "
+          f"warm {sweep['warm_s']}s -> {sweep['speedup']}x")
+    for kernel, row in results["kernels"].items():
+        print(f"{kernel}: reference {row['reference_s']}s, vectorized "
+              f"{row['vectorized_s']}s -> {row['speedup']}x "
+              f"({'bit-identical' if row['bit_identical'] else 'MISMATCH'})")
+
+    # Gates: parity always; speedup floors sized for the full run (CI
+    # smoke keeps a margin for noisy shared runners).
+    sweep_floor = 2.0 if args.smoke else 3.0
+    kernel_floor = 1.2 if args.smoke else 1.5
+    ok = (
+        all(r["bit_identical"] for r in results["kernels"].values())
+        and sweep["speedup"] is not None
+        and sweep["speedup"] >= sweep_floor
+        and results["kernels"]["stay_points"]["speedup"] >= kernel_floor
+    )
+    results["ok"] = bool(ok)
+    if args.json:
+        Path(args.json).write_text(json.dumps(results, indent=2))
+        print(f"\nJSON written to {args.json}")
+    if not ok:
+        print("FAILED: kernel parity broke or a speedup floor was missed",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
