@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Metric evaluation cost: analysis cache cold vs warm, kernel speedups.
 
-Three measurements on a 50-user synthetic commuter dataset:
+Four measurements — the first three on a 50-user synthetic commuter
+dataset:
 
 * **per-metric wall time** — each registered heavyweight metric
   evaluated with a cold analysis cache (every artifact computed) and
@@ -15,7 +16,13 @@ Three measurements on a 50-user synthetic commuter dataset:
 * **kernel speedups** — the vectorised ``extract_stay_points`` (on a
   100k-record trace) and ``cluster_stay_points`` against the seed
   implementations, which must stay bit-identical while being faster
-  (≥ 1.5× expected for stay-point extraction).
+  (≥ 1.5× expected for stay-point extraction);
+* **protect speedups** — the columnar ``protect_block`` path of every
+  vectorised LPPM against the seed per-trace loop, on a many-user
+  dataset (2500 users × 40 records full, the short-trace fleet shape
+  where per-trace overhead dominates the seed loop); must stay
+  bit-identical while ≥ 4× faster for ``geo_ind`` and ``gaussian``
+  (≥ 2× in smoke).
 
 Run:  PYTHONPATH=src python benchmarks/bench_metrics.py
       (--smoke for the CI-sized run, --json PATH for artifacts)
@@ -31,7 +38,17 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import CommuterConfig, GeoIndistinguishability, generate_commuters
+from repro import (
+    CommuterConfig,
+    ElasticGeoIndistinguishability,
+    GaussianPerturbation,
+    GeoIndistinguishability,
+    GridRounding,
+    Subsampling,
+    TimePerturbation,
+    UniformDiskNoise,
+    generate_commuters,
+)
 from repro.analysis import AnalysisCache, use_cache
 from repro.attacks import cluster_stay_points, extract_stay_points
 from repro.attacks.staypoints import StayPoint
@@ -60,6 +77,21 @@ def _reference_module():
     if str(repo_root) not in sys.path:
         sys.path.insert(0, str(repo_root))
     from tests.analysis import reference
+
+    return reference
+
+
+def _lppm_reference_module():
+    """The seed per-trace protect implementations and dataset builder.
+
+    Same arrangement as :func:`_reference_module`: the canonical copy
+    lives with the block-parity suite (``tests/lppm/reference.py``) so
+    the bench baseline and the bit-identity baseline cannot drift.
+    """
+    repo_root = Path(__file__).resolve().parents[1]
+    if str(repo_root) not in sys.path:
+        sys.path.insert(0, str(repo_root))
+    from tests.lppm import reference
 
     return reference
 
@@ -197,6 +229,61 @@ def bench_kernels(n_records: int, n_stays: int) -> dict:
     }
 
 
+def bench_protect(n_users: int, records_per_user: int) -> dict:
+    """Columnar protect vs the seed per-trace loop (bit-identical).
+
+    Many users with moderate traces — the shape where the seed loop's
+    per-trace Python overhead (projection objects, small-array ufunc
+    dispatch) dominates, and the one sweeps over real fleets have.
+    Each mechanism is timed cold except for the dataset's memoised
+    columnar block, which is prebuilt once: that is exactly what a
+    sweep pays (one concatenation, many protect calls).
+    """
+    reference = _lppm_reference_module()
+    dataset = reference.make_block_dataset(n_users, records_per_user, seed=0)
+    dataset.columns()  # shared across every mechanism, as in a sweep
+    mechanisms = {
+        "geo_ind": GeoIndistinguishability(0.05),
+        "elastic_geo_ind": ElasticGeoIndistinguishability(
+            0.05, cell_size_m=250.0
+        ),
+        "gaussian": GaussianPerturbation(25.0),
+        "uniform_disk": UniformDiskNoise(60.0),
+        "rounding": GridRounding(150.0),
+        "subsampling": Subsampling(0.5),
+        "time_perturbation": TimePerturbation(45.0),
+    }
+    rows = {}
+    for name, lppm in mechanisms.items():
+        block_out = lppm.protect(dataset, seed=1)  # warm numpy paths
+        # Best of three: the short block timings (tens of ms) are
+        # noise-sensitive on shared runners, and the gate is a floor.
+        block_s = min(
+            _timed(lambda: lppm.protect(dataset, seed=1)) for _ in range(3)
+        )
+        ref_out = reference._reference_protect(lppm, dataset, seed=1)
+        ref_s = min(
+            _timed(
+                lambda: reference._reference_protect(lppm, dataset, seed=1)
+            )
+            for _ in range(3)
+        )
+        identical = block_out.users == ref_out.users and all(
+            block_out[u] == ref_out[u] for u in block_out.users
+        )
+        rows[name] = {
+            "reference_s": round(ref_s, 3),
+            "block_s": round(block_s, 3),
+            "speedup": round(ref_s / block_s, 1) if block_s > 0 else None,
+            "bit_identical": bool(identical),
+        }
+    return {
+        "users": n_users,
+        "records": n_users * records_per_user,
+        "per_lppm": rows,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--users", type=int, default=50,
@@ -216,6 +303,7 @@ def main(argv=None) -> int:
     days = 1 if args.smoke else args.days
     sweep_points = 3 if args.smoke else args.sweep_points
     kernel_records = 20_000 if args.smoke else args.kernel_records
+    protect_users, protect_records = (600, 40) if args.smoke else (2500, 40)
 
     actual = generate_commuters(
         CommuterConfig(n_users=args.users, n_days=days, seed=0)
@@ -234,6 +322,7 @@ def main(argv=None) -> int:
         "per_metric": bench_per_metric(actual, protected),
         "sweep": bench_sweep(actual, protected_worlds),
         "kernels": bench_kernels(kernel_records, 2500 if args.smoke else 4000),
+        "protect": bench_protect(protect_users, protect_records),
     }
 
     print(f"metric fixture: {results['records']} records, "
@@ -251,24 +340,40 @@ def main(argv=None) -> int:
         print(f"{kernel}: reference {row['reference_s']}s, vectorized "
               f"{row['vectorized_s']}s -> {row['speedup']}x "
               f"({'bit-identical' if row['bit_identical'] else 'MISMATCH'})")
+    protect = results["protect"]
+    print(f"\nprotect fixture: {protect['records']} records, "
+          f"{protect['users']} users")
+    print(f"{'lppm':<20} {'ref s':>9} {'block s':>9} {'speedup':>8}")
+    for name, row in protect["per_lppm"].items():
+        flag = "" if row["bit_identical"] else "  MISMATCH"
+        print(f"{name:<20} {row['reference_s']:>9} {row['block_s']:>9} "
+              f"{row['speedup']:>7}x{flag}")
 
     # Gates: parity always; speedup floors sized for the full run (CI
     # smoke keeps a margin for noisy shared runners).
     sweep_floor = 2.0 if args.smoke else 3.0
     kernel_floor = 1.2 if args.smoke else 1.5
+    protect_floor = 2.0 if args.smoke else 4.0
+    per_lppm = results["protect"]["per_lppm"]
     ok = (
         all(r["bit_identical"] for r in results["kernels"].values())
         and sweep["speedup"] is not None
         and sweep["speedup"] >= sweep_floor
         and results["kernels"]["stay_points"]["speedup"] >= kernel_floor
+        and all(r["bit_identical"] for r in per_lppm.values())
+        and all(
+            per_lppm[name]["speedup"] is not None
+            and per_lppm[name]["speedup"] >= protect_floor
+            for name in ("geo_ind", "gaussian")
+        )
     )
     results["ok"] = bool(ok)
     if args.json:
         Path(args.json).write_text(json.dumps(results, indent=2))
         print(f"\nJSON written to {args.json}")
     if not ok:
-        print("FAILED: kernel parity broke or a speedup floor was missed",
-              file=sys.stderr)
+        print("FAILED: kernel/protect parity broke or a speedup floor "
+              "was missed", file=sys.stderr)
         return 1
     return 0
 

@@ -15,6 +15,13 @@ Two levels of parallelism are used, chosen by batch shape:
   verification evaluation), each job runs in the parent but fans its
   per-trace protection out to the pool through the ``mapper`` hook of
   :meth:`repro.lppm.LPPM.protect`.
+
+Protection without a ``mapper`` — the serial backend, and every job
+executed *inside* a pool worker — routes through the columnar
+``protect_block`` path over ``Dataset.columns()``, so both backends get
+the vectorised mechanisms for free; only the lone-job trace-level fan
+out keeps the picklable per-trace function.  All three paths are
+bit-identical by the LPPM layer's construction.
 """
 
 from __future__ import annotations
@@ -56,7 +63,11 @@ def execute_job(
 
     ``mapper`` is forwarded to :meth:`LPPM.protect` so callers can
     parallelise the per-trace protection without touching the metric
-    evaluation (metrics see whole datasets).
+    evaluation (metrics see whole datasets).  Without one, protection
+    takes the columnar block path (vectorised where the mechanism
+    supports it); the dataset's planar block is memoised on the
+    ``Dataset``, so every job over the same dataset shares one
+    concatenation.
     """
     lppm = system.make_lppm(**job.params_dict)
     if mapper is None:

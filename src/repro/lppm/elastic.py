@@ -27,9 +27,13 @@ from typing import Dict, Mapping, Optional, Tuple
 import numpy as np
 
 from ..geo import LatLon, LocalProjection, SpatialGrid
-from ..mobility import Dataset, Trace
-from .base import LPPM, register_lppm
-from .geo_ind import planar_laplace_radii
+from ..mobility import Dataset, Trace, TraceBlock
+from .base import LPPM, _concat_trace_draws, register_lppm
+from .geo_ind import (
+    _polar_draws,
+    planar_laplace_radii,
+    planar_laplace_radii_from_uniform,
+)
 
 __all__ = ["DensityMap", "ElasticGeoIndistinguishability"]
 
@@ -63,11 +67,20 @@ class DensityMap:
         return cls(grid, counts)
 
     def density_at(self, lats, lons) -> np.ndarray:
-        """Visit counts of the cells containing each coordinate (0 if unseen)."""
+        """Visit counts of the cells containing each coordinate (0 if unseen).
+
+        The dict is consulted once per *distinct* cell; records fan back
+        out through the inverse index, so a whole dataset's counts cost
+        one Python loop over its visited cells, not over its records.
+        """
         cells = self.grid.cells_of(lats, lons)
-        return np.asarray(
-            [self.counts.get(tuple(c), 0) for c in cells.tolist()], dtype=float
+        if cells.shape[0] == 0:
+            return np.empty(0, dtype=float)
+        uniq, inverse = np.unique(cells, axis=0, return_inverse=True)
+        counts = np.asarray(
+            [self.counts.get(tuple(c), 0) for c in uniq.tolist()], dtype=float
         )
+        return counts[inverse]
 
 
 @register_lppm("elastic_geo_ind")
@@ -119,7 +132,11 @@ class ElasticGeoIndistinguishability(LPPM):
 
     def epsilons_for(self, trace: Trace, density: DensityMap) -> np.ndarray:
         """Per-point effective epsilons for ``trace`` under ``density``."""
-        counts = density.density_at(trace.lats, trace.lons)
+        return self._scaled_epsilons(trace.lats, trace.lons, density)
+
+    def _scaled_epsilons(self, lats, lons, density: DensityMap) -> np.ndarray:
+        """Density-scaled epsilons for any coordinate arrays (block or trace)."""
+        counts = density.density_at(lats, lons)
         ref = max(density.median_count, 1.0)
         scale = np.power(np.maximum(counts, 1.0) / ref, self.exponent)
         scale = np.clip(scale, 1.0 / self.max_scale, self.max_scale)
@@ -142,3 +159,27 @@ class ElasticGeoIndistinguishability(LPPM):
             x + r * np.cos(theta), y + r * np.sin(theta)
         )
         return trace.with_coords(lats, lons)
+
+    def protect_block(self, block: TraceBlock, seed: int) -> list:
+        """Vectorised elastic planar Laplace over a whole dataset.
+
+        Requires a prepared density prior — :meth:`protect` builds one
+        from the dataset before fanning out, so this path always sees
+        it there.  Without a prior (direct calls), the per-trace
+        fallback keeps the per-trace-density semantics of
+        :meth:`protect_trace`.
+        """
+        if self.density is None:
+            return super().protect_block(block, seed)
+        if block.n_records == 0:
+            return list(block.traces)
+        eps = self._scaled_epsilons(block.lats, block.lons, self.density)
+        p, raw_theta = _concat_trace_draws(block, seed, _polar_draws)
+        theta = raw_theta * (2.0 * np.pi)
+        # One unit-epsilon radius per point, rescaled: r(eps) = r(1)/eps.
+        r = planar_laplace_radii_from_uniform(1.0, p) / eps
+        x, y = block.to_xy()
+        lats, lons = block.to_latlon(
+            x + r * np.cos(theta), y + r * np.sin(theta)
+        )
+        return block.with_coords(lats, lons)

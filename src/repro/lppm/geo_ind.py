@@ -30,10 +30,30 @@ import numpy as np
 from scipy.special import lambertw
 
 from ..geo import LocalProjection
-from ..mobility import Trace
-from .base import LPPM, register_lppm
+from ..mobility import Trace, TraceBlock
+from .base import LPPM, _concat_trace_draws, register_lppm
 
-__all__ = ["GeoIndistinguishability", "planar_laplace_radii"]
+__all__ = [
+    "GeoIndistinguishability",
+    "planar_laplace_radii",
+    "planar_laplace_radii_from_uniform",
+]
+
+
+def planar_laplace_radii_from_uniform(
+    epsilon: float, p: np.ndarray
+) -> np.ndarray:
+    """Polar Laplace radii from already-drawn ``Uniform[0, 1)`` samples.
+
+    The deterministic half of :func:`planar_laplace_radii`, split out
+    so the columnar protect path can draw ``p`` per trace (preserving
+    the per-user RNG streams) and then evaluate one concatenated
+    Lambert-W call over a whole dataset.
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    w = lambertw((p - 1.0) / np.e, k=-1)
+    return -(1.0 / epsilon) * (np.real(w) + 1.0)
 
 
 def planar_laplace_radii(
@@ -49,8 +69,23 @@ def planar_laplace_radii(
     if n < 0:
         raise ValueError("sample count must be non-negative")
     p = rng.uniform(0.0, 1.0, size=n)
-    w = lambertw((p - 1.0) / np.e, k=-1)
-    return -(1.0 / epsilon) * (np.real(w) + 1.0)
+    return planar_laplace_radii_from_uniform(epsilon, p)
+
+
+def _polar_draws(rng: np.random.Generator, trace) -> tuple:
+    """One trace's ``(p, raw theta)`` draws, fused into one RNG call.
+
+    ``uniform(0, 1, n)`` then ``uniform(0, 2π, n)`` consume ``2n``
+    consecutive doubles ``d`` of the stream and return ``d`` and
+    ``2π·d`` respectively — so one ``2n`` draw reproduces both streams
+    at half the call overhead.  The second half is returned *unscaled*:
+    multiplying the concatenated block by ``2π`` once is elementwise
+    identical to scaling each trace's slice, so callers apply
+    ``theta = raw * (2.0 * np.pi)`` block-wide.
+    """
+    n = len(trace)
+    v = rng.uniform(0.0, 1.0, size=2 * n)
+    return v[:n], v[n:]
 
 
 @register_lppm("geo_ind")
@@ -85,3 +120,23 @@ class GeoIndistinguishability(LPPM):
             x + r * np.cos(theta), y + r * np.sin(theta)
         )
         return trace.with_coords(lats, lons)
+
+    def protect_block(self, block: TraceBlock, seed: int) -> list:
+        """Vectorised planar Laplace over a whole dataset at once.
+
+        Per-trace RNG draws are preserved bit-identically (each trace's
+        generator emits ``p`` then ``theta``, exactly as
+        :meth:`protect_trace` consumes them); the deterministic math —
+        projection, a single concatenated Lambert-W evaluation, trig —
+        runs once over the concatenated block.
+        """
+        if block.n_records == 0:
+            return list(block.traces)
+        p, raw_theta = _concat_trace_draws(block, seed, _polar_draws)
+        theta = raw_theta * (2.0 * np.pi)
+        r = planar_laplace_radii_from_uniform(self.epsilon, p)
+        x, y = block.to_xy()
+        lats, lons = block.to_latlon(
+            x + r * np.cos(theta), y + r * np.sin(theta)
+        )
+        return block.with_coords(lats, lons)

@@ -15,8 +15,9 @@ from typing import Mapping
 import numpy as np
 
 from ..geo import LocalProjection
-from ..mobility import Trace
-from .base import LPPM, register_lppm
+from ..mobility import Trace, TraceBlock
+from .base import LPPM, _concat_trace_draws, register_lppm
+from .geo_ind import _polar_draws
 
 __all__ = ["GaussianPerturbation", "UniformDiskNoise"]
 
@@ -41,6 +42,21 @@ class GaussianPerturbation(LPPM):
         dx, dy = rng.normal(0.0, self.sigma_m, size=(2, len(trace)))
         lats, lons = projection.to_latlon(x + dx, y + dy)
         return trace.with_coords(lats, lons)
+
+    def protect_block(self, block: TraceBlock, seed: int) -> list:
+        """Vectorised Gaussian noise: per-trace draws, one block shift."""
+        if block.n_records == 0:
+            return list(block.traces)
+        dx, dy = _concat_trace_draws(
+            block,
+            seed,
+            lambda rng, t: tuple(
+                rng.normal(0.0, self.sigma_m, size=(2, len(t)))
+            ),
+        )
+        x, y = block.to_xy()
+        lats, lons = block.to_latlon(x + dx, y + dy)
+        return block.with_coords(lats, lons)
 
 
 @register_lppm("uniform_disk")
@@ -72,3 +88,16 @@ class UniformDiskNoise(LPPM):
             x + r * np.cos(theta), y + r * np.sin(theta)
         )
         return trace.with_coords(lats, lons)
+
+    def protect_block(self, block: TraceBlock, seed: int) -> list:
+        """Vectorised disk noise: per-trace draws, one block transform."""
+        if block.n_records == 0:
+            return list(block.traces)
+        u, raw_theta = _concat_trace_draws(block, seed, _polar_draws)
+        theta = raw_theta * (2.0 * np.pi)
+        r = self.radius_m * np.sqrt(u)
+        x, y = block.to_xy()
+        lats, lons = block.to_latlon(
+            x + r * np.cos(theta), y + r * np.sin(theta)
+        )
+        return block.with_coords(lats, lons)

@@ -19,7 +19,14 @@ __all__ = ["Pipeline"]
 
 
 class Pipeline(LPPM):
-    """Apply a sequence of LPPMs left to right."""
+    """Apply a sequence of LPPMs left to right.
+
+    Keeps the base class's per-trace ``protect_block`` fallback: each
+    stage consumes a generator spawned from the per-trace one
+    (``rng.spawn`` advances the parent's child counter), so the draw
+    streams are inherently per trace and cannot be re-batched without
+    changing them.
+    """
 
     name = "pipeline"
 

@@ -94,6 +94,11 @@ class Promesse(LPPM):
     Deterministic: the mechanism uses no randomness, its protection
     comes from destroying the time dimension (dwell evidence), not
     from noise.
+
+    Promesse keeps the base class's per-trace ``protect_block``
+    fallback: the greedy min-spacing filter is a sequential scan whose
+    keep decisions depend on earlier keeps, so there is no columnar
+    formulation that would stay bit-identical.
     """
 
     def __init__(self, alpha_m: float) -> None:

@@ -15,7 +15,7 @@ from typing import Mapping, Optional
 import numpy as np
 
 from ..geo import LatLon, LocalProjection, SpatialGrid
-from ..mobility import Trace
+from ..mobility import Trace, TraceBlock
 from .base import LPPM, register_lppm
 
 __all__ = ["GridRounding"]
@@ -35,6 +35,13 @@ class GridRounding(LPPM):
             raise ValueError("cell size must be positive")
         self.cell_size_m = float(cell_size_m)
         self.ref = ref
+        # A fixed reference fully determines the grid, so build it once
+        # instead of per trace (or per record batch).
+        self._grid = (
+            SpatialGrid(LocalProjection(ref), self.cell_size_m)
+            if ref is not None
+            else None
+        )
 
     def params(self) -> Mapping[str, float]:
         return {"cell_size_m": self.cell_size_m}
@@ -42,7 +49,29 @@ class GridRounding(LPPM):
     def protect_trace(self, trace: Trace, rng: np.random.Generator) -> Trace:
         if trace.is_empty:
             return trace
-        ref = self.ref or trace.centroid()
-        grid = SpatialGrid(LocalProjection(ref), self.cell_size_m)
+        grid = self._grid or SpatialGrid(
+            LocalProjection(trace.centroid()), self.cell_size_m
+        )
         lats, lons = grid.snap(trace.lats, trace.lons)
         return trace.with_coords(lats, lons)
+
+    def protect_block(self, block: TraceBlock, seed: int) -> list:
+        """Vectorised snapping: one floor/scale pass over the block.
+
+        With a fixed reference the prebuilt grid snaps the concatenated
+        coordinates directly.  With per-trace centroids, the block's
+        per-record projection anchors reproduce each trace's centroid
+        grid exactly (same ``np.mean`` anchors, same equirectangular
+        constants), so one batched floor is bit-identical to snapping
+        trace by trace.
+        """
+        if block.n_records == 0:
+            return list(block.traces)
+        if self._grid is not None:
+            lats, lons = self._grid.snap(block.lats, block.lons)
+            return block.with_coords(lats, lons)
+        x, y = block.to_xy()
+        cx = (np.floor(x / self.cell_size_m) + 0.5) * self.cell_size_m
+        cy = (np.floor(y / self.cell_size_m) + 0.5) * self.cell_size_m
+        lats, lons = block.to_latlon(cx, cy)
+        return block.with_coords(lats, lons)

@@ -13,8 +13,8 @@ from typing import Mapping
 
 import numpy as np
 
-from ..mobility import Trace
-from .base import LPPM, register_lppm
+from ..mobility import Trace, TraceBlock
+from .base import LPPM, _block_rng, _concat_trace_draws, register_lppm
 
 __all__ = ["Subsampling", "TimePerturbation"]
 
@@ -46,6 +46,46 @@ class Subsampling(LPPM):
             trace.lons[keep],
         )
 
+    def protect_block(self, block: TraceBlock, seed: int) -> list:
+        """Vectorised subsampling: one concatenated mask, one filter.
+
+        Per-trace draws follow :meth:`protect_trace` exactly — traces of
+        at most one record draw nothing (and come back as the same
+        objects), everything else draws one uniform per record from its
+        own generator.  The kept records are then sliced back out of the
+        filtered block by cumulative keep counts.
+        """
+        if block.n_records == 0:
+            return list(block.traces)
+        masks = []
+        rng_at = _block_rng()
+        for trace in block.traces:
+            n = len(trace)
+            if n <= 1:
+                masks.append(np.ones(n, dtype=bool))
+                continue
+            keep = rng_at(seed, trace.user).uniform(size=n) < self.keep_fraction
+            keep[0] = True
+            masks.append(keep)
+        keep = np.concatenate(masks)
+        times = block.times_s[keep]
+        lats = block.lats[keep]
+        lons = block.lons[keep]
+        # Kept-record count before each trace boundary → output offsets.
+        kept_offsets = np.concatenate(([0], np.cumsum(keep)))[block.offsets]
+        protected = []
+        for i, trace in enumerate(block.traces):
+            if len(trace) <= 1:
+                protected.append(trace)
+                continue
+            lo, hi = kept_offsets[i], kept_offsets[i + 1]
+            protected.append(
+                Trace._from_trusted(
+                    trace.user, times[lo:hi], lats[lo:hi], lons[lo:hi]
+                )
+            )
+        return protected
+
 
 @register_lppm("time_perturbation")
 class TimePerturbation(LPPM):
@@ -70,3 +110,40 @@ class TimePerturbation(LPPM):
             return trace
         jitter = rng.normal(0.0, self.sigma_s, size=len(trace))
         return trace.with_times(trace.times_s + jitter)
+
+    def protect_block(self, block: TraceBlock, seed: int) -> list:
+        """Vectorised jitter: one draw sweep, one segmented re-sort.
+
+        A single ``np.lexsort`` keyed on (perturbed time, trace id)
+        sorts every trace's records within its own segment — the same
+        stable order the :class:`~repro.mobility.Trace` constructor
+        produces per trace (a stable sort of an already-sorted segment
+        is the identity, so the constructor's skip-if-sorted shortcut
+        changes nothing).
+        """
+        if self.sigma_s == 0.0 or block.n_records == 0:
+            return list(block.traces)
+        (jitter,) = _concat_trace_draws(
+            block,
+            seed,
+            lambda rng, t: (rng.normal(0.0, self.sigma_s, size=len(t)),),
+        )
+        times = block.times_s + jitter
+        seg = block.per_record(np.arange(block.n_traces))
+        order = np.lexsort((times, seg))
+        times = times[order]
+        lats = block.lats[order]
+        lons = block.lons[order]
+        offsets = block.offsets
+        protected = []
+        for i, trace in enumerate(block.traces):
+            if trace.is_empty:
+                protected.append(trace)
+                continue
+            lo, hi = offsets[i], offsets[i + 1]
+            protected.append(
+                Trace._from_trusted(
+                    trace.user, times[lo:hi], lats[lo:hi], lons[lo:hi]
+                )
+            )
+        return protected

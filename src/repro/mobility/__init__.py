@@ -1,5 +1,6 @@
 """Mobility-trace substrate: data model, IO, cleaning and statistics."""
 
+from .block import TraceBlock
 from .dataset import Dataset
 from .filters import (
     clean_dataset,
@@ -24,6 +25,7 @@ from .trace import Trace, TraceRecord
 __all__ = [
     "Trace",
     "TraceRecord",
+    "TraceBlock",
     "Dataset",
     "read_csv",
     "write_csv",

@@ -9,11 +9,12 @@ trace, subset users, compute global bounds).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Mapping, Sequence
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from ..geo import BoundingBox, LatLon
+from .block import TraceBlock
 from .trace import Trace
 
 __all__ = ["Dataset"]
@@ -24,7 +25,7 @@ class Dataset(Mapping[str, Trace]):
 
     # __weakref__ lets long-lived services (the evaluation engine's
     # fingerprint memo) reference datasets without pinning them.
-    __slots__ = ("_traces", "__weakref__")
+    __slots__ = ("_traces", "_columns", "__weakref__")
 
     def __init__(self, traces: Mapping[str, Trace]) -> None:
         for user, trace in traces.items():
@@ -33,6 +34,17 @@ class Dataset(Mapping[str, Trace]):
                     f"key {user!r} does not match trace user {trace.user!r}"
                 )
         self._traces: Dict[str, Trace] = dict(sorted(traces.items()))
+        self._columns: Optional[TraceBlock] = None
+
+    def __getstate__(self):
+        # The columnar block is a derived cache over the (frozen) trace
+        # arrays — rebuilding it is cheaper than shipping a second copy
+        # of every record to pool workers.
+        return self._traces
+
+    def __setstate__(self, state) -> None:
+        self._traces = state
+        self._columns = None
 
     @classmethod
     def from_traces(cls, traces: Sequence[Trace]) -> "Dataset":
@@ -86,6 +98,19 @@ class Dataset(Mapping[str, Trace]):
         for other in boxes[1:]:
             box = box.union(other)
         return box
+
+    def columns(self) -> TraceBlock:
+        """Columnar (structure-of-arrays) view of every trace.
+
+        Built lazily and memoised on the dataset, so a sweep that
+        protects the same dataset at many points pays the concatenation
+        (and the per-trace projection anchors cached on the block) only
+        once.  Safe to share: the block holds the traces' own frozen
+        arrays plus derived read-only columns.
+        """
+        if self._columns is None:
+            self._columns = TraceBlock(self.traces)
+        return self._columns
 
     def centroid(self) -> LatLon:
         """Mean coordinate over every record of every trace."""

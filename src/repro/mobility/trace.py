@@ -74,6 +74,26 @@ class Trace:
         for arr in (self.times_s, self.lats, self.lons):
             arr.setflags(write=False)
 
+    @classmethod
+    def _from_trusted(cls, user: str, times_s, lats, lons) -> "Trace":
+        """Build a trace without re-validating; the columnar fast path.
+
+        The caller guarantees what ``__init__`` would otherwise check
+        per trace: equal-length 1-D float64 arrays, times already
+        non-decreasing, coordinates already range-checked (in bulk, by
+        :meth:`TraceBlock.with_coords`), user non-empty.  Arrays are
+        still frozen, so trusted traces are as immutable as validated
+        ones.
+        """
+        trace = cls.__new__(cls)
+        trace.user = user
+        trace.times_s = times_s
+        trace.lats = lats
+        trace.lons = lons
+        for arr in (times_s, lats, lons):
+            arr.setflags(write=False)
+        return trace
+
     # ------------------------------------------------------------------
     # Basic container behaviour
     # ------------------------------------------------------------------
@@ -161,17 +181,26 @@ class Trace:
         """Copy of this trace with replaced coordinates (same timestamps).
 
         This is how LPPMs emit protected traces: times and user id are
-        preserved, only the locations change.
+        preserved, only the locations change.  The timestamp array is
+        *shared*, not copied — it is frozen, so sharing is safe.
         """
-        return Trace(self.user, self.times_s.copy(), lats, lons)
+        return Trace(self.user, self.times_s, lats, lons)
 
     def with_times(self, times_s) -> "Trace":
-        """Copy of this trace with replaced timestamps (same coordinates)."""
-        return Trace(self.user, times_s, self.lats.copy(), self.lons.copy())
+        """Copy of this trace with replaced timestamps (same coordinates).
+
+        The coordinate arrays are shared (frozen) unless the new times
+        force a re-sort, in which case the constructor reorders into
+        fresh arrays.
+        """
+        return Trace(self.user, times_s, self.lats, self.lons)
 
     def renamed(self, user: str) -> "Trace":
-        """Copy of this trace owned by a different user id."""
-        return Trace(user, self.times_s.copy(), self.lats.copy(), self.lons.copy())
+        """Copy of this trace owned by a different user id.
+
+        All three frozen arrays are shared with the original.
+        """
+        return Trace(user, self.times_s, self.lats, self.lons)
 
     def slice_time(self, start_s: float, end_s: float) -> "Trace":
         """Sub-trace with ``start_s <= t < end_s``."""

@@ -118,6 +118,39 @@ class TestFunctionalUpdates:
         new = simple_trace.with_times(simple_trace.times_s[::-1].copy())
         assert np.all(np.diff(new.times_s) >= 0)
 
+    def test_updates_share_frozen_arrays_without_copying(self, simple_trace):
+        # The functional updates hand the untouched arrays straight to
+        # the new trace (no defensive copy) — safe because every trace
+        # array is frozen at construction.
+        new = simple_trace.with_coords(
+            simple_trace.lats + 0.001, simple_trace.lons - 0.001
+        )
+        assert new.times_s is simple_trace.times_s
+        renamed = simple_trace.renamed("bob")
+        assert renamed.lats is simple_trace.lats
+        assert renamed.times_s is simple_trace.times_s
+        retimed = simple_trace.with_times(simple_trace.times_s + 1.0)
+        assert retimed.lats is simple_trace.lats
+
+    def test_updated_trace_arrays_stay_immutable(self, simple_trace):
+        new = simple_trace.with_coords(
+            simple_trace.lats + 0.001, simple_trace.lons - 0.001
+        )
+        for trace in (new, simple_trace.renamed("bob"),
+                      simple_trace.with_times(simple_trace.times_s + 1.0)):
+            for arr in (trace.times_s, trace.lats, trace.lons):
+                with pytest.raises(ValueError):
+                    arr[0] = 0.0
+
+    def test_trusted_constructor_freezes_arrays(self):
+        times = np.asarray([0.0, 1.0])
+        lats = np.asarray([1.0, 2.0])
+        lons = np.asarray([3.0, 4.0])
+        trace = Trace._from_trusted("u", times, lats, lons)
+        assert trace == Trace("u", times, lats, lons)
+        with pytest.raises(ValueError):
+            trace.lats[0] = 9.0
+
     def test_slice_time_half_open(self, simple_trace):
         sub = simple_trace.slice_time(60.0, 180.0)
         assert sub.times_s.tolist() == [60.0, 120.0]
