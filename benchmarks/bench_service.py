@@ -21,6 +21,11 @@ per-request p50/p95 latency and overall throughput, plus the p95
 latency of ``GET /healthz`` probes fired *while* the sweeps run — the
 number that shows the request path staying clear of evaluation work.
 
+A **hardening tier** prices the production middleware: warm req/s on a
+keyed + rate-limited service vs the anonymous default (gated at <=10%
+overhead), and the bytes gzip saves on a record-bearing ``/protect``
+response over real sockets (gated: compressed < plain).
+
 The warm rows must report **zero new executions** — the service-level
 restatement of the engine benchmark's invariant.  Run with ``--smoke``
 for a CI-sized configuration; ``--json PATH`` writes the numbers for
@@ -210,6 +215,107 @@ def _run_async_tier(args, results: dict) -> None:
           f"(the latency a client actually blocks for)")
 
 
+def _run_hardening_tier(args, results: dict) -> None:
+    """Auth + limiter overhead on the warm path, and gzip savings."""
+    from repro.service import ApiKeyStore
+
+    dataset = {"workload": "taxi", "users": args.users, "seed": 33}
+    sweep_kwargs = {"points": args.points,
+                    "replications": args.replications}
+
+    def warm_rps(service: ConfigService, api_key=None) -> float:
+        client = ServiceClient(service, api_key=api_key)
+        client.sweep(dataset, **sweep_kwargs)  # prime every cache
+        best = min(
+            _time_requests(
+                lambda: client.sweep(dataset, **sweep_kwargs),
+                args.repeats,
+            )
+            for _ in range(3)
+        )
+        return args.repeats / best
+
+    anon_app = ConfigService()
+    try:
+        anon_rps = warm_rps(anon_app)
+    finally:
+        anon_app.close()
+
+    store = ApiKeyStore()
+    store.add("bench-key", "bench")
+    # The limiter is configured but never rejecting (huge rate), so the
+    # measurement prices the bookkeeping, not the denials.
+    hardened_app = ConfigService(
+        api_keys=store, rate_limit_rps=1e9, rate_limit_burst=10**6
+    )
+    try:
+        authed_rps = warm_rps(hardened_app, api_key="bench-key")
+    finally:
+        hardened_app.close()
+    overhead_pct = 100.0 * (1.0 - authed_rps / anon_rps)
+
+    # -- gzip savings over real sockets -------------------------------
+    app = ConfigService()
+    server = app.make_server("127.0.0.1", 0)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        import urllib.request
+
+        def protect_bytes(accept_gzip: bool) -> int:
+            headers = {"Content-Type": "application/json"}
+            if accept_gzip:
+                headers["Accept-Encoding"] = "gzip"
+            request = urllib.request.Request(
+                f"http://{host}:{port}/protect",
+                data=json.dumps({"dataset": dataset}).encode("utf-8"),
+                headers=headers,
+            )
+            with urllib.request.urlopen(request, timeout=60) as raw:
+                return len(raw.read())
+
+        plain_bytes = protect_bytes(accept_gzip=False)
+        gzip_bytes = protect_bytes(accept_gzip=True)
+    finally:
+        server.shutdown()
+        server.server_close()
+        app.close()
+        thread.join(timeout=5)
+    saved_pct = 100.0 * (1.0 - gzip_bytes / plain_bytes)
+
+    print()
+    print("hardening tier: auth + rate-limit overhead, gzip savings")
+    print(f"  warm /sweep anonymous      : {anon_rps:>8.0f} req/s")
+    print(f"  warm /sweep keyed + limited: {authed_rps:>8.0f} req/s "
+          f"({overhead_pct:+.1f}% overhead)")
+    print(f"  /protect response          : {plain_bytes} B plain, "
+          f"{gzip_bytes} B gzip ({saved_pct:.1f}% saved)")
+
+    results["hardening"] = {
+        "anon_sweep_rps": round(anon_rps, 3),
+        "authed_sweep_rps": round(authed_rps, 3),
+        "overhead_pct": round(overhead_pct, 3),
+        "gzip": {
+            "plain_bytes": plain_bytes,
+            "gzip_bytes": gzip_bytes,
+            "saved_pct": round(saved_pct, 3),
+        },
+    }
+
+    if authed_rps < 0.90 * anon_rps:
+        raise SystemExit(
+            f"FAIL: auth + rate-limit overhead exceeds 10%: "
+            f"{authed_rps:.0f} vs {anon_rps:.0f} req/s "
+            f"({overhead_pct:.1f}%)"
+        )
+    if gzip_bytes >= plain_bytes:
+        raise SystemExit(
+            f"FAIL: gzip did not shrink the /protect response: "
+            f"{gzip_bytes} >= {plain_bytes} bytes"
+        )
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--users", type=int, default=8, help="fleet size")
@@ -320,6 +426,11 @@ def main() -> None:
     # Async tier: concurrent sweeps, sync vs jobs
     # ------------------------------------------------------------------
     _run_async_tier(args, results)
+
+    # ------------------------------------------------------------------
+    # Hardening tier: auth + limiter overhead, gzip savings (gated)
+    # ------------------------------------------------------------------
+    _run_hardening_tier(args, results)
 
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:

@@ -204,6 +204,25 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--grace", type=float, default=10.0, metavar="S",
                      help="shutdown grace period for in-flight jobs on "
                           "SIGTERM/SIGINT (default: 10)")
+    srv.add_argument("--api-keys", metavar="FILE", default=None,
+                     help="API-key file (one key:tenant per line; blank "
+                          "lines and # comments ignored); configuring "
+                          "keys denies keyless requests unless "
+                          "--allow-anonymous is also given")
+    srv.add_argument("--allow-anonymous", action="store_true", default=None,
+                     help="serve keyless requests as tenant 'anonymous' "
+                          "even when --api-keys is configured")
+    srv.add_argument("--rate-limit", type=float, default=None, metavar="RPS",
+                     help="per-tenant request rate limit in requests/s "
+                          "(default: unlimited); excess requests get a "
+                          "typed 429 with Retry-After")
+    srv.add_argument("--burst", type=_positive_int, default=None, metavar="N",
+                     help="token-bucket burst size (default: max(1, "
+                          "--rate-limit))")
+    srv.add_argument("--tenant-jobs", type=_positive_int, default=None,
+                     metavar="N",
+                     help="max live (queued+running) async jobs per tenant "
+                          "(default: unlimited)")
     _add_engine_options(srv)
 
     job = sub.add_parser(
@@ -216,6 +235,9 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--url", default="http://127.0.0.1:8080",
                          help="daemon base URL "
                               "(default: http://127.0.0.1:8080)")
+        cmd.add_argument("--api-key", default=None,
+                         help="X-API-Key for daemons started with "
+                              "--api-keys (default: none)")
 
     job_submit = job_sub.add_parser(
         "submit", help="enqueue a sweep/configure/recommend job")
@@ -460,7 +482,29 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     # Imported here: only the daemon needs the service package.
-    from .service import serve
+    from .service import ApiKeyStore, serve
+
+    api_keys = None
+    if args.api_keys is not None:
+        try:
+            api_keys = ApiKeyStore.from_file(args.api_keys)
+        except FileNotFoundError:
+            print(f"error: no such API-key file: {args.api_keys}",
+                  file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if len(api_keys) == 0:
+            print(f"error: API-key file {args.api_keys} defines no keys",
+                  file=sys.stderr)
+            return 2
+    if args.burst is not None and args.rate_limit is None:
+        print("error: --burst requires --rate-limit", file=sys.stderr)
+        return 2
+    if args.rate_limit is not None and args.rate_limit <= 0:
+        print("error: --rate-limit must be positive", file=sys.stderr)
+        return 2
 
     return serve(
         host=args.host,
@@ -469,6 +513,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         job_ttl_s=args.job_ttl,
         grace_s=args.grace,
+        api_keys=api_keys,
+        allow_anonymous=args.allow_anonymous,
+        rate_limit_rps=args.rate_limit,
+        rate_limit_burst=args.burst,
+        max_jobs_per_tenant=args.tenant_jobs,
     )
 
 
@@ -478,7 +527,7 @@ def _cmd_job(args: argparse.Namespace) -> int:
 
     from .service import HttpServiceClient, ServiceClientError
 
-    client = HttpServiceClient(args.url)
+    client = HttpServiceClient(args.url, api_key=args.api_key)
 
     def emit(payload: dict) -> None:
         print(json.dumps(payload, indent=2, sort_keys=True))

@@ -6,9 +6,10 @@ long-running.  One process holds a shared
 :class:`~repro.engine.EvaluationEngine` (warm result cache included), a
 registry of datasets and fitted configurators, and serves JSON
 endpoints through a composable request-middleware pipeline — request
-ids, structured logging, metrics, typed validation errors, and a
-response cache that answers repeated deterministic requests without
-re-entering the framework at all.
+ids, gzip compression, structured logging, metrics, API-key auth with
+per-tenant namespacing, token-bucket rate limits, typed validation
+errors, and a response cache that answers repeated deterministic
+requests without re-entering the framework at all.
 
 Start a daemon with ``repro-lppm serve``; talk to it with
 :class:`HttpServiceClient`, or embed the whole service in-process with
@@ -18,15 +19,21 @@ Start a daemon with ``repro-lppm serve``; talk to it with
 
 from .app import CACHEABLE_ENDPOINTS, ConfigService, serve
 from .client import HttpServiceClient, ServiceClient, ServiceClientError
-from .handlers import SCHEMAS, make_handlers, make_job_handlers
+from .handlers import SCHEMAS, make_handlers, make_job_handlers, tenant_of
 from .jobs import JOB_ENDPOINTS, JOB_STATES, Job, JobManager
 from .middleware import (
+    ANONYMOUS_TENANT,
+    UNAUTHENTICATED_ENDPOINTS,
+    ApiKeyAuthMiddleware,
+    ApiKeyStore,
+    CompressionMiddleware,
     ErrorBoundaryMiddleware,
     Field,
     LoggingMiddleware,
     MetricsMiddleware,
     Middleware,
     MiddlewarePipeline,
+    RateLimitMiddleware,
     Request,
     RequestIdMiddleware,
     Response,
@@ -34,6 +41,7 @@ from .middleware import (
     ServiceError,
     ValidationMiddleware,
     canonical_body_key,
+    header_value,
     validate_body,
 )
 from .state import ServiceState, resolve_dataset_spec, resolve_scenario_spec
@@ -62,6 +70,15 @@ __all__ = [
     "Field",
     "validate_body",
     "canonical_body_key",
+    "header_value",
+    # hardening: auth, tenancy, limits, compression
+    "ApiKeyStore",
+    "ApiKeyAuthMiddleware",
+    "RateLimitMiddleware",
+    "CompressionMiddleware",
+    "ANONYMOUS_TENANT",
+    "UNAUTHENTICATED_ENDPOINTS",
+    "tenant_of",
     # state & handlers
     "ServiceState",
     "resolve_dataset_spec",

@@ -40,10 +40,14 @@ from ..framework import geo_ind_system
 from .handlers import SCHEMAS, make_handlers, make_job_handlers
 from .jobs import JOB_ENDPOINTS, Job, JobManager
 from .middleware import (
+    ApiKeyAuthMiddleware,
+    ApiKeyStore,
+    CompressionMiddleware,
     ErrorBoundaryMiddleware,
     LoggingMiddleware,
     MetricsMiddleware,
     MiddlewarePipeline,
+    RateLimitMiddleware,
     Request,
     RequestIdMiddleware,
     Response,
@@ -93,6 +97,22 @@ class ConfigService:
         Waiting-job bound; a full queue turns ``POST /jobs`` into 429.
     job_ttl_s:
         Seconds a finished job stays pollable before it expires.
+    api_keys:
+        The :class:`ApiKeyStore` mapping keys to tenants; ``None``
+        runs the pre-auth single-tenant service.
+    allow_anonymous:
+        Whether keyless requests are served (as tenant ``anonymous``).
+        ``None`` resolves to "no key store configured": provisioning
+        keys flips the default to deny, plain services stay open.
+    rate_limit_rps / rate_limit_burst:
+        Per-tenant token-bucket parameters; ``rate_limit_rps=None``
+        disables limiting.  ``rate_limit_clock`` is injectable so
+        tests cross refill boundaries without sleeping.
+    max_jobs_per_tenant:
+        Bound on one tenant's live (queued + running) async jobs;
+        exceeding it is a typed ``429 tenant-quota-exceeded``.
+    compression_min_bytes:
+        Smallest serialised response body worth gzipping.
     """
 
     def __init__(
@@ -104,6 +124,13 @@ class ConfigService:
         workers: int = 2,
         max_queued_jobs: int = 16,
         job_ttl_s: float = 600.0,
+        api_keys: Optional[ApiKeyStore] = None,
+        allow_anonymous: Optional[bool] = None,
+        rate_limit_rps: Optional[float] = None,
+        rate_limit_burst: Optional[int] = None,
+        rate_limit_clock: Callable[[], float] = time.monotonic,
+        max_jobs_per_tenant: Optional[int] = None,
+        compression_min_bytes: int = 1024,
     ) -> None:
         self.state = ServiceState(engine=engine, system_factory=system_factory)
         self.jobs = JobManager(
@@ -111,6 +138,7 @@ class ConfigService:
             workers=workers,
             max_queued=max_queued_jobs,
             ttl_s=job_ttl_s,
+            max_jobs_per_tenant=max_jobs_per_tenant,
         )
         routes: Dict[str, Callable[[Request], dict]] = make_handlers(
             self.state
@@ -122,6 +150,21 @@ class ConfigService:
         #: Success statuses that differ from the default 200.
         self._status_overrides = {"POST /jobs": 202, "POST /datasets": 201}
         self.metrics = MetricsMiddleware(known_endpoints=routes)
+        self.auth = ApiKeyAuthMiddleware(
+            store=api_keys,
+            allow_anonymous=(
+                allow_anonymous if allow_anonymous is not None
+                else api_keys is None
+            ),
+        )
+        self.rate_limit = RateLimitMiddleware(
+            rate=rate_limit_rps,
+            burst=rate_limit_burst,
+            clock=rate_limit_clock,
+        )
+        self.compression = CompressionMiddleware(
+            min_bytes=compression_min_bytes
+        )
         self.response_cache = ResponseCacheMiddleware(
             CACHEABLE_ENDPOINTS,
             max_entries=response_cache_size,
@@ -145,11 +188,20 @@ class ConfigService:
             return result
 
         routes["POST /datasets"] = register_and_invalidate
+        # Compression sits just inside the request id so every response
+        # (errors included) is a candidate; auth and the rate limiter
+        # sit inside the error boundary (denials are typed, logged and
+        # counted) but before validation (a denied request costs no
+        # schema work, and its 429 can never be cached — the cache only
+        # stores 2xx and keys on the tenant auth attached).
         self.pipeline = MiddlewarePipeline([
             RequestIdMiddleware(),
+            self.compression,
             LoggingMiddleware(log),
             self.metrics,
             ErrorBoundaryMiddleware(log),
+            self.auth,
+            self.rate_limit,
             ValidationMiddleware(SCHEMAS),
             self.response_cache,
         ])
@@ -174,8 +226,12 @@ class ConfigService:
         if name is not None:
             if not isinstance(name, str):
                 return False
+            tenant = request.context.get("tenant")
+            registry = self.state.scenarios_for(
+                str(tenant) if tenant is not None else None
+            )
             try:
-                spec = self.state.scenarios.get(name)
+                spec = registry.get(name)
             except KeyError:
                 # Unknown scenario: the handler will 404; nothing to
                 # cache either way.
@@ -183,23 +239,32 @@ class ConfigService:
             return not spec.is_file_backed
         return True
 
-    def _cache_key_body(self, body: Optional[dict]) -> Optional[dict]:
+    def _cache_key_body(self, request: Request) -> Optional[dict]:
         """The body as keyed by the response cache: dataset defaults filled.
 
         Validation already filled the top-level defaults; the nested
         dataset spec gets the same treatment here so that equivalent
         spellings of one workload share a cache entry.  Scenario specs
-        are keyed by their merged content fingerprint — re-registering
-        a name under a different spec changes the key, so a replayed
-        response can never describe the scenario's previous meaning.
+        are keyed by their merged content fingerprint — resolved in the
+        *requesting tenant's* registry, so one tenant's scenario name
+        never keys (or replays) another's — and re-registering a name
+        under a different spec changes the key, so a replayed response
+        can never describe the scenario's previous meaning.
         """
+        body = request.body
         if isinstance(body, dict) and isinstance(body.get("dataset"), dict):
             dataset = body["dataset"]
             if "scenario" in dataset:
+                tenant = request.context.get("tenant")
                 try:
                     return dict(
                         body,
-                        dataset=self.state.scenario_key_spec(dataset),
+                        dataset=self.state.scenario_key_spec(
+                            dataset,
+                            tenant=(
+                                str(tenant) if tenant is not None else None
+                            ),
+                        ),
                     )
                 except ServiceError:
                     # Malformed/unknown scenario: key on the raw spec;
@@ -242,7 +307,10 @@ class ConfigService:
             path=route.split(" ", 1)[1],
             # The handler and cache must never mutate the job's copy.
             body=copy.deepcopy(job.body),
-            context={"job_id": job.id},
+            # The submitting tenant rides with the job: its dataset
+            # resolution and response-cache entries stay namespaced
+            # exactly as the equivalent sync request's would be.
+            context={"job_id": job.id, "tenant": job.tenant},
         )
 
         def inner(req: Request) -> Response:
@@ -299,11 +367,15 @@ class ConfigService:
         return self._entry(self._canonicalise(request))
 
     def handle(
-        self, method: str, path: str, body: Optional[dict] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Response:
         """In-process entry point used by the client and the tests."""
         return self.dispatch(Request(method=method.upper(), path=path,
-                                     body=body))
+                                     body=body, headers=headers or {}))
 
     # ------------------------------------------------------------------
     # Metrics endpoint (owns the middleware instances, so lives here)
@@ -313,11 +385,15 @@ class ConfigService:
             "service": self.metrics.snapshot(),
             "engine": self.state.engine.stats,
             "response_cache": self.response_cache.snapshot(),
+            "auth": self.auth.snapshot(),
+            "rate_limit": self.rate_limit.snapshot(),
+            "compression": self.compression.snapshot(),
             "jobs": self.jobs.stats(),
             "registry": {
                 "datasets": self.state.n_datasets,
                 "configurators": self.state.n_configurators,
                 "scenarios": self.state.n_scenarios,
+                "tenants": self.state.n_tenants,
                 "scenario_cache": self.state.scenarios.cache_stats(),
             },
             "pipeline": self.pipeline.names,
@@ -387,18 +463,28 @@ class _ServiceHTTPHandler(BaseHTTPRequestHandler):
         # balancers append cache-busting parameters freely).
         return self.path.split("?", 1)[0]
 
+    def _request_headers(self) -> Dict[str, str]:
+        # http.client.HTTPMessage folds repeats; last value wins here,
+        # which is fine for the single-valued headers the pipeline
+        # reads (X-API-Key, Accept-Encoding).
+        return {name: value for name, value in self.headers.items()}
+
     def do_GET(self) -> None:  # noqa: N802  (http.server naming)
         if self.headers.get("Content-Length") not in (None, "0"):
             # GETs are bodyless here; an unread body would desync
             # keep-alive (its bytes parse as the next request line).
             self.close_connection = True
-        self._respond(self.app.handle("GET", self._route_path()))
+        self._respond(self.app.handle(
+            "GET", self._route_path(), headers=self._request_headers(),
+        ))
 
     def do_DELETE(self) -> None:  # noqa: N802
         if self.headers.get("Content-Length") not in (None, "0"):
             # DELETEs are bodyless here, same keep-alive rule as GET.
             self.close_connection = True
-        self._respond(self.app.handle("DELETE", self._route_path()))
+        self._respond(self.app.handle(
+            "DELETE", self._route_path(), headers=self._request_headers(),
+        ))
 
     def do_POST(self) -> None:  # noqa: N802
         path = self._route_path()
@@ -410,10 +496,13 @@ class _ServiceHTTPHandler(BaseHTTPRequestHandler):
             # before validation sees the absent body.
             self._respond(self.app.dispatch(Request(
                 method="POST", path=path,
+                headers=self._request_headers(),
                 context={"transport_error": exc},
             )))
             return
-        self._respond(self.app.handle("POST", path, body))
+        self._respond(self.app.handle(
+            "POST", path, body, headers=self._request_headers(),
+        ))
 
     def _read_json_body(self) -> Optional[dict]:
         if self.headers.get("Transfer-Encoding"):
@@ -471,7 +560,13 @@ class _ServiceHTTPHandler(BaseHTTPRequestHandler):
         return parsed
 
     def _respond(self, response: Response) -> None:
-        payload = json.dumps(response.body).encode("utf-8")
+        # The compression middleware may already have serialised (and
+        # gzipped) the body; its bytes ship verbatim, with the matching
+        # Content-Encoding header already in response.headers.
+        if response.encoded_body is not None:
+            payload = response.encoded_body
+        else:
+            payload = json.dumps(response.body).encode("utf-8")
         self.send_response(response.status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(payload)))
@@ -499,12 +594,20 @@ def serve(
     workers: int = 2,
     job_ttl_s: float = 600.0,
     grace_s: float = 10.0,
+    api_keys: Optional[ApiKeyStore] = None,
+    allow_anonymous: Optional[bool] = None,
+    rate_limit_rps: Optional[float] = None,
+    rate_limit_burst: Optional[int] = None,
+    max_jobs_per_tenant: Optional[int] = None,
 ) -> int:
     """Run the configuration service until interrupted.
 
     The CLI's ``repro-lppm serve`` lands here.  ``ready`` (if given) is
     set once the socket is bound — test harnesses use it to know when
-    requests may be sent.
+    requests may be sent.  The hardening knobs (``api_keys``,
+    ``allow_anonymous``, ``rate_limit_rps``/``rate_limit_burst``,
+    ``max_jobs_per_tenant``) pass straight to :class:`ConfigService`
+    and are ignored when a pre-built ``service`` is supplied.
 
     SIGTERM and SIGINT both shut down cleanly: the socket closes, jobs
     drain with a ``grace_s``-bounded grace period (still-running jobs
@@ -512,7 +615,10 @@ def serve(
     CI runners and container orchestrators expect of a stop.
     """
     app = service if service is not None else ConfigService(
-        engine=engine, workers=workers, job_ttl_s=job_ttl_s
+        engine=engine, workers=workers, job_ttl_s=job_ttl_s,
+        api_keys=api_keys, allow_anonymous=allow_anonymous,
+        rate_limit_rps=rate_limit_rps, rate_limit_burst=rate_limit_burst,
+        max_jobs_per_tenant=max_jobs_per_tenant,
     )
     server = app.make_server(host, port)
     bound_host, bound_port = server.server_address[:2]

@@ -22,6 +22,7 @@ when the deadline passes first.
 
 from __future__ import annotations
 
+import gzip
 import json
 import time
 import urllib.error
@@ -212,14 +213,26 @@ class ServiceClient(_BaseClient):
 
     Requests run on the caller's thread through the full middleware
     pipeline — identical semantics to HTTP, minus the sockets.
+    ``api_key`` (optional) rides along as ``X-API-Key`` on every
+    request, authenticating the client's tenant.
     """
 
-    def __init__(self, service: Optional[ConfigService] = None) -> None:
+    def __init__(
+        self,
+        service: Optional[ConfigService] = None,
+        api_key: Optional[str] = None,
+    ) -> None:
         self.service = service if service is not None else ConfigService()
+        self.api_key = api_key
 
     def _request(self, method: str, path: str,
                  body: Optional[dict]) -> dict:
-        response: Response = self.service.handle(method, path, body)
+        headers = {}
+        if self.api_key is not None:
+            headers["X-API-Key"] = self.api_key
+        response: Response = self.service.handle(
+            method, path, body, headers=headers
+        )
         if not response.ok:
             raise ServiceClientError(
                 response.status, response.body.get("error", {})
@@ -237,16 +250,39 @@ class ServiceClient(_BaseClient):
 
 
 class HttpServiceClient(_BaseClient):
-    """HTTP client for a running ``repro-lppm serve`` daemon."""
+    """HTTP client for a running ``repro-lppm serve`` daemon.
 
-    def __init__(self, base_url: str, timeout_s: float = 60.0) -> None:
+    Advertises ``Accept-Encoding: gzip`` and transparently inflates
+    compressed responses (error bodies included), so large sweep
+    payloads cross the wire at a fraction of their JSON size.
+    ``api_key`` (optional) is sent as ``X-API-Key`` on every request.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout_s: float = 60.0,
+        api_key: Optional[str] = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout_s = float(timeout_s)
+        self.api_key = api_key
+
+    @staticmethod
+    def _decode(raw_bytes: bytes, content_encoding: Optional[str]) -> dict:
+        if content_encoding and content_encoding.lower() == "gzip":
+            raw_bytes = gzip.decompress(raw_bytes)
+        return json.loads(raw_bytes.decode("utf-8"))
 
     def _request(self, method: str, path: str,
                  body: Optional[dict]) -> dict:
         data = None
-        headers = {"Accept": "application/json"}
+        headers = {
+            "Accept": "application/json",
+            "Accept-Encoding": "gzip",
+        }
+        if self.api_key is not None:
+            headers["X-API-Key"] = self.api_key
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -257,11 +293,15 @@ class HttpServiceClient(_BaseClient):
             with urllib.request.urlopen(
                 request, timeout=self.timeout_s
             ) as raw:
-                return json.loads(raw.read().decode("utf-8"))
+                return self._decode(
+                    raw.read(), raw.headers.get("Content-Encoding")
+                )
         except urllib.error.HTTPError as exc:
             try:
-                payload = json.loads(exc.read().decode("utf-8"))
-            except (ValueError, UnicodeDecodeError):
+                payload = self._decode(
+                    exc.read(), exc.headers.get("Content-Encoding")
+                )
+            except (ValueError, UnicodeDecodeError, OSError):
                 payload = {}
             raise ServiceClientError(
                 exc.code, payload.get("error", {"message": str(exc)})

@@ -23,10 +23,27 @@ from ..framework import Objective
 from ..lppm import available_lppms, lppm_class, primary_param
 from ..scenarios import SCENARIO_KINDS, ScenarioSpec
 from .jobs import JOB_ENDPOINTS, JobManager
-from .middleware import Field, Request, ServiceError, validate_body
+from .middleware import (
+    ANONYMOUS_TENANT,
+    Field,
+    Request,
+    ServiceError,
+    validate_body,
+)
 from .state import ServiceState
 
-__all__ = ["SCHEMAS", "make_handlers", "make_job_handlers"]
+__all__ = ["SCHEMAS", "make_handlers", "make_job_handlers", "tenant_of"]
+
+
+def tenant_of(request: Request) -> str:
+    """The request's tenant, as attached by the auth middleware.
+
+    Requests that never passed an auth layer (bare pipelines in tests,
+    direct handler calls) count as the anonymous tenant — the same
+    namespace an anonymous-allowed service resolves keyless clients to.
+    """
+    tenant = request.context.get("tenant")
+    return str(tenant) if tenant else ANONYMOUS_TENANT
 
 
 #: Validation schemas, by ``"METHOD /path"`` endpoint key.  The
@@ -170,7 +187,9 @@ def make_handlers(
     # ------------------------------------------------------------------
     def protect(request: Request) -> dict:
         body = request.body
-        _, dataset = state.dataset_for(body["dataset"])
+        _, dataset = state.dataset_for(
+            body["dataset"], tenant=tenant_of(request)
+        )
         name = body["lppm"]
         if name not in available_lppms():
             raise ServiceError(
@@ -212,7 +231,9 @@ def make_handlers(
     # ------------------------------------------------------------------
     def sweep(request: Request) -> dict:
         body = request.body
-        key, dataset = state.dataset_for(body["dataset"])
+        key, dataset = state.dataset_for(
+            body["dataset"], tenant=tenant_of(request)
+        )
 
         def run():
             # sweep_for, not configurator_for: a degenerate model fit
@@ -244,7 +265,9 @@ def make_handlers(
     # ------------------------------------------------------------------
     def configure(request: Request) -> dict:
         body = request.body
-        key, dataset = state.dataset_for(body["dataset"])
+        key, dataset = state.dataset_for(
+            body["dataset"], tenant=tenant_of(request)
+        )
 
         def run():
             configurator = state.configurator_for(
@@ -261,7 +284,9 @@ def make_handlers(
     def recommend(request: Request) -> dict:
         body = request.body
         objectives = _parse_objectives(body["objectives"])
-        key, dataset = state.dataset_for(body["dataset"])
+        key, dataset = state.dataset_for(
+            body["dataset"], tenant=tenant_of(request)
+        )
 
         def run():
             configurator = state.configurator_for(
@@ -289,16 +314,19 @@ def make_handlers(
     # GET /datasets and POST /datasets — the scenario registry
     # ------------------------------------------------------------------
     def datasets_list(request: Request) -> dict:
+        registry = state.scenarios_for(tenant_of(request))
         return {
+            "tenant": tenant_of(request),
             "scenarios": [
                 dict(spec.to_jsonable(), file_backed=spec.is_file_backed)
-                for spec in state.scenarios.specs()
+                for spec in registry.specs()
             ],
-            "cache": state.scenarios.cache_stats(),
+            "cache": registry.cache_stats(),
         }
 
     def datasets_register(request: Request) -> dict:
         body = request.body
+        registry = state.scenarios_for(tenant_of(request))
         try:
             spec = ScenarioSpec.make(
                 body["name"], body["kind"], body["params"] or {},
@@ -321,12 +349,12 @@ def make_handlers(
                     400, "invalid-scenario", f"unreadable path: {exc}"
                 )
         try:
-            state.scenarios.register(spec, replace=body["replace"])
+            registry.register(spec, replace=body["replace"])
         except ValueError as exc:
             raise ServiceError(409, "scenario-exists", str(exc))
         return {
             "registered": spec.to_jsonable(),
-            "scenarios": len(state.scenarios),
+            "scenarios": len(registry),
         }
 
     # ------------------------------------------------------------------
@@ -387,7 +415,7 @@ def make_job_handlers(
         # Same validation as the sync endpoint — bad bodies fail the
         # POST /jobs request itself with the endpoint's typed 400.
         validated = validate_body(body["body"], SCHEMAS[route], route)
-        job = manager.submit(endpoint, validated)
+        job = manager.submit(endpoint, validated, tenant=tenant_of(request))
         return {
             "job_id": job.id,
             "endpoint": endpoint,
@@ -399,16 +427,20 @@ def make_job_handlers(
         }
 
     def status(request: Request) -> dict:
-        return manager.get(_job_id_of(request)).snapshot()
+        return manager.get(
+            _job_id_of(request), tenant=tenant_of(request)
+        ).snapshot()
 
     def cancel(request: Request) -> dict:
-        return manager.cancel(_job_id_of(request)).snapshot()
+        return manager.cancel(
+            _job_id_of(request), tenant=tenant_of(request)
+        ).snapshot()
 
     def listing(request: Request) -> dict:
         return {
             "jobs": [
                 job.snapshot(include_result=False)
-                for job in manager.jobs()
+                for job in manager.jobs(tenant=tenant_of(request))
             ],
             **manager.stats(),
         }

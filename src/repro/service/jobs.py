@@ -34,7 +34,7 @@ import time
 from typing import Callable, Dict, List, Optional
 
 from ..engine import EvaluationCancelled
-from .middleware import Response, ServiceError, instance_tag
+from .middleware import ANONYMOUS_TENANT, Response, ServiceError, instance_tag
 
 __all__ = ["Job", "JobManager", "JOB_ENDPOINTS", "JOB_STATES"]
 
@@ -64,18 +64,27 @@ class Job:
     """
 
     __slots__ = (
-        "id", "endpoint", "body", "status", "lock", "cancel",
+        "id", "endpoint", "body", "tenant", "status", "lock", "cancel",
         "created_at", "started_at", "finished_at", "expires_at",
         "completed", "total", "result", "error", "from_response_cache",
         "done_event",
     )
 
-    def __init__(self, job_id: str, endpoint: str, body: dict) -> None:
+    def __init__(
+        self,
+        job_id: str,
+        endpoint: str,
+        body: dict,
+        tenant: str = ANONYMOUS_TENANT,
+    ) -> None:
         self.id = job_id
         #: Short endpoint name ("sweep" | "configure" | "recommend").
         self.endpoint = endpoint
         #: The *validated* request body (defaults filled at submit).
         self.body = body
+        #: The submitting tenant: quota accounting and job visibility
+        #: are both namespaced on it.
+        self.tenant = tenant
         self.status = "queued"
         self.lock = threading.Lock()
         #: Cooperative cancellation flag, polled between engine chunks.
@@ -112,6 +121,7 @@ class Job:
             payload = {
                 "job_id": self.id,
                 "endpoint": self.endpoint,
+                "tenant": self.tenant,
                 "status": self.status,
                 "progress": {
                     "completed": self.completed,
@@ -159,6 +169,11 @@ class JobManager:
         Bound on *waiting* jobs (running jobs do not count).  A full
         queue turns ``POST /jobs`` into a typed ``429`` so a traffic
         spike degrades into backpressure instead of unbounded memory.
+    max_jobs_per_tenant:
+        Bound on one tenant's *live* (queued + running) jobs; the
+        tenant at its quota gets a typed ``429 tenant-quota-exceeded``
+        while every other tenant keeps submitting.  ``None`` disables
+        the quota (single-tenant mode).
     ttl_s:
         Seconds a finished job (any terminal state) remains pollable;
         after that, ``GET /jobs/<id>`` is a 404 and the entry is gone.
@@ -171,6 +186,7 @@ class JobManager:
         execute: Callable[[Job], Response],
         workers: int = 2,
         max_queued: int = 16,
+        max_jobs_per_tenant: Optional[int] = None,
         ttl_s: float = 600.0,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
@@ -178,11 +194,17 @@ class JobManager:
             raise ValueError("workers must be at least 1")
         if max_queued < 1:
             raise ValueError("max_queued must be at least 1")
+        if max_jobs_per_tenant is not None and max_jobs_per_tenant < 1:
+            raise ValueError("max_jobs_per_tenant must be at least 1")
         if ttl_s <= 0:
             raise ValueError("ttl_s must be positive")
         self._execute = execute
         self.workers = int(workers)
         self.max_queued = int(max_queued)
+        self.max_jobs_per_tenant = (
+            int(max_jobs_per_tenant) if max_jobs_per_tenant is not None
+            else None
+        )
         self.ttl_s = float(ttl_s)
         self._clock = clock
         self._queue: "queue.Queue[Optional[Job]]" = queue.Queue()
@@ -205,8 +227,16 @@ class JobManager:
     # ------------------------------------------------------------------
     # Submission and lookup
     # ------------------------------------------------------------------
-    def submit(self, endpoint: str, body: dict) -> Job:
-        """Enqueue a validated job; raises typed 429/503 when refused."""
+    def submit(
+        self, endpoint: str, body: dict, tenant: str = ANONYMOUS_TENANT
+    ) -> Job:
+        """Enqueue a validated job; raises typed 429/503 when refused.
+
+        Refusals, in checking order: draining (503), the *shared*
+        waiting queue full (429 ``jobs-saturated``), and the tenant's
+        own live-job quota exhausted (429 ``tenant-quota-exceeded``) —
+        the same typed-429 saturation path, scoped to one tenant.
+        """
         if endpoint not in JOB_ENDPOINTS:
             raise ServiceError(
                 400, "invalid-request",
@@ -214,7 +244,7 @@ class JobManager:
                 f"got {endpoint!r}",
             )
         job = Job(f"job-{self._instance}-{next(self._counter)}",
-                  endpoint, body)
+                  endpoint, body, tenant=tenant)
         with self._lock:
             self._purge_locked()
             if not self._accepting:
@@ -222,6 +252,25 @@ class JobManager:
                     503, "shutting-down",
                     "the service is draining and accepts no new jobs",
                 )
+            if self.max_jobs_per_tenant is not None:
+                live = sum(
+                    1 for tracked in self._jobs.values()
+                    if tracked.tenant == tenant
+                    and tracked.status in ("queued", "running")
+                )
+                if live >= self.max_jobs_per_tenant:
+                    raise ServiceError(
+                        429, "tenant-quota-exceeded",
+                        f"tenant {tenant!r} already has {live} live "
+                        f"job(s) (quota {self.max_jobs_per_tenant}); "
+                        f"wait for one to finish or cancel it",
+                        details={
+                            "tenant": tenant,
+                            "live": live,
+                            "max_jobs_per_tenant":
+                                self.max_jobs_per_tenant,
+                        },
+                    )
             if self._n_queued >= self.max_queued:
                 raise ServiceError(
                     429, "jobs-saturated",
@@ -240,12 +289,18 @@ class JobManager:
         self._queue.put(job)
         return job
 
-    def get(self, job_id: str) -> Job:
-        """The job by id; typed 404 for unknown or expired ids."""
+    def get(self, job_id: str, tenant: Optional[str] = None) -> Job:
+        """The job by id; typed 404 for unknown or expired ids.
+
+        With ``tenant`` given, a job owned by a *different* tenant is
+        the same 404 as an unknown id — another tenant's job ids are
+        not even confirmed to exist.  ``tenant=None`` (internal
+        callers) skips the ownership check.
+        """
         with self._lock:
             self._purge_locked()
             job = self._jobs.get(job_id)
-        if job is None:
+        if job is None or (tenant is not None and job.tenant != tenant):
             raise ServiceError(
                 404, "job-not-found",
                 f"no such job: {job_id} (unknown id, or expired after "
@@ -253,14 +308,15 @@ class JobManager:
             )
         return job
 
-    def cancel(self, job_id: str) -> Job:
+    def cancel(self, job_id: str, tenant: Optional[str] = None) -> Job:
         """Request cancellation; queued jobs cancel immediately.
 
         Running jobs abort cooperatively at the next engine chunk
         boundary; terminal jobs are left untouched (the returned
-        snapshot shows their final state).
+        snapshot shows their final state).  ``tenant`` scopes the
+        lookup exactly as in :meth:`get`.
         """
-        job = self.get(job_id)
+        job = self.get(job_id, tenant=tenant)
         finished = False
         with job.lock:
             if job.status not in _TERMINAL:
@@ -278,11 +334,17 @@ class JobManager:
             job.done_event.set()
         return job
 
-    def jobs(self) -> List[Job]:
-        """Live jobs, oldest first (purges expired entries)."""
+    def jobs(self, tenant: Optional[str] = None) -> List[Job]:
+        """Live jobs, oldest first (purges expired entries).
+
+        With ``tenant`` given, only that tenant's jobs are listed.
+        """
         with self._lock:
             self._purge_locked()
-            return list(self._jobs.values())
+            return [
+                job for job in self._jobs.values()
+                if tenant is None or job.tenant == tenant
+            ]
 
     def stats(self) -> dict:
         """Queue/worker counters for ``GET /jobs`` and ``/metrics``."""
@@ -295,6 +357,7 @@ class JobManager:
             return {
                 "workers": self.workers,
                 "max_queued": self.max_queued,
+                "max_jobs_per_tenant": self.max_jobs_per_tenant,
                 "ttl_s": self.ttl_s,
                 "queued": self._n_queued,
                 "running": self._n_running,

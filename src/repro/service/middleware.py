@@ -11,37 +11,50 @@ The layers shipped here, in their default order:
 1. :class:`RequestIdMiddleware` — tags the request with a unique id and
    echoes it as ``X-Request-Id``, so log lines and error responses of
    one request can be correlated across layers;
-2. :class:`LoggingMiddleware` — one structured log line per request
+2. :class:`CompressionMiddleware` — gzip-encodes large response bodies
+   when the client advertised ``Accept-Encoding: gzip``;
+3. :class:`LoggingMiddleware` — one structured log line per request
    (method, path, status, wall-clock, request id);
-3. :class:`MetricsMiddleware` — per-endpoint request/status/latency
+4. :class:`MetricsMiddleware` — per-endpoint request/status/latency
    counters, surfaced by ``GET /metrics``;
-4. :class:`ErrorBoundaryMiddleware` — converts :class:`ServiceError`
+5. :class:`ErrorBoundaryMiddleware` — converts :class:`ServiceError`
    into its typed JSON response and anything unexpected into a 500,
    so the layers above always see a response to log and count;
-5. :class:`ValidationMiddleware` — validates and normalises the JSON
+6. :class:`ApiKeyAuthMiddleware` — validates ``X-API-Key`` against an
+   :class:`ApiKeyStore` and attaches the resolved *tenant* to the
+   request context (typed 401/403 otherwise);
+7. :class:`RateLimitMiddleware` — per-tenant token bucket; a drained
+   bucket answers a typed 429 with ``Retry-After``;
+8. :class:`ValidationMiddleware` — validates and normalises the JSON
    request body against the endpoint's declared field specs, rejecting
    bad requests with a typed 400 before any work happens;
-6. :class:`ResponseCacheMiddleware` — innermost: answers a repeated
-   deterministic request from a content-addressed response cache
-   without invoking the handler at all.
+9. :class:`ResponseCacheMiddleware` — innermost: answers a repeated
+   deterministic request from a content-addressed, tenant-namespaced
+   response cache without invoking the handler at all.
 
 Ordering is semantics: the error boundary sits *inside* logging and
-metrics so failures are still logged and counted, and the response
-cache sits innermost so a cache hit still carries a fresh request id
-and shows up in the metrics.
+metrics so failures — auth denials and rate-limit 429s included — are
+still logged and counted; auth runs before the rate limiter (buckets
+are per tenant) and both run before validation, so a denied request
+never costs validation or evaluation work; and the response cache sits
+innermost so a cache hit still carries a fresh request id and shows up
+in the metrics.
 """
 
 from __future__ import annotations
 
 import copy
+import gzip as _gzip
 import hashlib
+import hmac
 import itertools
 import json
 import logging
+import math
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 __all__ = [
     "Request",
@@ -50,18 +63,52 @@ __all__ = [
     "Middleware",
     "MiddlewarePipeline",
     "RequestIdMiddleware",
+    "CompressionMiddleware",
     "LoggingMiddleware",
     "MetricsMiddleware",
     "ErrorBoundaryMiddleware",
+    "ApiKeyAuthMiddleware",
+    "ApiKeyStore",
+    "RateLimitMiddleware",
     "ValidationMiddleware",
     "ResponseCacheMiddleware",
     "Field",
     "validate_body",
     "canonical_body_key",
+    "header_value",
     "instance_tag",
+    "ANONYMOUS_TENANT",
+    "UNAUTHENTICATED_ENDPOINTS",
 ]
 
 logger = logging.getLogger("repro.service")
+
+#: The tenant attached to requests that carried no API key (anonymous-
+#: allowed mode) and to requests entering a pipeline with no auth layer.
+ANONYMOUS_TENANT = "anonymous"
+
+#: Endpoints that must stay reachable without a key and without rate
+#: limits: liveness probes and metric scrapers are infrastructure, not
+#: tenants, and they must keep answering while every tenant is throttled.
+UNAUTHENTICATED_ENDPOINTS = ("GET /healthz", "GET /metrics")
+
+
+def header_value(request: "Request", name: str) -> Optional[str]:
+    """The request header's value, matched case-insensitively.
+
+    Transports disagree on header capitalisation (urllib title-cases,
+    tests write literals), so every middleware reads headers through
+    this one normaliser.
+    """
+    headers = request.headers or {}
+    value = headers.get(name)
+    if value is not None:
+        return value
+    lowered = name.lower()
+    for candidate, value in headers.items():
+        if candidate.lower() == lowered:
+            return value
+    return None
 
 
 # ----------------------------------------------------------------------
@@ -90,11 +137,18 @@ class Request:
 
 @dataclass
 class Response:
-    """A JSON response: status code, payload, extra headers."""
+    """A JSON response: status code, payload, extra headers.
+
+    ``encoded_body`` is the transport-ready byte payload when a
+    middleware already serialised (and possibly compressed) ``body`` —
+    the HTTP front-end sends it verbatim; in-process clients keep
+    reading the ``body`` dict.
+    """
 
     status: int = 200
     body: dict = field(default_factory=dict)
     headers: Dict[str, str] = field(default_factory=dict)
+    encoded_body: Optional[bytes] = None
 
     @property
     def ok(self) -> bool:
@@ -115,12 +169,16 @@ class ServiceError(Exception):
         code: str,
         message: str,
         details: Optional[object] = None,
+        headers: Optional[Mapping[str, str]] = None,
     ) -> None:
         super().__init__(message)
         self.status = int(status)
         self.code = code
         self.message = message
         self.details = details
+        #: Extra response headers the error must carry (e.g. the rate
+        #: limiter's ``Retry-After``).
+        self.headers = dict(headers) if headers else {}
 
     def to_response(self, request_id: str = "") -> Response:
         error = {"code": self.code, "message": self.message}
@@ -128,7 +186,11 @@ class ServiceError(Exception):
             error["details"] = self.details
         if request_id:
             error["request_id"] = request_id
-        return Response(status=self.status, body={"error": error})
+        return Response(
+            status=self.status,
+            body={"error": error},
+            headers=dict(self.headers),
+        )
 
 
 #: A terminal request handler, and what middlewares wrap.
@@ -263,6 +325,100 @@ class LoggingMiddleware(Middleware):
 
 
 # ----------------------------------------------------------------------
+# Compression
+# ----------------------------------------------------------------------
+def _accepts_gzip(request: Request) -> bool:
+    """Whether the request's ``Accept-Encoding`` admits gzip.
+
+    Tokens are matched per the header's comma-separated list with
+    ``q``-values honoured as on/off switches (``gzip;q=0`` is a
+    refusal); ``*`` matches gzip like any other coding.
+    """
+    accept = header_value(request, "Accept-Encoding")
+    if not accept:
+        return False
+    for element in accept.split(","):
+        parts = element.split(";")
+        coding = parts[0].strip().lower()
+        if coding not in ("gzip", "x-gzip", "*"):
+            continue
+        for param in parts[1:]:
+            name, _, value = param.partition("=")
+            if name.strip().lower() == "q":
+                try:
+                    return float(value.strip()) > 0.0
+                except ValueError:
+                    return False
+        return True
+    return False
+
+
+class CompressionMiddleware(Middleware):
+    """Gzip-encodes large response bodies for clients that accept it.
+
+    Sits near the outside of the onion (inside only the request id), so
+    every response — sweep payloads, job results, even a verbose error
+    body — is a candidate.  A response is compressed only when all of:
+
+    * the client advertised ``gzip`` in ``Accept-Encoding``;
+    * the serialised JSON body is at least ``min_bytes`` (tiny payloads
+      cost more in CPU + headers than the bytes saved);
+    * gzip actually shrank it (incompressible bodies ship as-is).
+
+    The compressed bytes land in :attr:`Response.encoded_body` with
+    ``Content-Encoding: gzip`` set — the HTTP front-end sends them
+    verbatim, while in-process clients keep reading the ``body`` dict,
+    so compression is a transport concern the handlers never see.
+    The response cache sits far inside this layer and stores plain
+    bodies, so one cached entry serves gzip and identity clients alike.
+    """
+
+    name = "compression"
+
+    def __init__(self, min_bytes: int = 1024, level: int = 6) -> None:
+        if min_bytes < 0:
+            raise ValueError("min_bytes must be non-negative")
+        self.min_bytes = int(min_bytes)
+        self.level = int(level)
+        self._lock = threading.Lock()
+        self.responses_compressed = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+    def handle(self, request: Request, call_next: Handler) -> Response:
+        response = call_next(request)
+        if not _accepts_gzip(request):
+            return response
+        if response.encoded_body is not None \
+                or "Content-Encoding" in response.headers:
+            return response
+        payload = json.dumps(response.body).encode("utf-8")
+        if len(payload) < self.min_bytes:
+            return response
+        compressed = _gzip.compress(payload, compresslevel=self.level)
+        if len(compressed) >= len(payload):
+            return response
+        response.encoded_body = compressed
+        response.headers["Content-Encoding"] = "gzip"
+        response.headers.setdefault("Vary", "Accept-Encoding")
+        with self._lock:
+            self.responses_compressed += 1
+            self.bytes_in += len(payload)
+            self.bytes_out += len(compressed)
+        return response
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            saved = self.bytes_in - self.bytes_out
+            return {
+                "responses_compressed": self.responses_compressed,
+                "bytes_in": self.bytes_in,
+                "bytes_out": self.bytes_out,
+                "bytes_saved": saved,
+            }
+
+
+# ----------------------------------------------------------------------
 # Metrics
 # ----------------------------------------------------------------------
 class MetricsMiddleware(Middleware):
@@ -371,6 +527,296 @@ class ErrorBoundaryMiddleware(Middleware):
             return ServiceError(
                 500, "internal-error", "internal server error"
             ).to_response(request_id)
+
+
+# ----------------------------------------------------------------------
+# API-key authentication
+# ----------------------------------------------------------------------
+class ApiKeyStore:
+    """API keys and the tenants they authenticate, compared in constant
+    time.
+
+    Keys are stored as SHA-256 digests, never as plaintext — a heap
+    dump or a repr leaks no credentials — and a presented key is
+    checked by hashing it once and then running
+    :func:`hmac.compare_digest` against *every* stored digest, so the
+    comparison's timing is independent of how much of any key matches
+    and of which entry (if any) it matches.
+
+    Revocation keeps the digest in a tombstone set: a revoked key is
+    distinguishable from one that never existed (typed 403 vs 401),
+    which operators need when rotating credentials.
+    """
+
+    def __init__(self, keys: Optional[Mapping[str, str]] = None) -> None:
+        self._lock = threading.Lock()
+        #: SHA-256 hexdigest of the key -> tenant name.
+        self._tenants: Dict[str, str] = {}
+        #: Digests of revoked keys.
+        self._revoked: Set[str] = set()
+        for key, tenant in (keys or {}).items():
+            self.add(key, tenant)
+
+    @staticmethod
+    def _digest(key: str) -> str:
+        return hashlib.sha256(key.encode("utf-8")).hexdigest()
+
+    def add(self, key: str, tenant: str) -> None:
+        """Register ``key`` as authenticating ``tenant``.
+
+        Re-adding a previously revoked key un-revokes it (rotation:
+        revoke the old key, add the new one — or re-instate).
+        """
+        if not isinstance(key, str) or not key:
+            raise ValueError("api key must be a non-empty string")
+        if not isinstance(tenant, str) or not tenant:
+            raise ValueError("tenant must be a non-empty string")
+        digest = self._digest(key)
+        with self._lock:
+            self._tenants[digest] = tenant
+            self._revoked.discard(digest)
+
+    def revoke(self, key: str) -> bool:
+        """Revoke ``key``; returns whether it was a registered key."""
+        digest = self._digest(key)
+        with self._lock:
+            known = digest in self._tenants
+            if known:
+                self._revoked.add(digest)
+            return known
+
+    def lookup(self, key: str) -> Tuple[str, Optional[str]]:
+        """``(state, tenant)`` for a presented key.
+
+        ``state`` is ``"ok"`` (tenant attached), ``"revoked"`` or
+        ``"unknown"``.  Every stored digest is compared on every call —
+        see the class docstring for why.
+        """
+        presented = self._digest(key)
+        tenant: Optional[str] = None
+        revoked = False
+        with self._lock:
+            for digest, candidate in self._tenants.items():
+                if hmac.compare_digest(digest, presented):
+                    tenant = candidate
+            for digest in self._revoked:
+                if hmac.compare_digest(digest, presented):
+                    revoked = True
+        if revoked:
+            return "revoked", None
+        if tenant is not None:
+            return "ok", tenant
+        return "unknown", None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tenants)
+
+    @classmethod
+    def from_file(cls, path: str) -> "ApiKeyStore":
+        """Load ``key:tenant`` lines from a file.
+
+        Blank lines and ``#`` comments are skipped; the key is
+        everything before the *first* colon (tenant names may not be
+        empty).  This is the format ``serve --api-keys`` reads.
+        """
+        store = cls()
+        with open(path, "r", encoding="utf-8") as fh:
+            for lineno, raw in enumerate(fh, start=1):
+                line = raw.strip()
+                if not line or line.startswith("#"):
+                    continue
+                key, sep, tenant = line.partition(":")
+                if not sep or not key.strip() or not tenant.strip():
+                    raise ValueError(
+                        f"{path}:{lineno}: expected 'key:tenant', "
+                        f"got {line!r}"
+                    )
+                store.add(key.strip(), tenant.strip())
+        return store
+
+
+class ApiKeyAuthMiddleware(Middleware):
+    """Resolves ``X-API-Key`` to a tenant, or denies with a typed error.
+
+    The resolved tenant lands in ``request.context["tenant"]`` — the
+    registries, the response cache and the job quotas all namespace on
+    it — and is echoed as ``X-Tenant`` so clients can confirm which
+    namespace served them.
+
+    * no key, ``allow_anonymous=True`` → tenant ``"anonymous"`` (the
+      backward-compatible single-tenant mode every pre-auth client
+      lands in);
+    * no key, ``allow_anonymous=False`` → typed ``401 missing-api-key``;
+    * unrecognised key → typed ``401 invalid-api-key`` (never silently
+      anonymous: presenting a bad credential is an error even when
+      anonymous traffic is allowed);
+    * revoked key → typed ``403 revoked-api-key``.
+
+    ``GET /healthz`` and ``GET /metrics`` stay unauthenticated
+    (``exempt``): probes and scrapers are infrastructure, not tenants.
+    """
+
+    name = "auth"
+
+    def __init__(
+        self,
+        store: Optional[ApiKeyStore] = None,
+        allow_anonymous: bool = True,
+        exempt: Sequence[str] = UNAUTHENTICATED_ENDPOINTS,
+        header: str = "X-API-Key",
+    ) -> None:
+        self.store = store if store is not None else ApiKeyStore()
+        self.allow_anonymous = bool(allow_anonymous)
+        self.exempt = frozenset(exempt)
+        self.header = header
+        self._lock = threading.Lock()
+        self.authenticated = 0
+        self.anonymous = 0
+        self.denied: Dict[str, int] = {}
+
+    def _deny(self, status: int, code: str, message: str) -> ServiceError:
+        with self._lock:
+            self.denied[code] = self.denied.get(code, 0) + 1
+        return ServiceError(status, code, message)
+
+    def handle(self, request: Request, call_next: Handler) -> Response:
+        if request.endpoint in self.exempt:
+            request.context.setdefault("tenant", ANONYMOUS_TENANT)
+            return call_next(request)
+        key = header_value(request, self.header)
+        if key is None or key == "":
+            if not self.allow_anonymous:
+                raise self._deny(
+                    401, "missing-api-key",
+                    f"this service requires a {self.header} header",
+                )
+            request.context["tenant"] = ANONYMOUS_TENANT
+            with self._lock:
+                self.anonymous += 1
+            return call_next(request)
+        state, tenant = self.store.lookup(key)
+        if state == "revoked":
+            raise self._deny(
+                403, "revoked-api-key", "this API key has been revoked"
+            )
+        if state != "ok":
+            raise self._deny(
+                401, "invalid-api-key", "unrecognised API key"
+            )
+        request.context["tenant"] = tenant
+        with self._lock:
+            self.authenticated += 1
+        response = call_next(request)
+        response.headers.setdefault("X-Tenant", str(tenant))
+        return response
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "keys": len(self.store),
+                "allow_anonymous": self.allow_anonymous,
+                "authenticated": self.authenticated,
+                "anonymous": self.anonymous,
+                "denied": dict(self.denied),
+            }
+
+
+# ----------------------------------------------------------------------
+# Rate limiting
+# ----------------------------------------------------------------------
+class RateLimitMiddleware(Middleware):
+    """Per-tenant token bucket over every non-exempt endpoint.
+
+    Each tenant owns one bucket of ``burst`` tokens refilling at
+    ``rate`` tokens/second; a request spends one token, and an empty
+    bucket answers a typed ``429 rate-limited`` whose ``Retry-After``
+    header says when the next token lands.  All bucket arithmetic
+    happens under one lock, so concurrent requests account exactly —
+    N tenants at burst B admit exactly ``N x B`` requests before the
+    first refill, never more, never fewer.
+
+    ``rate=None`` disables limiting entirely (the layer stays in the
+    pipeline so its position — and the metrics shape — never depends
+    on configuration).  ``clock`` is injectable so tests can cross the
+    refill boundary without sleeping.
+    """
+
+    name = "rate_limit"
+
+    def __init__(
+        self,
+        rate: Optional[float] = None,
+        burst: Optional[float] = None,
+        exempt: Sequence[str] = UNAUTHENTICATED_ENDPOINTS,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be positive (or None to disable)")
+        if burst is not None and burst < 1:
+            raise ValueError("burst must be at least 1")
+        self.rate = float(rate) if rate is not None else None
+        self.burst = (
+            float(burst) if burst is not None
+            else max(1.0, self.rate) if self.rate is not None
+            else None
+        )
+        self.exempt = frozenset(exempt)
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: tenant -> [tokens, last-refill timestamp].
+        self._buckets: Dict[str, List[float]] = {}
+        self.allowed = 0
+        self.rejected = 0
+
+    def handle(self, request: Request, call_next: Handler) -> Response:
+        if self.rate is None or request.endpoint in self.exempt:
+            return call_next(request)
+        tenant = str(request.context.get("tenant") or ANONYMOUS_TENANT)
+        with self._lock:
+            now = self._clock()
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = [self.burst, now]
+            tokens, last = bucket
+            tokens = min(self.burst, tokens + (now - last) * self.rate)
+            if tokens >= 1.0:
+                bucket[0] = tokens - 1.0
+                bucket[1] = now
+                self.allowed += 1
+                retry_after = None
+            else:
+                bucket[0] = tokens
+                bucket[1] = now
+                self.rejected += 1
+                retry_after = (1.0 - tokens) / self.rate
+        if retry_after is not None:
+            raise ServiceError(
+                429, "rate-limited",
+                f"tenant {tenant!r} exceeded {self.rate:g} requests/s "
+                f"(burst {self.burst:g}); retry after "
+                f"{retry_after:.3f}s",
+                details={
+                    "tenant": tenant,
+                    "rate_per_s": self.rate,
+                    "burst": self.burst,
+                    "retry_after_s": round(retry_after, 6),
+                },
+                headers={
+                    "Retry-After": str(max(1, math.ceil(retry_after)))
+                },
+            )
+        return call_next(request)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "rate_per_s": self.rate,
+                "burst": self.burst,
+                "tenants": len(self._buckets),
+                "allowed": self.allowed,
+                "rejected": self.rejected,
+            }
 
 
 # ----------------------------------------------------------------------
@@ -483,19 +929,22 @@ class ValidationMiddleware(Middleware):
 # ----------------------------------------------------------------------
 # Response cache
 # ----------------------------------------------------------------------
-def canonical_body_key(endpoint: str, body: Optional[dict]) -> str:
+def canonical_body_key(
+    endpoint: str, body: Optional[dict], tenant: Optional[str] = None
+) -> str:
     """Content key of a request: SHA-256 over canonical JSON.
 
     The same canonicalisation discipline as the engine's job
     fingerprints (:func:`repro.engine.jobs.job_fingerprint`): sorted
     keys, compact separators, so two dict orderings of the same request
-    are the same cache entry.
+    are the same cache entry.  ``tenant`` (when given) joins the keyed
+    payload, so two tenants' identical requests can never share an
+    entry — isolation by construction, not by filtering.
     """
-    payload = json.dumps(
-        {"endpoint": endpoint, "body": body or {}},
-        sort_keys=True,
-        separators=(",", ":"),
-    )
+    keyed: dict = {"endpoint": endpoint, "body": body or {}}
+    if tenant is not None:
+        keyed["tenant"] = tenant
+    payload = json.dumps(keyed, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
@@ -514,15 +963,21 @@ class ResponseCacheMiddleware(Middleware):
     model-fit and cache-lookup work, so a warm repeat costs one dict
     lookup.
 
+    Entries are **tenant-namespaced**: the key folds in the request
+    context's tenant (attached by the auth layer), so one tenant's
+    cached responses are unreachable from another tenant's requests —
+    and only 2xx responses are ever stored, so a denial (401/403/429)
+    can never be replayed to anyone.
+
     ``should_cache`` (optional) vetoes caching per request — the app
     uses it to bypass requests whose responses are *not* pure functions
     of the body (e.g. dataset specs naming a server-side file that may
-    change).  ``key_body`` (optional) canonicalises the body before
-    keying — the app uses it to fill nested dataset-spec defaults, so
-    equivalent spellings share one entry.  ``on_hit`` (optional)
-    post-processes the fresh copy of a replayed body — the app uses it
-    to zero per-request cost counters, which would otherwise replay the
-    original request's cost.
+    change).  ``key_body`` (optional) canonicalises the request's body
+    before keying — the app uses it to fill nested dataset-spec
+    defaults, so equivalent spellings share one entry.  ``on_hit``
+    (optional) post-processes the fresh copy of a replayed body — the
+    app uses it to zero per-request cost counters, which would
+    otherwise replay the original request's cost.
     """
 
     name = "response_cache"
@@ -532,7 +987,7 @@ class ResponseCacheMiddleware(Middleware):
         cacheable: Sequence[str],
         max_entries: int = 1024,
         should_cache: Optional[Callable[[Request], bool]] = None,
-        key_body: Optional[Callable[[Optional[dict]], Optional[dict]]] = None,
+        key_body: Optional[Callable[[Request], Optional[dict]]] = None,
         on_hit: Optional[Callable[[dict], dict]] = None,
     ) -> None:
         if max_entries < 1:
@@ -553,10 +1008,17 @@ class ResponseCacheMiddleware(Middleware):
         ):
             return call_next(request)
         body_for_key = (
-            self.key_body(request.body) if self.key_body is not None
+            self.key_body(request) if self.key_body is not None
             else request.body
         )
-        key = canonical_body_key(request.endpoint, body_for_key)
+        # The tenant is part of the key whenever one is attached — a
+        # pipeline without an auth layer keys tenant-lessly, exactly as
+        # before the tenant model existed.
+        tenant = request.context.get("tenant")
+        key = canonical_body_key(
+            request.endpoint, body_for_key,
+            tenant=str(tenant) if tenant is not None else None,
+        )
         with self._lock:
             hit = self._entries.get(key)
         if hit is not None:

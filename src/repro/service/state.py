@@ -53,7 +53,7 @@ from ..synth import (
     generate_commuters,
     generate_taxi_fleet,
 )
-from .middleware import ServiceError, canonical_body_key
+from .middleware import ANONYMOUS_TENANT, ServiceError, canonical_body_key
 
 __all__ = [
     "ServiceState",
@@ -300,6 +300,10 @@ class ServiceState:
         self.scenarios = (
             scenarios if scenarios is not None else ScenarioRegistry()
         )
+        #: Named tenants' private scenario registries, created lazily on
+        #: first use (each seeded with the built-ins).  The anonymous
+        #: tenant keeps :attr:`scenarios` — the pre-tenant behaviour.
+        self._tenant_scenarios: Dict[str, ScenarioRegistry] = {}
         self.started_at = time.time()
         self._monotonic_start = time.monotonic()
         # Guards only the registry dicts (and the fit-lock table).
@@ -317,7 +321,28 @@ class ServiceState:
     # ------------------------------------------------------------------
     # Registries
     # ------------------------------------------------------------------
-    def _key_spec_of(self, spec: dict) -> dict:
+    def scenarios_for(self, tenant: Optional[str] = None) -> ScenarioRegistry:
+        """The scenario registry serving ``tenant``.
+
+        The anonymous tenant (and tenant-less internal callers) share
+        the instance-wide :attr:`scenarios` registry — exactly the
+        pre-tenant behaviour — while every named tenant gets a private
+        registry, created lazily and seeded with the built-ins.  One
+        tenant's ``POST /datasets`` registrations are therefore
+        invisible to (and un-evictable by) every other tenant.
+        """
+        if tenant is None or tenant == ANONYMOUS_TENANT:
+            return self.scenarios
+        with self._registry_lock:
+            registry = self._tenant_scenarios.get(tenant)
+            if registry is None:
+                registry = ScenarioRegistry()
+                self._tenant_scenarios[tenant] = registry
+            return registry
+
+    def _key_spec_of(
+        self, spec: dict, tenant: Optional[str] = None
+    ) -> dict:
         """The spec as actually keyed: defaults filled, files pinned.
 
         Workload specs are normalised (omitted ``users``/``seed``
@@ -334,7 +359,7 @@ class ServiceState:
         if not isinstance(spec, dict):
             return spec
         if "scenario" in spec:
-            return self.scenario_key_spec(spec)
+            return self.scenario_key_spec(spec, tenant=tenant)
         if set(spec) == {"path"} and isinstance(spec.get("path"), str):
             try:
                 stat = os.stat(spec["path"])
@@ -352,7 +377,9 @@ class ServiceState:
             return dict(spec, _mtime_ns=stat.st_mtime_ns, _size=stat.st_size)
         return normalised_dataset_spec(spec)
 
-    def scenario_key_spec(self, spec: dict) -> dict:
+    def scenario_key_spec(
+        self, spec: dict, tenant: Optional[str] = None
+    ) -> dict:
         """Canonical key form of a ``{"scenario": ...}`` dataset spec.
 
         The key is the merged (base + overrides) spec's content
@@ -361,9 +388,10 @@ class ServiceState:
         share one dataset, one fitted model and one response-cache
         entry, while re-registering a name with a different spec — or
         editing a file-backed scenario's data — changes the key
-        instead of serving stale data.
+        instead of serving stale data.  The name resolves against
+        ``tenant``'s own registry.
         """
-        merged = merge_scenario_spec(spec, self.scenarios)
+        merged = merge_scenario_spec(spec, self.scenarios_for(tenant))
         return {"scenario_fingerprint": self._fingerprint_of(merged)}
 
     @staticmethod
@@ -379,28 +407,38 @@ class ServiceState:
                 f"scenario {merged.name!r} is unreadable: {exc}",
             )
 
-    def dataset_for(self, spec: dict) -> Tuple[str, Dataset]:
-        """The (registry key, dataset) for a request's dataset spec."""
+    def dataset_for(
+        self, spec: dict, tenant: Optional[str] = None
+    ) -> Tuple[str, Dataset]:
+        """The (registry key, dataset) for a request's dataset spec.
+
+        ``tenant`` namespaces everything: scenario names resolve in the
+        tenant's own registry, and the returned key — which also keys
+        the fitted-configurator registry — folds the tenant in, so one
+        tenant's resident datasets and models are invisible to (and
+        un-evictable through) another tenant's requests.
+        """
+        registry = self.scenarios_for(tenant)
         if isinstance(spec, dict) and "scenario" in spec:
             # Merge and fingerprint once, resolve against that same
             # identity: for file-backed scenarios each fingerprint is
             # a stat sweep of the tree, and key/data must agree even
             # if a file changes mid-request.
-            merged = merge_scenario_spec(spec, self.scenarios)
+            merged = merge_scenario_spec(spec, registry)
             fingerprint = self._fingerprint_of(merged)
             key_spec: dict = {"scenario_fingerprint": fingerprint}
 
             def resolve() -> Dataset:
                 return _resolve_merged(
-                    merged, self.scenarios, fingerprint=fingerprint
+                    merged, registry, fingerprint=fingerprint
                 )
         else:
-            key_spec = self._key_spec_of(spec)
+            key_spec = self._key_spec_of(spec, tenant=tenant)
 
             def resolve() -> Dataset:
-                return resolve_dataset_spec(spec, registry=self.scenarios)
+                return resolve_dataset_spec(spec, registry=registry)
 
-        key = canonical_body_key("dataset", key_spec)[:16]
+        key = canonical_body_key("dataset", key_spec, tenant=tenant)[:16]
         with self._registry_lock:
             dataset = self._datasets.get(key)
             if dataset is not None:
@@ -527,7 +565,16 @@ class ServiceState:
 
     @property
     def n_scenarios(self) -> int:
-        return len(self.scenarios)
+        """Registered scenarios across every tenant's registry."""
+        with self._registry_lock:
+            registries = list(self._tenant_scenarios.values())
+        return len(self.scenarios) + sum(len(r) for r in registries)
+
+    @property
+    def n_tenants(self) -> int:
+        """Named tenants with a private scenario registry."""
+        with self._registry_lock:
+            return len(self._tenant_scenarios)
 
     def clear_registries(self) -> None:
         """Drop every registered dataset and fitted configurator.
@@ -542,7 +589,10 @@ class ServiceState:
             self._datasets.clear()
             self._configurators.clear()
             self._fit_locks.clear()
+            tenant_registries = list(self._tenant_scenarios.values())
         self.scenarios.clear_cache()
+        for registry in tenant_registries:
+            registry.clear_cache()
 
     def close(self, timeout_s: Optional[float] = None) -> None:
         """Release the engine's backend resources; idempotent.

@@ -331,8 +331,9 @@ class TestRouting:
     def test_metrics_lists_pipeline_order(self, client):
         metrics = client.metrics()
         assert metrics["pipeline"] == [
-            "request_id", "logging", "metrics", "error_boundary",
-            "validation", "response_cache",
+            "request_id", "compression", "logging", "metrics",
+            "error_boundary", "auth", "rate_limit", "validation",
+            "response_cache",
         ]
 
     def test_unrouted_paths_share_one_metrics_bucket(self, fresh_client):

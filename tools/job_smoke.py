@@ -1,16 +1,19 @@
 #!/usr/bin/env python3
 """Job-lifecycle smoke test against a real ``repro-lppm serve`` daemon.
 
-Spawns the daemon as a subprocess (``python -m repro.cli serve``),
-then exercises the async-job surface end to end over real sockets:
+Spawns the daemon as a subprocess (``python -m repro.cli serve``) with
+an ``--api-keys`` file, then exercises the async-job surface end to
+end over real sockets — every request carrying ``X-API-Key``:
 
-1. **submit → poll → result** — a sweep job runs to ``done`` and its
+1. **auth gate** — a keyless request is a typed 401 while ``/healthz``
+   stays open, and the keyed client is served;
+2. **submit → poll → result** — a sweep job runs to ``done`` and its
    result matches what the sync endpoint returns for the same body;
-2. **responsiveness under load** — while a second sweep job is
+3. **responsiveness under load** — while a second sweep job is
    running, ``GET /healthz`` and ``GET /jobs/<id>`` answer fast;
-3. **cancel** — a running job cancelled mid-sweep reaches
+4. **cancel** — a running job cancelled mid-sweep reaches
    ``cancelled`` without a result;
-4. **clean shutdown** — SIGTERM drains the daemon and it exits 0.
+5. **clean shutdown** — SIGTERM drains the daemon and it exits 0.
 
 Exit status 0 when every step passes; a JSON summary (``--json``) is
 written for CI artifacts either way.  CI runs this in the smoke job.
@@ -27,6 +30,7 @@ import re
 import signal
 import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -37,8 +41,13 @@ from repro.service import HttpServiceClient, ServiceClientError  # noqa: E402
 
 _LISTENING = re.compile(r"listening on (http://[\d.]+:\d+)")
 
+SMOKE_KEY = "smoke-ci-key"
+SMOKE_TENANT = "smoke"
 
-def start_daemon(workers: int) -> "tuple[subprocess.Popen, str]":
+
+def start_daemon(
+    workers: int, api_keys_path: str
+) -> "tuple[subprocess.Popen, str]":
     env = dict(os.environ)
     env["PYTHONPATH"] = (
         str(REPO_ROOT / "src")
@@ -46,7 +55,8 @@ def start_daemon(workers: int) -> "tuple[subprocess.Popen, str]":
     )
     process = subprocess.Popen(
         [sys.executable, "-m", "repro.cli", "serve",
-         "--port", "0", "--workers", str(workers), "--grace", "5"],
+         "--port", "0", "--workers", str(workers), "--grace", "5",
+         "--api-keys", api_keys_path],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         text=True,
@@ -75,11 +85,30 @@ def main() -> int:
     args = parser.parse_args()
 
     summary: dict = {"steps": {}, "ok": False}
-    process, base_url = start_daemon(args.workers)
-    client = HttpServiceClient(base_url, timeout_s=30.0)
-    print(f"daemon up at {base_url} (pid {process.pid})")
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".keys", delete=False
+    ) as keyfile:
+        keyfile.write(f"# job-smoke credentials\n{SMOKE_KEY}:{SMOKE_TENANT}\n")
+        api_keys_path = keyfile.name
+    process, base_url = start_daemon(args.workers, api_keys_path)
+    client = HttpServiceClient(base_url, timeout_s=30.0, api_key=SMOKE_KEY)
+    print(f"daemon up at {base_url} (pid {process.pid}, keyed)")
 
     try:
+        # -- 0. the auth gate is really on ----------------------------
+        anonymous = HttpServiceClient(base_url, timeout_s=30.0)
+        assert anonymous.healthz()["status"] == "ok"
+        try:
+            anonymous.jobs()
+        except ServiceClientError as exc:
+            assert exc.status == 401 and exc.code == "missing-api-key", exc
+        else:
+            raise AssertionError("keyless request was not denied")
+        assert client.jobs()["tracked"] == 0
+        summary["steps"]["auth"] = {"ok": True, "tenant": SMOKE_TENANT}
+        print("auth: keyless denied with 401, /healthz open, "
+              "keyed client served")
+
         # -- 1. submit → poll → result --------------------------------
         body = {"dataset": {"workload": "taxi", "users": 4, "seed": 7},
                 "points": 5, "replications": 1}
@@ -156,6 +185,7 @@ def main() -> int:
         if process.poll() is None:
             process.kill()
             process.wait(timeout=10.0)
+        os.unlink(api_keys_path)
         if args.json:
             with open(args.json, "w", encoding="utf-8") as fh:
                 json.dump(summary, fh, indent=2, sort_keys=True)
