@@ -19,6 +19,7 @@ Run:  PYTHONPATH=src python benchmarks/bench_engine.py
 from __future__ import annotations
 
 import argparse
+import json
 import shutil
 import tempfile
 import time
@@ -54,6 +55,9 @@ def main() -> None:
                         help="process-pool workers (default: CPU count)")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny configuration for CI smoke runs")
+    parser.add_argument("--json", metavar="FILE", default=None,
+                        help="also write the rows as JSON (CI artifacts "
+                             "and the step-summary table read this)")
     args = parser.parse_args()
     if args.smoke:
         args.cabs, args.points, args.replications = 4, 4, 2
@@ -102,6 +106,35 @@ def main() -> None:
         print(f"\nspeedup (cold, serial/process): "
               f"{serial_cold / process_cold:.2f}x")
     print(f"speedup (serial, cold/warm):    {serial_cold / max(serial_warm, 1e-9):.0f}x")
+
+    if args.json is not None:
+        payload = {
+            "config": {
+                "cabs": args.cabs,
+                "points": args.points,
+                "replications": args.replications,
+                "total_jobs": total_jobs,
+                "smoke": bool(args.smoke),
+            },
+            "rows": [
+                {
+                    "backend": backend,
+                    "cache": state,
+                    "wall_clock_s": round(elapsed, 6),
+                    "executions": n_evals,
+                }
+                for backend, state, elapsed, n_evals in rows
+            ],
+            "speedup_cold_serial_over_process": (
+                round(serial_cold / process_cold, 4)
+                if process_cold > 0 else None
+            ),
+            "speedup_serial_cold_over_warm": round(
+                serial_cold / max(serial_warm, 1e-9), 1
+            ),
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {args.json}")
 
     for backend, state, _, n_evals in rows:
         if state == "warm" and n_evals != 0:

@@ -26,6 +26,14 @@ keyed + rate-limited service vs the anonymous default (gated at <=10%
 overhead), and the bytes gzip saves on a record-bearing ``/protect``
 response over real sockets (gated: compressed < plain).
 
+A **processes tier** boots two real daemons as subprocesses — one with
+``--processes 1``, one with ``--processes N`` (pre-fork) — and runs
+the same cold-then-warm sweep set against each.  Gated everywhere:
+the warm bodies must be bit-identical between the two deployments and
+the warm pass must report zero new executions.  On a multi-core host
+(and outside ``--smoke``) the pre-fork fleet must also deliver >=1.5x
+the single process's warm concurrent throughput.
+
 The warm rows must report **zero new executions** — the service-level
 restatement of the engine benchmark's invariant.  Run with ``--smoke``
 for a CI-sized configuration; ``--json PATH`` writes the numbers for
@@ -39,10 +47,22 @@ from __future__ import annotations
 import argparse
 import contextlib
 import json
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
 import threading
 import time
+from pathlib import Path
 
 from repro.service import ConfigService, HttpServiceClient, ServiceClient
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_LISTENING = re.compile(r"listening on (http://[\d.]+:\d+)")
 
 
 def _time_requests(fn, n: int) -> float:
@@ -316,6 +336,173 @@ def _run_hardening_tier(args, results: dict) -> None:
         )
 
 
+def _start_daemon(
+    processes: int, cache_dir: Path
+) -> "tuple[subprocess.Popen, str]":
+    """Boot a real ``repro-lppm serve`` subprocess; returns its URL."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(REPO_ROOT / "src")
+        + (os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    )
+    command = [sys.executable, "-m", "repro.cli", "serve",
+               "--port", "0", "--workers", "2", "--grace", "5",
+               "--cache-dir", str(cache_dir)]
+    if processes > 1:
+        command += ["--processes", str(processes)]
+    process = subprocess.Popen(
+        command, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env, cwd=str(REPO_ROOT),
+    )
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            break
+        match = _LISTENING.search(line)
+        if match:
+            return process, match.group(1)
+    process.kill()
+    raise SystemExit(
+        f"FAIL: processes tier: daemon (--processes {processes}) "
+        "never announced its address"
+    )
+
+
+def _run_processes_tier(args, results: dict) -> None:
+    """Single process vs pre-fork fleet over real daemons (gated)."""
+    n_fleet = args.processes
+    sweep_kwargs = {"points": args.points,
+                    "replications": args.replications}
+    datasets = [
+        {"workload": "taxi", "users": args.users, "seed": 300 + i}
+        for i in range(3)
+    ]
+    threads_n = max(2, min(4, n_fleet * 2))
+    outcomes: dict = {}
+
+    for n in (1, n_fleet):
+        cache_dir = Path(tempfile.mkdtemp(prefix=f"bench-proc-{n}-"))
+        process, url = _start_daemon(n, cache_dir)
+        try:
+            http = HttpServiceClient(url, timeout_s=600.0)
+            cold_start = time.perf_counter()
+            for dataset in datasets:
+                http.sweep(dataset, **sweep_kwargs)
+            cold_wall = time.perf_counter() - cold_start
+
+            # Warm pass: every request must replay from a cache tier.
+            warm_points, warm_exec = [], 0
+            warm_start = time.perf_counter()
+            for dataset in datasets:
+                response = http.sweep(dataset, **sweep_kwargs)
+                warm_exec += response["engine"]["executions_this_request"]
+                warm_points.append(response["points"])
+            warm_wall = time.perf_counter() - warm_start
+
+            # Concurrent warm throughput: the number the fleet exists
+            # to scale.  Each thread gets its own client (urllib
+            # openers are not thread-safe to share mid-request).
+            per_thread = max(1, args.repeats // threads_n)
+            errors: list = []
+
+            def hammer(slot: int) -> None:
+                worker_http = HttpServiceClient(url, timeout_s=600.0)
+                dataset = datasets[slot % len(datasets)]
+                try:
+                    for _ in range(per_thread):
+                        worker_http.sweep(dataset, **sweep_kwargs)
+                except Exception as exc:
+                    errors.append(f"hammer[{slot}]: {exc!r}")
+
+            hammer_start = time.perf_counter()
+            hammer_threads = [
+                threading.Thread(target=hammer, args=(i,))
+                for i in range(threads_n)
+            ]
+            for t in hammer_threads:
+                t.start()
+            for t in hammer_threads:
+                t.join()
+            hammer_wall = time.perf_counter() - hammer_start
+            if errors:
+                raise SystemExit(f"FAIL: processes tier: {errors}")
+            throughput = (threads_n * per_thread) / hammer_wall
+
+            process.send_signal(signal.SIGTERM)
+            returncode = process.wait(timeout=30.0)
+            if returncode != 0:
+                raise SystemExit(
+                    f"FAIL: processes tier: daemon (--processes {n}) "
+                    f"exited {returncode} on SIGTERM"
+                )
+            outcomes[n] = {
+                "cold_wall_s": round(cold_wall, 4),
+                "warm_wall_s": round(warm_wall, 4),
+                "warm_executions": warm_exec,
+                "warm_concurrent_rps": round(throughput, 3),
+                "_points": warm_points,
+            }
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10.0)
+            shutil.rmtree(cache_dir, ignore_errors=True)
+
+    single, fleet = outcomes[1], outcomes[n_fleet]
+    speedup = (
+        fleet["warm_concurrent_rps"] / single["warm_concurrent_rps"]
+        if single["warm_concurrent_rps"] > 0 else float("inf")
+    )
+
+    print()
+    print(f"processes tier: 1 vs {n_fleet} pre-fork workers "
+          f"({len(datasets)} sweeps, {threads_n} client threads)")
+    print(f"{'deployment':<14} {'cold':>9} {'warm':>9} "
+          f"{'warm req/s':>11} {'new executions':>15}")
+    for label, block in (("processes=1", single),
+                         (f"processes={n_fleet}", fleet)):
+        print(f"{label:<14} {block['cold_wall_s']:>8.3f}s "
+              f"{block['warm_wall_s']:>8.3f}s "
+              f"{block['warm_concurrent_rps']:>11.1f} "
+              f"{block['warm_executions']:>15}")
+    print(f"warm concurrent speedup (fleet/single): {speedup:.2f}x")
+
+    # -- gates ---------------------------------------------------------
+    if fleet["_points"] != single["_points"]:
+        raise SystemExit(
+            "FAIL: processes tier: warm sweep bodies differ between "
+            "--processes 1 and the pre-fork fleet"
+        )
+    for n, block in outcomes.items():
+        if block["warm_executions"] != 0:
+            raise SystemExit(
+                f"FAIL: processes tier: warm pass on --processes {n} "
+                f"ran {block['warm_executions']} executions"
+            )
+    cpu_count = os.cpu_count() or 1
+    gate_throughput = not args.smoke and cpu_count >= 2
+    if gate_throughput and speedup < 1.5:
+        raise SystemExit(
+            f"FAIL: processes tier: pre-fork speedup {speedup:.2f}x "
+            f"< 1.5x on a {cpu_count}-core host"
+        )
+    print("processes-tier invariants hold: bit-identical warm bodies, "
+          "0 warm executions"
+          + (f", {speedup:.2f}x >= 1.5x" if gate_throughput else
+             " (throughput gate skipped: "
+             + ("smoke mode" if args.smoke else f"{cpu_count} CPU") + ")"))
+
+    results["processes"] = {
+        "fleet_size": n_fleet,
+        "client_threads": threads_n,
+        "throughput_gated": gate_throughput,
+        "speedup_warm_concurrent": round(speedup, 3),
+        "single": {k: v for k, v in single.items() if k != "_points"},
+        "fleet": {k: v for k, v in fleet.items() if k != "_points"},
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--users", type=int, default=8, help="fleet size")
@@ -325,6 +512,9 @@ def main() -> None:
                         help="warm requests to average over")
     parser.add_argument("--concurrency", type=int, default=4,
                         help="concurrent sweeps in the async tier")
+    parser.add_argument("--processes", type=int, default=2,
+                        help="pre-fork fleet size compared against a "
+                             "single process in the processes tier")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also write the numbers to this JSON file")
     parser.add_argument("--smoke", action="store_true",
@@ -431,6 +621,11 @@ def main() -> None:
     # Hardening tier: auth + limiter overhead, gzip savings (gated)
     # ------------------------------------------------------------------
     _run_hardening_tier(args, results)
+
+    # ------------------------------------------------------------------
+    # Processes tier: 1 vs N pre-fork workers over real daemons (gated)
+    # ------------------------------------------------------------------
+    _run_processes_tier(args, results)
 
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:

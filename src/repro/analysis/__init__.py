@@ -30,9 +30,12 @@ from .cache import (
     use_cache,
 )
 from .signature import stable_repr
+from .spill import SPILLABLE_KINDS, AnalysisSpill
 
 __all__ = [
     "AnalysisCache",
+    "AnalysisSpill",
+    "SPILLABLE_KINDS",
     "DEFAULT_MAX_ENTRIES",
     "current_cache",
     "default_cache",

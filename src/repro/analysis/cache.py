@@ -111,9 +111,21 @@ class AnalysisCache:
     ----------
     max_entries:
         LRU bound; least recently *used* artifacts are evicted first.
+    spill_dir:
+        Optional directory for the persistent spill tier
+        (:class:`~repro.analysis.spill.AnalysisSpill`): spillable
+        artifacts missed in memory are probed on disk before being
+        recomputed, and fresh computations are written through — so a
+        restarted or sibling process starts warm.  Content keys are
+        deterministic across processes, making the tier safe to share
+        between concurrent workers.
     """
 
-    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        spill_dir=None,
+    ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be at least 1")
         self.max_entries = int(max_entries)
@@ -130,9 +142,29 @@ class AnalysisCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Disk-tier hits (a subset of :attr:`hits`): artifacts served
+        #: from the spill instead of recomputed.
+        self.spill_hits = 0
         #: kind -> [hits, misses]; the counters behind "the actual-side
         #: pipeline ran once" assertions in tests and benchmarks.
         self._by_kind: Dict[str, list] = {}
+        self._spill = None
+        if spill_dir is not None:
+            self.attach_spill(spill_dir)
+
+    def attach_spill(self, spill_dir) -> None:
+        """Attach (or replace/detach with ``None``) the spill tier.
+
+        Process-pool workers call this from their initializer so the
+        per-process default cache joins the engine's shared spill
+        directory after the fork.
+        """
+        from .spill import AnalysisSpill
+
+        with self._lock:
+            self._spill = (
+                AnalysisSpill(spill_dir) if spill_dir is not None else None
+            )
 
     # ------------------------------------------------------------------
     # Content keys
@@ -195,27 +227,59 @@ class AnalysisCache:
     ):
         """The artifact under ``key``, computing (outside the lock) on
         a miss.  ``kind`` is the artifact family the per-kind counters
-        bill the access to; by convention it is also ``key[1]``."""
+        bill the access to; by convention it is also ``key[1]``.
+
+        With a spill tier attached, a memory miss probes the disk
+        before computing (a spill hit counts as a *hit* — nothing was
+        recomputed) and a fresh computation is written through, so the
+        per-kind ``misses`` counter keeps meaning "times this family
+        was actually computed in this process".
+        """
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self.hits += 1
                 self._kind_counter(kind)[0] += 1
                 return self._entries[key]
+            spill = self._spill
+        spillable = spill is not None and spill.handles(key, kind)
+        if spillable:
+            # Disk IO outside the lock, like a computation; racing
+            # loaders of one key decode identical content.
+            spilled = spill.load(key, kind)
+            if spilled is not None:
+                with self._lock:
+                    self.hits += 1
+                    self.spill_hits += 1
+                    self._kind_counter(kind)[0] += 1
+                    existing = self._entries.get(key)
+                    if existing is not None:
+                        self._entries.move_to_end(key)
+                        return existing
+                    self._entries[key] = spilled
+                    while len(self._entries) > self.max_entries:
+                        self._entries.popitem(last=False)
+                        self.evictions += 1
+                return spilled
+        with self._lock:
             self.misses += 1
             self._kind_counter(kind)[1] += 1
         value = compute()
+        inserted = True
         with self._lock:
             existing = self._entries.get(key)
             if existing is not None:
                 # A concurrent computation won the race; keep its
                 # object so downstream identity stays shared.
                 self._entries.move_to_end(key)
-                return existing
-            self._entries[key] = value
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
-                self.evictions += 1
+                value, inserted = existing, False
+            else:
+                self._entries[key] = value
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
+        if inserted and spillable:
+            spill.store(key, kind, value)
         return value
 
     def _kind_counter(self, kind: str) -> list:
@@ -235,6 +299,7 @@ class AnalysisCache:
             return {
                 "hits": self.hits,
                 "misses": self.misses,
+                "spill_hits": self.spill_hits,
                 "entries": len(self._entries),
                 "evictions": self.evictions,
                 "max_entries": self.max_entries,

@@ -1,0 +1,138 @@
+"""Persistent spill tier for derived analysis artifacts.
+
+The :class:`~repro.analysis.cache.AnalysisCache` memoises stay points,
+POIs and heatmap cell counts per process; this module gives it a disk
+tier keyed *identically* — the trace content key plus artifact kind
+plus the stable config signature — so a restarted daemon, a sibling
+pre-fork worker or a fresh process-pool worker starts warm instead of
+re-extracting every actual-side artifact.
+
+Keys are content-addressed on both flavours of trace key (seeded
+``d:<fingerprint>:<user>`` and hashed ``t:<sha256>``), which are
+deterministic across processes, so any worker's spill is every
+worker's spill.  Records are JSON (floats round-trip exactly through
+the shortest-repr encoder, so reloaded artifacts stay bit-identical),
+written atomically through :mod:`repro.framework.store`; a torn or
+corrupt record reads as a miss and is quarantined, never raised.
+
+Only the three closed artifact families are spillable — anything else
+a future caller memoises stays memory-only rather than risking a lossy
+round-trip of an unknown shape.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+__all__ = ["AnalysisSpill", "SPILLABLE_KINDS"]
+
+PathLike = Union[str, Path]
+
+_RECORD_KIND = "analysis_artifact"
+
+#: Artifact families with a lossless JSON codec.
+SPILLABLE_KINDS = ("stay_points", "pois", "visit_counts")
+
+
+def _encode(kind: str, value) -> list:
+    if kind == "stay_points":
+        return [
+            [sp.lat, sp.lon, sp.t_start_s, sp.t_end_s, sp.n_records]
+            for sp in value
+        ]
+    if kind == "pois":
+        return [[p.lat, p.lon, p.n_visits, p.total_dwell_s] for p in value]
+    if kind == "visit_counts":
+        return [[cell[0], cell[1], n] for cell, n in value]
+    raise ValueError(f"no spill codec for artifact kind {kind!r}")
+
+
+def _decode(kind: str, rows: list) -> Tuple:
+    # Attack modules are imported lazily: analysis sits below attacks
+    # in the import order (same discipline as artifacts.py).
+    if kind == "stay_points":
+        from ..attacks.staypoints import StayPoint
+
+        return tuple(
+            StayPoint(
+                lat=float(lat), lon=float(lon), t_start_s=float(t0),
+                t_end_s=float(t1), n_records=int(n),
+            )
+            for lat, lon, t0, t1, n in rows
+        )
+    if kind == "pois":
+        from ..attacks.poi import Poi
+
+        return tuple(
+            Poi(
+                lat=float(lat), lon=float(lon), n_visits=int(visits),
+                total_dwell_s=float(dwell),
+            )
+            for lat, lon, visits, dwell in rows
+        )
+    if kind == "visit_counts":
+        return tuple(((int(i), int(j)), int(n)) for i, j, n in rows)
+    raise ValueError(f"no spill codec for artifact kind {kind!r}")
+
+
+class AnalysisSpill:
+    """One spill directory: sharded JSON files, one per artifact key.
+
+    Thread-safe without a lock of its own — writes are atomic renames,
+    reads tolerate (and quarantine) anything torn — so the owning
+    :class:`AnalysisCache` calls :meth:`load`/:meth:`store` outside its
+    lock, exactly like an artifact computation.
+    """
+
+    def __init__(self, spill_dir: PathLike) -> None:
+        self.spill_dir = Path(spill_dir)
+
+    @staticmethod
+    def handles(key: Tuple, kind: str) -> bool:
+        """Whether (key, kind) round-trips through the spill codecs."""
+        return kind in SPILLABLE_KINDS and all(
+            isinstance(part, str) for part in key
+        )
+
+    def _path_of(self, key: Tuple) -> Path:
+        digest = hashlib.sha256("\x00".join(key).encode("utf-8")).hexdigest()
+        return self.spill_dir / digest[:2] / f"{digest}.json"
+
+    def load(self, key: Tuple, kind: str):
+        """The spilled artifact, or ``None`` on any kind of miss."""
+        from ..framework.store import quarantine_file, read_json_payload
+
+        path = self._path_of(key)
+        payload = read_json_payload(path, _RECORD_KIND)
+        if payload is None:
+            return None
+        if payload.get("artifact_kind") != kind or \
+                payload.get("key") != list(key):
+            # Wrong record under this digest (hand-edited file, codec
+            # drift): a permanent error becomes a plain recompute.
+            quarantine_file(path)
+            return None
+        try:
+            return _decode(kind, payload["items"])
+        except (KeyError, ValueError, TypeError):
+            quarantine_file(path)
+            return None
+
+    def store(self, key: Tuple, kind: str, value) -> None:
+        """Persist one artifact; IO errors are swallowed (the spill is
+        an accelerator, never a correctness dependency)."""
+        from ..framework.store import write_json_atomic
+
+        payload = {
+            "format_version": 1,
+            "kind": _RECORD_KIND,
+            "artifact_kind": kind,
+            "key": list(key),
+            "items": _encode(kind, value),
+        }
+        try:
+            write_json_atomic(payload, self._path_of(key))
+        except OSError:
+            pass

@@ -198,6 +198,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="async job worker threads (default: 2); sweeps "
                           "submitted to POST /jobs run on these, off the "
                           "request path")
+    srv.add_argument("--processes", type=_positive_int, default=1,
+                     metavar="N",
+                     help="pre-fork worker processes (default: 1); N > 1 "
+                          "binds the port once, forks N full service "
+                          "workers sharing the result cache, response "
+                          "spill tier and job store under --cache-dir "
+                          "(a temporary directory when unset), and "
+                          "restarts any worker that crashes")
     srv.add_argument("--job-ttl", type=float, default=600.0, metavar="S",
                      help="seconds a finished job stays pollable "
                           "(default: 600)")
@@ -506,19 +514,43 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("error: --rate-limit must be positive", file=sys.stderr)
         return 2
 
-    return serve(
-        host=args.host,
-        port=args.port,
-        engine=_engine_from(args),
-        workers=args.workers,
-        job_ttl_s=args.job_ttl,
-        grace_s=args.grace,
-        api_keys=api_keys,
-        allow_anonymous=args.allow_anonymous,
-        rate_limit_rps=args.rate_limit,
-        rate_limit_burst=args.burst,
-        max_jobs_per_tenant=args.tenant_jobs,
+    # Multi-process mode needs shared on-disk state (result cache,
+    # response spill tier, cross-process job store).  --cache-dir
+    # doubles as that root; without it a temporary directory keeps the
+    # fleet coherent for this run and is removed on exit.
+    cache_dir = args.cache_dir
+    tmp_root = None
+    if args.processes > 1 and cache_dir is None:
+        import tempfile
+
+        tmp_root = tempfile.mkdtemp(prefix="repro-lppm-serve-")
+        cache_dir = tmp_root
+    engine = EvaluationEngine(
+        engine=args.engine, jobs=args.jobs, cache_dir=cache_dir
     )
+    try:
+        return serve(
+            host=args.host,
+            port=args.port,
+            engine=engine,
+            workers=args.workers,
+            job_ttl_s=args.job_ttl,
+            grace_s=args.grace,
+            api_keys=api_keys,
+            allow_anonymous=args.allow_anonymous,
+            rate_limit_rps=args.rate_limit,
+            rate_limit_burst=args.burst,
+            max_jobs_per_tenant=args.tenant_jobs,
+            processes=args.processes,
+            # Whenever there is a cache directory, share it: a
+            # restarted single-process daemon then starts warm too.
+            shared_dir=cache_dir,
+        )
+    finally:
+        if tmp_root is not None:
+            import shutil
+
+            shutil.rmtree(tmp_root, ignore_errors=True)
 
 
 def _cmd_job(args: argparse.Namespace) -> int:

@@ -134,18 +134,27 @@ def _init_worker(
     system: "SystemDefinition",
     dataset: "Dataset",
     dataset_fp: Optional[str] = None,
+    analysis_spill_dir: Optional[str] = None,
 ) -> None:
     global _WORKER_SYSTEM, _WORKER_DATASET
     _WORKER_SYSTEM = system
     _WORKER_DATASET = dataset
-    if dataset_fp is not None:
-        # Seed the worker's process-local analysis cache by fingerprint
-        # (artifacts are computed in-worker and memoised there, never
-        # pickled across the process boundary): every job this worker
-        # runs shares one actual-side stay-point/POI extraction.
+    if dataset_fp is not None or analysis_spill_dir is not None:
         from ..analysis import default_cache
 
-        default_cache().seed_dataset(dataset, dataset_fp)
+        cache = default_cache()
+        if dataset_fp is not None:
+            # Seed the worker's process-local analysis cache by
+            # fingerprint (artifacts are computed in-worker and
+            # memoised there, never pickled across the process
+            # boundary): every job this worker runs shares one
+            # actual-side stay-point/POI extraction.
+            cache.seed_dataset(dataset, dataset_fp)
+        if analysis_spill_dir is not None:
+            # Join the engine's shared spill directory: this worker's
+            # extractions persist for siblings and restarts, and it
+            # starts warm from theirs.
+            cache.attach_spill(analysis_spill_dir)
 
 
 def _run_job_in_worker(job: EvalJob) -> Tuple[float, float]:
@@ -177,14 +186,26 @@ class ProcessPoolBackend(ExecutionBackend):
     ----------
     max_workers:
         Pool size; defaults to the machine's CPU count.
+    analysis_spill_dir:
+        Optional shared analysis-spill directory handed to each pool
+        worker's initializer, so per-process analysis caches persist
+        their artifacts for (and warm-start from) sibling processes.
     """
 
     name = "process"
 
-    def __init__(self, max_workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        analysis_spill_dir=None,
+    ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be at least 1")
         self.max_workers = int(max_workers or default_max_workers())
+        self.analysis_spill_dir = (
+            str(analysis_spill_dir)
+            if analysis_spill_dir is not None else None
+        )
         self.batch_lock = threading.RLock()
         # Guards the pool fields and the closed flag.  A forced close
         # (timed-out lease) runs WITHOUT batch_lock, so pool selection
@@ -246,7 +267,8 @@ class ProcessPoolBackend(ExecutionBackend):
                 max_workers=self.max_workers,
                 mp_context=self._mp_context(),
                 initializer=_init_worker,
-                initargs=(system, dataset, key[1] if key else None),
+                initargs=(system, dataset, key[1] if key else None,
+                          self.analysis_spill_dir),
             )
             self._job_pool_key = key
             self._job_pool_for = (system, dataset)

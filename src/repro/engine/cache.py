@@ -50,7 +50,8 @@ class ResultCache:
         """(privacy, utility) for a fingerprint, or ``None`` on a miss.
 
         A disk hit is promoted into the memory tier.  Unreadable or
-        stale-format files count as misses — the entry is simply
+        stale-format files count as misses — the bad file is
+        quarantined (``<name>.corrupt``) and the entry is simply
         recomputed and rewritten.
         """
         value = self.get_memory(fingerprint)
@@ -97,16 +98,11 @@ class ResultCache:
         # Imported here, not at module level: the engine sits below
         # the framework layer, whose store module provides the
         # versioned record format.
-        from ..framework.store import load_eval_record
+        from ..framework.store import read_eval_record
 
-        path = self._path_of(fingerprint)
-        if path.exists():
-            try:
-                record = load_eval_record(path)
-            except (ValueError, OSError, KeyError):
-                pass
-            else:
-                return (record["privacy"], record["utility"])
+        record = read_eval_record(self._path_of(fingerprint))
+        if record is not None:
+            return (record["privacy"], record["utility"])
         return None
 
     def promote(self, fingerprint: str, value: Tuple[float, float]) -> None:

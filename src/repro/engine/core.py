@@ -155,13 +155,22 @@ class EvaluationEngine:
         self.policy = engine
         self.max_workers = int(jobs or default_max_workers())
         self.cache = ResultCache(cache_dir)
+        # A persistent cache_dir promotes the analysis cache too: its
+        # spill tier lives under cache_dir/analysis (a name no 2-hex
+        # result shard can collide with), so restarted daemons, forked
+        # service workers and pool workers all share one warm set of
+        # stay-point/POI extractions.
+        self._analysis_spill_dir = (
+            self.cache.cache_dir / "analysis"
+            if self.cache.cache_dir is not None else None
+        )
         #: Derived-artifact cache (stay points, POIs, heatmap counts)
         #: shared by every batch this engine runs in-process; pooled
         #: workers hold their own per-process cache, seeded with the
         #: dataset fingerprint by the pool initializer.  Its LRU bound
         #: grows to fit whatever dataset a batch announces, so large
         #: fleets cannot thrash their own actual-side artifacts.
-        self.analysis = AnalysisCache()
+        self.analysis = AnalysisCache(spill_dir=self._analysis_spill_dir)
         self._serial = SerialBackend()
         self._process: Optional[ProcessPoolBackend] = None
         #: Real (non-cached) protect + measure executions performed.
@@ -238,7 +247,10 @@ class EvaluationEngine:
     # ------------------------------------------------------------------
     def _process_backend(self) -> ProcessPoolBackend:
         if self._process is None:
-            self._process = ProcessPoolBackend(self.max_workers)
+            self._process = ProcessPoolBackend(
+                self.max_workers,
+                analysis_spill_dir=self._analysis_spill_dir,
+            )
         return self._process
 
     def _backend_for(self, n_misses: int) -> ExecutionBackend:

@@ -24,9 +24,12 @@ from .store import (
     load_eval_record,
     load_model,
     load_sweep,
+    read_eval_record,
+    read_json_payload,
     save_eval_record,
     save_model,
     save_sweep,
+    write_json_atomic,
 )
 from .transfer import ModelTransfer, TransferredModel
 
@@ -58,6 +61,9 @@ __all__ = [
     "load_model",
     "save_eval_record",
     "load_eval_record",
+    "read_eval_record",
+    "read_json_payload",
+    "write_json_atomic",
     "Configurator",
     "Objective",
     "Recommendation",

@@ -9,10 +9,12 @@ no code execution on load.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
+import threading
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 from .models import LogLinearMetricModel, SystemModel
 from .runner import SweepPoint, SweepResult
@@ -25,11 +27,86 @@ __all__ = [
     "load_model",
     "save_eval_record",
     "load_eval_record",
+    "read_eval_record",
+    "write_json_atomic",
+    "read_json_payload",
+    "quarantine_file",
 ]
 
 PathLike = Union[str, Path]
 
 _FORMAT_VERSION = 1
+
+#: Distinguishes concurrent temp files within one process: the pid
+#: alone is not enough once several job-worker threads (or forked
+#: service workers sharing a warm counter) flush the same key.
+_TMP_COUNTER = itertools.count()
+
+
+def write_json_atomic(payload: dict, path: PathLike) -> None:
+    """Write ``payload`` as JSON via a unique temp file + rename.
+
+    Safe for concurrent multi-process writers of the same ``path``: the
+    temp name folds in pid, thread id and a process-local counter, and
+    ``os.replace`` semantics guarantee readers see either the old or
+    the new complete file, never a torn one.  Last writer wins, which
+    is correct for content-addressed records (all writers of one key
+    carry identical content).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(
+        f"{path.name}.{os.getpid()}.{threading.get_ident()}."
+        f"{next(_TMP_COUNTER)}.tmp"
+    )
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    tmp.replace(path)
+
+
+def quarantine_file(path: PathLike) -> Optional[Path]:
+    """Move a corrupt record aside (``<name>.corrupt``) so it stops
+    being re-read and re-failed on every lookup; the original key then
+    reads as a miss and is simply recomputed and rewritten.
+
+    Returns the quarantine path, or ``None`` when the file was already
+    gone (e.g. a concurrent reader quarantined it first).
+    """
+    path = Path(path)
+    target = path.with_name(path.name + ".corrupt")
+    try:
+        path.replace(target)
+    except FileNotFoundError:
+        return None
+    except OSError:
+        # Rename refused (exotic filesystem): deleting still converts
+        # the permanent error into a plain miss.
+        try:
+            path.unlink()
+        except OSError:
+            return None
+        return None
+    return target
+
+
+def read_json_payload(
+    path: PathLike, expected_kind: str
+) -> Optional[dict]:
+    """Tolerant read of a versioned record: ``None`` is always a miss.
+
+    A missing file is a plain miss; an unreadable, truncated or
+    wrong-kind file is quarantined (renamed to ``<name>.corrupt``) and
+    reported as a miss too — cache readers never crash on a torn
+    concurrent write or a corrupted disk.  Use :func:`load_eval_record`
+    / the ``load_*`` functions when a bad file should raise instead.
+    """
+    path = Path(path)
+    try:
+        return _load_payload(path, expected_kind)
+    except FileNotFoundError:
+        return None
+    except (ValueError, OSError, KeyError):
+        quarantine_file(path)
+        return None
 
 
 def save_sweep(sweep: SweepResult, path: PathLike) -> None:
@@ -159,11 +236,7 @@ def save_eval_record(record: dict, path: PathLike) -> None:
         "kind": "eval_record",
         **record,
     }
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
-    tmp.replace(path)
+    write_json_atomic(payload, path)
 
 
 def load_eval_record(path: PathLike) -> dict:
@@ -183,6 +256,25 @@ def load_eval_record(path: PathLike) -> dict:
     except (TypeError, ValueError) as exc:
         raise ValueError(f"{path}: non-numeric metric values: {exc}") from exc
     return payload
+
+
+def read_eval_record(path: PathLike) -> Optional[dict]:
+    """Quarantining variant of :func:`load_eval_record`.
+
+    A missing file returns ``None``; an invalid one (truncated JSON
+    from a torn concurrent write, wrong kind or version, non-numeric
+    metrics) is quarantined as ``<name>.corrupt`` and returns ``None``
+    — the cache-reader contract: any bad record is a miss, never an
+    exception mid-sweep.
+    """
+    path = Path(path)
+    try:
+        return load_eval_record(path)
+    except FileNotFoundError:
+        return None
+    except (ValueError, OSError, KeyError):
+        quarantine_file(path)
+        return None
 
 
 def _load_payload(path: PathLike, expected_kind: str) -> dict:

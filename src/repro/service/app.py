@@ -29,10 +29,12 @@ from __future__ import annotations
 import copy
 import json
 import logging
+import os
 import signal
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 from typing import Callable, Dict, Optional
 
 from ..engine import EvaluationEngine
@@ -113,6 +115,12 @@ class ConfigService:
         exceeding it is a typed ``429 tenant-quota-exceeded``.
     compression_min_bytes:
         Smallest serialised response body worth gzipping.
+    shared_dir:
+        Directory shared by sibling worker processes (pre-fork mode).
+        Enables the response-cache spill tier (``<dir>/responses``) and
+        the cross-process job store (``<dir>/jobs``), so one worker's
+        warm state and job snapshots are visible to the others.
+        ``None`` keeps everything in process memory.
     """
 
     def __init__(
@@ -131,14 +139,21 @@ class ConfigService:
         rate_limit_clock: Callable[[], float] = time.monotonic,
         max_jobs_per_tenant: Optional[int] = None,
         compression_min_bytes: int = 1024,
+        shared_dir=None,
     ) -> None:
-        self.state = ServiceState(engine=engine, system_factory=system_factory)
+        shared = Path(shared_dir) if shared_dir is not None else None
+        self.state = ServiceState(
+            engine=engine,
+            system_factory=system_factory,
+            shared_dir=shared,
+        )
         self.jobs = JobManager(
             execute=self._execute_job,
             workers=workers,
             max_queued=max_queued_jobs,
             ttl_s=job_ttl_s,
             max_jobs_per_tenant=max_jobs_per_tenant,
+            shared_dir=(shared / "jobs") if shared is not None else None,
         )
         routes: Dict[str, Callable[[Request], dict]] = make_handlers(
             self.state
@@ -171,6 +186,7 @@ class ConfigService:
             should_cache=self._replayable,
             key_body=self._cache_key_body,
             on_hit=self._refresh_hit_body,
+            spill_dir=(shared / "responses") if shared is not None else None,
         )
         # A replace-registration changes what a scenario name means.
         # Fingerprint keying already isolates cache entries, but a
@@ -319,7 +335,7 @@ class ConfigService:
         with self.state.engine.hooks(
             batch_start=job.note_batch,
             jobs_done=job.note_done,
-            should_cancel=job.cancel.is_set,
+            should_cancel=job.should_cancel,
         ):
             return self.response_cache.handle(request, inner)
 
@@ -403,19 +419,27 @@ class ConfigService:
     # HTTP front-end
     # ------------------------------------------------------------------
     def make_server(
-        self, host: str = "127.0.0.1", port: int = 8080
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        bind_and_activate: bool = True,
     ) -> ThreadingHTTPServer:
         """A bound (not yet serving) threaded HTTP server over this app.
 
         ``port=0`` asks the OS for a free port (useful in tests);
         ``server.server_address`` reports the actual binding.
+        ``bind_and_activate=False`` defers binding so pre-fork workers
+        can set socket options (``SO_REUSEPORT``) or adopt an inherited
+        socket before the server touches the address.
         """
         service = self
 
         class Handler(_ServiceHTTPHandler):
             app = service
 
-        return _QuietThreadingHTTPServer((host, port), Handler)
+        return _QuietThreadingHTTPServer(
+            (host, port), Handler, bind_and_activate=bind_and_activate
+        )
 
     def close(self, grace_s: float = 10.0) -> None:
         """Drain jobs, then release shared resources; idempotent.
@@ -570,6 +594,9 @@ class _ServiceHTTPHandler(BaseHTTPRequestHandler):
         self.send_response(response.status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(payload)))
+        # Which worker answered — pre-fork smoke tests and operators
+        # use it to confirm requests really spread across processes.
+        self.send_header("X-Worker-Pid", str(os.getpid()))
         if self.close_connection:
             # Set by _read_json_body when the request body was never
             # consumed; tell the client instead of silently dropping.
@@ -599,6 +626,8 @@ def serve(
     rate_limit_rps: Optional[float] = None,
     rate_limit_burst: Optional[int] = None,
     max_jobs_per_tenant: Optional[int] = None,
+    processes: int = 1,
+    shared_dir=None,
 ) -> int:
     """Run the configuration service until interrupted.
 
@@ -609,16 +638,59 @@ def serve(
     ``max_jobs_per_tenant``) pass straight to :class:`ConfigService`
     and are ignored when a pre-built ``service`` is supplied.
 
+    ``processes > 1`` switches to pre-fork mode: the parent reserves
+    the port, forks that many workers (each running its own pipeline +
+    job manager over a fresh post-fork :class:`ConfigService`), and
+    supervises them — crashed workers restart, SIGTERM fans out for a
+    bounded-grace drain.  ``shared_dir`` (strongly recommended there)
+    gives siblings a common response-cache spill tier and job store so
+    the fleet behaves like one warm service.
+
     SIGTERM and SIGINT both shut down cleanly: the socket closes, jobs
     drain with a ``grace_s``-bounded grace period (still-running jobs
     are then cancelled cooperatively), and the process exits 0 — what
     CI runners and container orchestrators expect of a stop.
     """
+    if processes > 1:
+        if service is not None:
+            raise ValueError(
+                "processes > 1 forks fresh workers and cannot adopt a "
+                "pre-built service instance"
+            )
+        if shared_dir is None:
+            # Without a shared directory the workers would be islands:
+            # no cross-worker cache hits, and /jobs/<id> polls landing
+            # on the wrong worker would 404.  Provision a temporary one
+            # as a safety net (the CLI normally supplies a real path).
+            import tempfile
+
+            shared_dir = tempfile.mkdtemp(prefix="repro-lppm-shared-")
+            logger.warning(
+                "prefork mode without --cache-dir: using temporary "
+                "shared state in %s", shared_dir,
+            )
+        from .prefork import serve_prefork
+
+        def make_service() -> ConfigService:
+            return ConfigService(
+                engine=engine, workers=workers, job_ttl_s=job_ttl_s,
+                api_keys=api_keys, allow_anonymous=allow_anonymous,
+                rate_limit_rps=rate_limit_rps,
+                rate_limit_burst=rate_limit_burst,
+                max_jobs_per_tenant=max_jobs_per_tenant,
+                shared_dir=shared_dir,
+            )
+
+        return serve_prefork(
+            host=host, port=port, make_service=make_service,
+            processes=processes, grace_s=grace_s, ready=ready,
+        )
     app = service if service is not None else ConfigService(
         engine=engine, workers=workers, job_ttl_s=job_ttl_s,
         api_keys=api_keys, allow_anonymous=allow_anonymous,
         rate_limit_rps=rate_limit_rps, rate_limit_burst=rate_limit_burst,
         max_jobs_per_tenant=max_jobs_per_tenant,
+        shared_dir=shared_dir,
     )
     server = app.make_server(host, port)
     bound_host, bound_port = server.server_address[:2]

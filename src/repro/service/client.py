@@ -48,7 +48,16 @@ class ServiceClientError(Exception):
 
 
 class _BaseClient:
-    """The endpoint methods, over an abstract request transport."""
+    """The endpoint methods, over an abstract request transport.
+
+    ``last_headers`` holds the response headers of the most recent
+    request (empty before the first one).  Multi-worker smoke tests
+    read ``X-Worker-Pid`` and ``X-Response-Cache`` from it to prove
+    requests really crossed processes.
+    """
+
+    #: Response headers of the last completed request.
+    last_headers: dict = {}
 
     def _request(self, method: str, path: str,
                  body: Optional[dict]) -> dict:
@@ -224,6 +233,7 @@ class ServiceClient(_BaseClient):
     ) -> None:
         self.service = service if service is not None else ConfigService()
         self.api_key = api_key
+        self.last_headers = {}
 
     def _request(self, method: str, path: str,
                  body: Optional[dict]) -> dict:
@@ -233,6 +243,7 @@ class ServiceClient(_BaseClient):
         response: Response = self.service.handle(
             method, path, body, headers=headers
         )
+        self.last_headers = dict(response.headers)
         if not response.ok:
             raise ServiceClientError(
                 response.status, response.body.get("error", {})
@@ -267,6 +278,7 @@ class HttpServiceClient(_BaseClient):
         self.base_url = base_url.rstrip("/")
         self.timeout_s = float(timeout_s)
         self.api_key = api_key
+        self.last_headers = {}
 
     @staticmethod
     def _decode(raw_bytes: bytes, content_encoding: Optional[str]) -> dict:
@@ -293,10 +305,12 @@ class HttpServiceClient(_BaseClient):
             with urllib.request.urlopen(
                 request, timeout=self.timeout_s
             ) as raw:
+                self.last_headers = dict(raw.headers.items())
                 return self._decode(
                     raw.read(), raw.headers.get("Content-Encoding")
                 )
         except urllib.error.HTTPError as exc:
+            self.last_headers = dict(exc.headers.items())
             try:
                 payload = self._decode(
                     exc.read(), exc.headers.get("Content-Encoding")

@@ -16,6 +16,7 @@ headline claim.
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Dict, List, Mapping
 
 from .. import __version__
@@ -366,6 +367,14 @@ def make_handlers(
             "status": "ok",
             "version": __version__,
             "uptime_s": round(state.uptime_s, 3),
+            # Which process answered, and whether it shares warm state
+            # with sibling workers — pre-fork deployments poll this to
+            # see the whole fleet.
+            "worker_pid": os.getpid(),
+            "shared_dir": (
+                str(state.shared_dir)
+                if state.shared_dir is not None else None
+            ),
             "engine": {
                 "policy": state.engine.policy,
                 "max_workers": state.engine.max_workers,
@@ -427,14 +436,29 @@ def make_job_handlers(
         }
 
     def status(request: Request) -> dict:
-        return manager.get(
-            _job_id_of(request), tenant=tenant_of(request)
-        ).snapshot()
+        job_id, tenant = _job_id_of(request), tenant_of(request)
+        try:
+            return manager.get(job_id, tenant=tenant).snapshot()
+        except ServiceError:
+            # Not owned by this process: in multi-worker deployments a
+            # poll may land on a sibling of the worker that accepted
+            # the job — the shared job store answers for it.
+            snapshot = manager.remote_snapshot(job_id, tenant=tenant)
+            if snapshot is None:
+                raise
+            return snapshot
 
     def cancel(request: Request) -> dict:
-        return manager.cancel(
-            _job_id_of(request), tenant=tenant_of(request)
-        ).snapshot()
+        job_id, tenant = _job_id_of(request), tenant_of(request)
+        try:
+            return manager.cancel(job_id, tenant=tenant).snapshot()
+        except ServiceError:
+            # Cross-worker cancel: leave a marker the owning worker
+            # polls between engine chunks.
+            snapshot = manager.request_remote_cancel(job_id, tenant=tenant)
+            if snapshot is None:
+                raise
+            return snapshot
 
     def listing(request: Request) -> dict:
         return {

@@ -31,6 +31,7 @@ import logging
 import queue
 import threading
 import time
+from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from ..engine import EvaluationCancelled
@@ -67,7 +68,7 @@ class Job:
         "id", "endpoint", "body", "tenant", "status", "lock", "cancel",
         "created_at", "started_at", "finished_at", "expires_at",
         "completed", "total", "result", "error", "from_response_cache",
-        "done_event",
+        "done_event", "on_update", "cancel_marker",
     )
 
     def __init__(
@@ -103,15 +104,46 @@ class Job:
         self.from_response_cache = False
         #: Set on entry to any terminal state (in-process waiters).
         self.done_event = threading.Event()
+        #: Manager-installed callback fired (outside :attr:`lock`)
+        #: after progress updates, so a shared job store sees them.
+        self.on_update: Optional[Callable[[], None]] = None
+        #: Path of the cross-process cancel-marker file (shared job
+        #: store only): a sibling worker that cannot reach this
+        #: process's :attr:`cancel` event touches this file instead.
+        self.cancel_marker = None
 
     # -- engine hook targets (called from the worker thread) -----------
     def note_batch(self, n: int) -> None:
         with self.lock:
             self.total += n
+        if self.on_update is not None:
+            self.on_update()
 
     def note_done(self, n: int) -> None:
         with self.lock:
             self.completed += n
+        if self.on_update is not None:
+            self.on_update()
+
+    def should_cancel(self) -> bool:
+        """Cancellation predicate polled between engine chunks.
+
+        True once the in-process event is set *or* a sibling worker
+        left a cancel marker in the shared job store; the marker folds
+        into the event so the file is stat'ed at most until first seen.
+        """
+        if self.cancel.is_set():
+            return True
+        marker = self.cancel_marker
+        if marker is not None:
+            try:
+                found = marker.exists()
+            except OSError:
+                found = False
+            if found:
+                self.cancel.set()
+                return True
+        return False
 
     # -- snapshots ------------------------------------------------------
     def snapshot(self, include_result: bool = True) -> dict:
@@ -179,6 +211,15 @@ class JobManager:
         after that, ``GET /jobs/<id>`` is a 404 and the entry is gone.
     clock:
         Monotonic clock, injectable for TTL tests.
+    shared_dir:
+        Optional directory of the cross-process job store.  Every
+        lifecycle transition (and each progress chunk) of a local job
+        is mirrored there as an atomic JSON snapshot, so a *sibling*
+        pre-fork worker polled for an id it does not own can answer
+        from disk (:meth:`remote_snapshot`) and request cancellation
+        via a marker file the owner polls between engine chunks
+        (:meth:`request_remote_cancel`).  Job ids are unique across
+        workers (the instance tag folds in process identity).
     """
 
     def __init__(
@@ -189,6 +230,7 @@ class JobManager:
         max_jobs_per_tenant: Optional[int] = None,
         ttl_s: float = 600.0,
         clock: Callable[[], float] = time.monotonic,
+        shared_dir=None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -207,6 +249,9 @@ class JobManager:
         )
         self.ttl_s = float(ttl_s)
         self._clock = clock
+        self.shared_dir = Path(shared_dir) if shared_dir is not None else None
+        if self.shared_dir is not None:
+            self.shared_dir.mkdir(parents=True, exist_ok=True)
         self._queue: "queue.Queue[Optional[Job]]" = queue.Queue()
         self._lock = threading.Lock()
         self._jobs: Dict[str, Job] = {}
@@ -286,6 +331,10 @@ class JobManager:
                 )
             self._jobs[job.id] = job
             self._n_queued += 1
+        if self.shared_dir is not None:
+            job.cancel_marker = self._cancel_path(job.id)
+            job.on_update = lambda: self._persist(job)
+            self._persist(job)
         self._queue.put(job)
         return job
 
@@ -332,6 +381,7 @@ class JobManager:
             with self._lock:
                 self._n_queued -= 1
             job.done_event.set()
+        self._persist(job)
         return job
 
     def jobs(self, tenant: Optional[str] = None) -> List[Job]:
@@ -366,6 +416,104 @@ class JobManager:
             }
 
     # ------------------------------------------------------------------
+    # Shared job store (cross-process visibility)
+    # ------------------------------------------------------------------
+    def _job_path(self, job_id: str) -> Path:
+        assert self.shared_dir is not None
+        return self.shared_dir / f"{job_id}.json"
+
+    def _cancel_path(self, job_id: str) -> Path:
+        assert self.shared_dir is not None
+        return self.shared_dir / f"{job_id}.cancel"
+
+    def _persist(self, job: Job) -> None:
+        """Mirror one local job's snapshot to the shared store.
+
+        Atomic write, full result included, IO errors swallowed — a
+        failed mirror only degrades sibling workers to 404, it never
+        fails the job itself.
+        """
+        if self.shared_dir is None:
+            return
+        from ..framework.store import write_json_atomic
+
+        payload = {
+            "format_version": 1,
+            "kind": "job_snapshot",
+            "snapshot": job.snapshot(include_result=True),
+        }
+        try:
+            write_json_atomic(payload, self._job_path(job.id))
+        except (OSError, TypeError, ValueError):
+            pass
+
+    def _unlink_shared(self, job_id: str) -> None:
+        if self.shared_dir is None:
+            return
+        for path in (self._job_path(job_id), self._cancel_path(job_id)):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def remote_snapshot(
+        self, job_id: str, tenant: Optional[str] = None
+    ) -> Optional[dict]:
+        """A *sibling worker's* job snapshot from the shared store.
+
+        ``None`` means unknown there too (no store configured, no
+        record, a corrupt record — quarantined — or a record past its
+        TTL); with ``tenant`` given, another tenant's job is ``None``
+        exactly as :meth:`get` would 404 it.  Callers try :meth:`get`
+        first — the local table is authoritative for jobs this process
+        owns.
+        """
+        if self.shared_dir is None:
+            return None
+        from ..framework.store import read_json_payload
+
+        payload = read_json_payload(self._job_path(job_id), "job_snapshot")
+        if payload is None:
+            return None
+        snapshot = payload.get("snapshot")
+        if not isinstance(snapshot, dict) or \
+                snapshot.get("job_id") != job_id:
+            return None
+        if tenant is not None and snapshot.get("tenant") != tenant:
+            return None
+        finished_at = snapshot.get("finished_at")
+        if isinstance(finished_at, (int, float)) and \
+                time.time() - finished_at > self.ttl_s:
+            # The owner would have purged this by now; it may have
+            # exited without cleaning up.  Enforce the TTL here so
+            # orphaned snapshots expire from any worker.
+            self._unlink_shared(job_id)
+            return None
+        return snapshot
+
+    def request_remote_cancel(
+        self, job_id: str, tenant: Optional[str] = None
+    ) -> Optional[dict]:
+        """Ask a sibling worker to cancel a job it owns.
+
+        Leaves a marker file the owner's :meth:`Job.should_cancel`
+        polls between engine chunks — the cross-process twin of setting
+        the cancel event.  Returns the job's snapshot (with
+        ``cancel_requested`` already true for non-terminal jobs), or
+        ``None`` when the shared store does not know the id.
+        """
+        snapshot = self.remote_snapshot(job_id, tenant=tenant)
+        if snapshot is None:
+            return None
+        if snapshot.get("status") not in _TERMINAL:
+            try:
+                self._cancel_path(job_id).write_text("cancel\n")
+            except OSError:
+                return None
+            snapshot["cancel_requested"] = True
+        return snapshot
+
+    # ------------------------------------------------------------------
     # Worker loop
     # ------------------------------------------------------------------
     def _worker(self) -> None:
@@ -389,6 +537,7 @@ class JobManager:
         with self._lock:
             self._n_queued -= 1
             self._n_running += 1
+        self._persist(job)
         status, result, error, cached = "failed", None, None, False
         try:
             response = self._execute(job)
@@ -418,6 +567,7 @@ class JobManager:
             job.expires_at = self._clock() + self.ttl_s
         with self._lock:
             self._n_running -= 1
+        self._persist(job)
         job.done_event.set()
 
     # ------------------------------------------------------------------
@@ -433,6 +583,7 @@ class JobManager:
         ]
         for job_id in expired:
             del self._jobs[job_id]
+            self._unlink_shared(job_id)
 
     def close(self, grace_s: float = 10.0) -> None:
         """Drain and stop the pool; idempotent.
@@ -466,6 +617,7 @@ class JobManager:
             if finished:
                 with self._lock:
                     self._n_queued -= 1
+                self._persist(job)
                 job.done_event.set()
         for _ in self._threads:
             self._queue.put(None)

@@ -40,6 +40,7 @@ import os
 import threading
 import time
 from collections import OrderedDict
+from pathlib import Path
 from typing import Callable, Dict, Optional, Tuple
 
 from ..engine import EvaluationEngine
@@ -291,11 +292,17 @@ class ServiceState:
         system_factory: Callable[[], SystemDefinition] = geo_ind_system,
         max_datasets: int = 32,
         scenarios: Optional[ScenarioRegistry] = None,
+        shared_dir=None,
     ) -> None:
         if max_datasets < 1:
             raise ValueError("max_datasets must be at least 1")
         self.engine = engine if engine is not None else EvaluationEngine()
         self.system = system_factory()
+        #: Root of the cross-process warm-state directory (response
+        #: spill + shared job store), ``None`` for a purely in-memory
+        #: single-process service.  Held here for introspection
+        #: (``/healthz`` reports it); the app wires the tiers.
+        self.shared_dir = Path(shared_dir) if shared_dir is not None else None
         self.max_datasets = int(max_datasets)
         self.scenarios = (
             scenarios if scenarios is not None else ScenarioRegistry()

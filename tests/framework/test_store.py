@@ -1,13 +1,26 @@
-"""Tests of sweep/model JSON persistence."""
+"""Tests of sweep/model JSON persistence and the shared record store.
+
+The tolerant reader / atomic writer pair (``read_eval_record`` /
+``save_eval_record``) is what makes one on-disk cache directory safe
+for a pre-fork worker fleet: any torn or corrupted record must read as
+a miss and be quarantined — never crash a sweep — and concurrent
+writers of the same key must never leave a reader a partial file.
+"""
 
 import json
+import subprocess
+import sys
+from pathlib import Path
 
 import pytest
 
+import repro
 from repro.framework import (
     fit_system_model,
     load_model,
     load_sweep,
+    read_eval_record,
+    save_eval_record,
     save_model,
     save_sweep,
 )
@@ -90,3 +103,119 @@ class TestErrorHandling:
     def test_missing_file_raises(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             load_sweep(tmp_path / "nope.json")
+
+
+def _record(value: float = 0.5) -> dict:
+    return {"fingerprint": "abc123", "privacy": value, "utility": 2 * value}
+
+
+class TestTolerantRecordReads:
+    """``read_eval_record``: any bad file is a miss, never a crash."""
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "rec.json"
+        save_eval_record(_record(), path)
+        loaded = read_eval_record(path)
+        assert loaded["privacy"] == 0.5 and loaded["utility"] == 1.0
+
+    def test_missing_file_is_a_plain_miss(self, tmp_path):
+        path = tmp_path / "nope.json"
+        assert read_eval_record(path) is None
+        # Nothing to quarantine: the directory stays untouched.
+        assert list(tmp_path.iterdir()) == []
+
+    def test_truncated_record_is_a_miss_and_quarantined(self, tmp_path):
+        path = tmp_path / "rec.json"
+        save_eval_record(_record(), path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])  # torn write
+
+        assert read_eval_record(path) is None
+        corrupt = path.with_name(path.name + ".corrupt")
+        assert corrupt.exists() and not path.exists()
+        # The key is now writable again and recovers fully.
+        save_eval_record(_record(0.25), path)
+        assert read_eval_record(path)["privacy"] == 0.25
+
+    def test_wrong_kind_is_quarantined(self, tmp_path):
+        path = tmp_path / "rec.json"
+        path.write_text(json.dumps({
+            "format_version": 1, "kind": "sweep", "points": [],
+        }))
+        assert read_eval_record(path) is None
+        assert path.with_name(path.name + ".corrupt").exists()
+
+    def test_non_numeric_metrics_are_quarantined(self, tmp_path):
+        path = tmp_path / "rec.json"
+        save_eval_record(_record(), path)
+        payload = json.loads(path.read_text())
+        payload["privacy"] = "NaN-ish nonsense"
+        path.write_text(json.dumps(payload))
+        assert read_eval_record(path) is None
+        assert path.with_name(path.name + ".corrupt").exists()
+
+    def test_atomic_writer_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / "rec.json"
+        for _ in range(5):
+            save_eval_record(_record(), path)
+        assert [p.name for p in tmp_path.iterdir()] == ["rec.json"]
+
+
+_WRITER_PROGRAM = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.framework import read_eval_record, save_eval_record
+
+root = {root!r}
+for round_no in range({rounds}):
+    for key in range({keys}):
+        path = f"{{root}}/key{{key}}.json"
+        save_eval_record(
+            {{"fingerprint": f"fp{{key}}",
+              "privacy": key * 0.1, "utility": key * 0.2}},
+            path,
+        )
+        loaded = read_eval_record(path)
+        if loaded is not None and loaded["fingerprint"] != f"fp{{key}}":
+            sys.exit(3)
+"""
+
+
+class TestConcurrentWriters:
+    def test_two_processes_hammer_the_same_keys(self, tmp_path):
+        """Two writer processes + a concurrent reader, no torn records.
+
+        Both writers rewrite the same key-space with identical content
+        per key (the content-addressed store's real access pattern);
+        the parent reads throughout.  Every successful read must be a
+        complete, correct record, both writers must exit 0, and no
+        temp or quarantine files may remain.
+        """
+        src = str(Path(repro.__file__).parents[1])
+        n_keys, n_rounds = 6, 40
+        program = _WRITER_PROGRAM.format(
+            src=src, root=str(tmp_path), rounds=n_rounds, keys=n_keys,
+        )
+        writers = [
+            subprocess.Popen([sys.executable, "-c", program])
+            for _ in range(2)
+        ]
+        try:
+            while any(w.poll() is None for w in writers):
+                for key in range(n_keys):
+                    loaded = read_eval_record(tmp_path / f"key{key}.json")
+                    if loaded is not None:
+                        assert loaded["fingerprint"] == f"fp{key}"
+                        assert loaded["privacy"] == pytest.approx(key * 0.1)
+        finally:
+            for w in writers:
+                w.wait(timeout=60.0)
+        assert [w.returncode for w in writers] == [0, 0]
+
+        for key in range(n_keys):
+            loaded = read_eval_record(tmp_path / f"key{key}.json")
+            assert loaded is not None
+            assert loaded["utility"] == pytest.approx(key * 0.2)
+        leftovers = [p.name for p in tmp_path.iterdir()
+                     if p.suffix != ".json"]
+        assert leftovers == []  # no .tmp orphans, nothing quarantined

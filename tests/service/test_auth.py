@@ -237,7 +237,8 @@ class TestTenantIsolation:
         bob.sweep(TAXI, **body_points)
         snapshot = service.response_cache.snapshot()
         # Identical bodies, different tenants: two entries, zero hits.
-        assert snapshot == {"entries": 2, "hits": 0, "misses": 2}
+        assert snapshot == {"entries": 2, "hits": 0, "misses": 2,
+                            "spill": False, "spill_hits": 0}
         alice.sweep(TAXI, **body_points)
         assert service.response_cache.snapshot()["hits"] == 1
 

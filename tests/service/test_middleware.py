@@ -220,7 +220,8 @@ class TestResponseCache:
         pipeline(Request("POST", "/b", body={"x": 1}), handler)
         pipeline(Request("POST", "/b", body={"x": 1}), handler)
         assert len(calls) == 3  # /a answered once from cache
-        assert cache.snapshot() == {"entries": 1, "hits": 1, "misses": 1}
+        assert cache.snapshot() == {"entries": 1, "hits": 1, "misses": 1,
+                                    "spill": False, "spill_hits": 0}
 
     def test_key_is_order_insensitive(self):
         assert canonical_body_key("POST /a", {"x": 1, "y": 2}) == \

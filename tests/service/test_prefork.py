@@ -1,0 +1,213 @@
+"""Pre-fork multi-worker mode and the shared warm state behind it.
+
+Two layers of coverage:
+
+* **shared-state semantics in-process** — two :class:`ConfigService`
+  instances pointed at one ``shared_dir`` stand in for two forked
+  workers: a response primed on one must replay as a spill hit on the
+  other, and a job owned by one must be visible (and cancellable, and
+  tenant-isolated) from the other through the shared job store;
+* **the real daemon** — one subprocess test boots
+  ``serve --processes 2``, proves both workers answer, and drains the
+  fleet with SIGTERM to exit 0.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.service import ConfigService, ServiceClient, serve
+from repro.service.prefork import reuseport_available
+
+SRC_ROOT = Path(repro.__file__).parents[1]
+
+SWEEP_BODY = {
+    "dataset": {"workload": "taxi", "users": 3, "seed": 5},
+    "points": 2,
+    "replications": 1,
+}
+
+
+def _worker(shared_dir) -> ConfigService:
+    return ConfigService(workers=1, shared_dir=shared_dir)
+
+
+class TestSharedResponseCache:
+    def test_sibling_serves_primed_response_as_hit(self, tmp_path):
+        with ServiceClient(_worker(tmp_path)) as primer:
+            primed = primer.sweep(**SWEEP_BODY)
+            assert primer.last_headers.get("X-Response-Cache") == "miss"
+
+        with ServiceClient(_worker(tmp_path)) as sibling:
+            replay = sibling.sweep(**SWEEP_BODY)
+            assert sibling.last_headers.get("X-Response-Cache") == "hit"
+            snapshot = sibling.metrics()["response_cache"]
+
+        assert replay["points"] == primed["points"]
+        assert replay["engine"]["executions_this_request"] == 0
+        assert snapshot["spill_hits"] == 1
+        assert snapshot["spill"] is True
+
+    def test_restarted_single_worker_starts_warm(self, tmp_path):
+        """The same promotion covers a plain daemon restart."""
+        with ServiceClient(_worker(tmp_path)) as before:
+            before.sweep(**SWEEP_BODY)
+        with ServiceClient(_worker(tmp_path)) as after:
+            replay = after.sweep(**SWEEP_BODY)
+            assert after.last_headers.get("X-Response-Cache") == "hit"
+        assert replay["engine"]["executions_this_request"] == 0
+
+    def test_without_shared_dir_siblings_are_cold(self, tmp_path):
+        with ServiceClient(ConfigService(workers=1)) as primer:
+            primer.sweep(**SWEEP_BODY)
+        with ServiceClient(ConfigService(workers=1)) as sibling:
+            sibling.sweep(**SWEEP_BODY)
+            assert sibling.last_headers.get("X-Response-Cache") == "miss"
+
+
+class TestSharedJobStore:
+    def test_sibling_sees_owned_job_to_completion(self, tmp_path):
+        owner = _worker(tmp_path)
+        sibling = _worker(tmp_path)
+        try:
+            with ServiceClient(owner) as client:
+                job = client.submit("sweep", SWEEP_BODY)
+                final = client.wait(job["job_id"], timeout_s=60.0)
+            assert final["status"] == "done"
+
+            remote = sibling.jobs.remote_snapshot(job["job_id"])
+            assert remote is not None
+            assert remote["status"] == "done"
+            assert len(remote["result"]["points"]) == 2
+        finally:
+            owner.close(grace_s=5.0)
+            sibling.close(grace_s=5.0)
+
+    def test_remote_cancel_leaves_marker_the_owner_polls(self, tmp_path):
+        owner = _worker(tmp_path)
+        sibling = _worker(tmp_path)
+        try:
+            with ServiceClient(owner) as client:
+                # Big enough that the cancel lands mid-run.
+                slow = client.submit("sweep", {
+                    "dataset": {"workload": "taxi", "users": 6,
+                                "seed": 9},
+                    "points": 20, "replications": 3,
+                })
+                deadline = time.monotonic() + 30.0
+                while time.monotonic() < deadline:
+                    snapshot = sibling.jobs.request_remote_cancel(
+                        slow["job_id"]
+                    )
+                    if snapshot is not None:
+                        break
+                    time.sleep(0.02)
+                assert snapshot is not None
+                assert snapshot["cancel_requested"] is True
+                final = client.wait(slow["job_id"], timeout_s=60.0)
+            assert final["status"] in ("cancelled", "done")
+        finally:
+            owner.close(grace_s=5.0)
+            sibling.close(grace_s=5.0)
+
+    def test_remote_snapshot_enforces_tenant(self, tmp_path):
+        owner = _worker(tmp_path)
+        sibling = _worker(tmp_path)
+        try:
+            with ServiceClient(owner) as client:
+                job = client.submit("sweep", SWEEP_BODY)
+                client.wait(job["job_id"], timeout_s=60.0)
+                job_id = job["job_id"]
+            # The anonymous tenant owns it; another tenant sees None,
+            # exactly as the HTTP layer would 404.
+            assert sibling.jobs.remote_snapshot(
+                job_id, tenant="mallory"
+            ) is None
+            assert sibling.jobs.remote_snapshot(job_id) is not None
+        finally:
+            owner.close(grace_s=5.0)
+            sibling.close(grace_s=5.0)
+
+    def test_unknown_job_is_none(self, tmp_path):
+        service = _worker(tmp_path)
+        try:
+            assert service.jobs.remote_snapshot("job-nope") is None
+            assert service.jobs.request_remote_cancel("job-nope") is None
+        finally:
+            service.close(grace_s=5.0)
+
+
+class TestServeGuards:
+    def test_prefork_rejects_prebuilt_service(self):
+        service = ConfigService(workers=1)
+        try:
+            with pytest.raises(ValueError):
+                serve(service=service, processes=2)
+        finally:
+            service.close(grace_s=5.0)
+
+    def test_reuseport_probe_answers_a_bool(self):
+        assert isinstance(reuseport_available(), bool)
+        if sys.platform == "linux":
+            # Every kernel this library targets (>= 3.9) has it.
+            assert reuseport_available() is True
+            assert hasattr(socket, "SO_REUSEPORT")
+
+
+_LISTENING = re.compile(r"listening on (http://[\d.]+:\d+)")
+
+
+class TestPreforkDaemon:
+    def test_boot_answer_drain(self, tmp_path):
+        """`serve --processes 2` boots, serves, drains on SIGTERM."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC_ROOT) + (
+            os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH") else ""
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--port", "0", "--workers", "1", "--grace", "5",
+             "--processes", "2", "--cache-dir", str(tmp_path)],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env,
+        )
+        try:
+            banner = None
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                line = process.stdout.readline()
+                if not line:
+                    break
+                match = _LISTENING.search(line)
+                if match:
+                    banner = line
+                    base_url = match.group(1)
+                    break
+            assert banner is not None, "daemon never announced itself"
+            assert "2 workers" in banner
+
+            from repro.service import HttpServiceClient
+
+            client = HttpServiceClient(base_url, timeout_s=30.0)
+            health = client.healthz()
+            assert health["status"] == "ok"
+            assert health["worker_pid"] not in (None, process.pid)
+            assert health["shared_dir"] == str(tmp_path)
+
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=30.0) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10.0)

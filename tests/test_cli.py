@@ -73,6 +73,18 @@ class TestParser:
         assert excinfo.value.code == 2
         assert "--workers" in capsys.readouterr().err
 
+    def test_serve_processes_default_and_parse(self):
+        assert build_parser().parse_args(["serve"]).processes == 1
+        args = build_parser().parse_args(["serve", "--processes", "4"])
+        assert args.processes == 4
+
+    @pytest.mark.parametrize("value", ["0", "-2", "two"])
+    def test_serve_rejects_bad_process_counts(self, value, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["serve", "--processes", value])
+        assert excinfo.value.code == 2
+        assert "--processes" in capsys.readouterr().err
+
     def test_job_submit_requires_a_body_source(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
             build_parser().parse_args(["job", "submit", "sweep"])

@@ -15,10 +15,22 @@ end over real sockets — every request carrying ``X-API-Key``:
    ``cancelled`` without a result;
 5. **clean shutdown** — SIGTERM drains the daemon and it exits 0.
 
+With ``--processes N`` (N > 1) the daemon boots in pre-fork mode and
+two extra steps prove the fleet behaves like one service:
+
+6. **fleet** — repeated ``/healthz`` probes observe at least two
+   distinct ``X-Worker-Pid`` values;
+7. **cross-worker warmth** — a sweep primed on one worker is answered
+   as a response-cache **hit** (``X-Response-Cache: hit``, zero new
+   engine executions, bit-identical body) by a *different* worker, and
+   a job submitted to one worker is polled to ``done`` through
+   another via the shared job store.
+
 Exit status 0 when every step passes; a JSON summary (``--json``) is
 written for CI artifacts either way.  CI runs this in the smoke job.
 
 Run:  PYTHONPATH=src python tools/job_smoke.py [--json out.json]
+      PYTHONPATH=src python tools/job_smoke.py --processes 2
 """
 
 from __future__ import annotations
@@ -46,17 +58,20 @@ SMOKE_TENANT = "smoke"
 
 
 def start_daemon(
-    workers: int, api_keys_path: str
+    workers: int, api_keys_path: str, processes: int = 1
 ) -> "tuple[subprocess.Popen, str]":
     env = dict(os.environ)
     env["PYTHONPATH"] = (
         str(REPO_ROOT / "src")
         + (os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
     )
+    command = [sys.executable, "-m", "repro.cli", "serve",
+               "--port", "0", "--workers", str(workers), "--grace", "5",
+               "--api-keys", api_keys_path]
+    if processes > 1:
+        command += ["--processes", str(processes)]
     process = subprocess.Popen(
-        [sys.executable, "-m", "repro.cli", "serve",
-         "--port", "0", "--workers", str(workers), "--grace", "5",
-         "--api-keys", api_keys_path],
+        command,
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         text=True,
@@ -82,6 +97,9 @@ def main() -> int:
     parser.add_argument("--workers", type=int, default=1,
                         help="daemon job workers (default 1: makes the "
                              "responsiveness check adversarial)")
+    parser.add_argument("--processes", type=int, default=1,
+                        help="pre-fork worker processes; > 1 adds the "
+                             "cross-worker warmth steps")
     args = parser.parse_args()
 
     summary: dict = {"steps": {}, "ok": False}
@@ -90,9 +108,12 @@ def main() -> int:
     ) as keyfile:
         keyfile.write(f"# job-smoke credentials\n{SMOKE_KEY}:{SMOKE_TENANT}\n")
         api_keys_path = keyfile.name
-    process, base_url = start_daemon(args.workers, api_keys_path)
+    process, base_url = start_daemon(
+        args.workers, api_keys_path, processes=args.processes
+    )
     client = HttpServiceClient(base_url, timeout_s=30.0, api_key=SMOKE_KEY)
-    print(f"daemon up at {base_url} (pid {process.pid}, keyed)")
+    print(f"daemon up at {base_url} (pid {process.pid}, keyed, "
+          f"{args.processes} process(es))")
 
     try:
         # -- 0. the auth gate is really on ----------------------------
@@ -165,6 +186,88 @@ def main() -> int:
         print(f"cancel: job stopped at "
               f"{final['progress']['completed']}"
               f"/{final['progress']['total']} engine jobs")
+
+        # -- 3.5 cross-worker warmth (pre-fork mode only) -------------
+        if args.processes > 1:
+            # Fleet: distinct pids must answer.  Every request opens a
+            # fresh TCP connection, so the kernel spreads them across
+            # the workers' listening sockets.
+            pids = set()
+            deadline = time.monotonic() + 30.0
+            while len(pids) < 2 and time.monotonic() < deadline:
+                client.healthz()
+                pids.add(client.last_headers.get("X-Worker-Pid"))
+            assert len(pids) >= 2, (
+                f"only one worker answered in 30s: {pids}"
+            )
+            summary["steps"]["fleet"] = {"ok": True,
+                                         "worker_pids": sorted(pids)}
+            print(f"fleet: {len(pids)} distinct workers answered "
+                  f"(pids {sorted(pids)})")
+
+            # Prime a fresh sweep on whichever worker catches it, then
+            # repeat it until a *different* worker answers — that
+            # answer must be a response-cache hit served through the
+            # shared spill tier: zero new executions, identical body.
+            prime_body = {"dataset": {"workload": "taxi", "users": 4,
+                                      "seed": 77},
+                          "points": 4, "replications": 1}
+            primed = client.sweep(**prime_body)
+            primer_pid = client.last_headers.get("X-Worker-Pid")
+            cross_hit = None
+            deadline = time.monotonic() + 60.0
+            while cross_hit is None and time.monotonic() < deadline:
+                repeat = client.sweep(**prime_body)
+                pid = client.last_headers.get("X-Worker-Pid")
+                if pid != primer_pid:
+                    cache = client.last_headers.get("X-Response-Cache")
+                    assert cache == "hit", (
+                        f"worker {pid} recomputed instead of hitting "
+                        f"the shared response cache ({cache!r})"
+                    )
+                    assert repeat["engine"]["executions_this_request"] \
+                        == 0, repeat["engine"]
+                    assert repeat["points"] == primed["points"]
+                    cross_hit = pid
+            assert cross_hit is not None, \
+                "no second worker answered the repeated sweep in 60s"
+            summary["steps"]["cross_worker_cache"] = {
+                "ok": True, "primed_on": primer_pid,
+                "hit_served_by": cross_hit,
+            }
+            print(f"cross-worker cache: primed on pid {primer_pid}, "
+                  f"hit served by pid {cross_hit} (0 executions)")
+
+            # Jobs: submit lands on one worker; polling through the
+            # shared job store must work from any sibling.
+            job = client.submit("sweep", {
+                "dataset": {"workload": "taxi", "users": 4, "seed": 78},
+                "points": 5, "replications": 1,
+            })
+            owner_pid = client.last_headers.get("X-Worker-Pid")
+            remote_poll_pid = None
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                snapshot = client.status(job["job_id"])
+                pid = client.last_headers.get("X-Worker-Pid")
+                if pid != owner_pid:
+                    remote_poll_pid = pid
+                if snapshot["status"] == "done" and remote_poll_pid:
+                    break
+                time.sleep(0.05)
+            final = client.wait(job["job_id"], timeout_s=60.0)
+            assert final["status"] == "done", final
+            assert remote_poll_pid is not None, (
+                "every poll landed on the submitting worker; "
+                "cross-worker job visibility unproven"
+            )
+            assert len(final["result"]["points"]) == 5
+            summary["steps"]["cross_worker_jobs"] = {
+                "ok": True, "submitted_on": owner_pid,
+                "polled_via": remote_poll_pid,
+            }
+            print(f"cross-worker jobs: submitted on pid {owner_pid}, "
+                  f"polled to done via pid {remote_poll_pid}")
 
         # -- 4. SIGTERM drains and exits 0 ----------------------------
         process.send_signal(signal.SIGTERM)
