@@ -13,6 +13,11 @@ the streaming parsers of ``repro.mobility.io`` end to end:
 * **scenario-registry resolution** (``repro.scenarios``): registering
   the fixture as a file-backed ``cabspotting`` scenario and resolving
   it twice — the second resolve must be an LRU cache hit;
+* **streaming replay** (``repro.streaming``): the whole fleet pushed
+  through a bounded :class:`SessionManager` in small chunks, gated on
+  sustained throughput (>= 2000 records/s) and on RSS growth across
+  the replay (<= 256 MB — sliding windows must not accumulate the
+  stream), with the final sliding-window metrics reported;
 * **peak RSS** of the whole process (``getrusage``), the number that
   blows up if a parser ever slurps whole files again.
 
@@ -32,6 +37,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.lppm import GeoIndistinguishability
 from repro.mobility import (
     Dataset,
     Trace,
@@ -43,6 +49,7 @@ from repro.mobility import (
     write_geolife,
 )
 from repro.scenarios import ScenarioRegistry, ScenarioSpec
+from repro.streaming import SessionManager
 
 
 def synth_fleet(n_records: int, n_users: int, seed: int = 0) -> Dataset:
@@ -156,6 +163,65 @@ def bench_scenario(root: Path) -> dict:
     }
 
 
+#: Streaming-tier gates: minimum sustained throughput and maximum
+#: growth of the process high-water RSS across the replay.
+STREAM_MIN_RPS = 2000.0
+STREAM_MAX_RSS_GROWTH_MB = 256.0
+
+
+def _rss_kb() -> int:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+def bench_streaming(dataset: Dataset, batch: int = 256) -> dict:
+    """Replay the fleet through live sessions in ``batch``-sized chunks.
+
+    Mimics a field deployment: every user is a long-lived session fed
+    incremental updates, with sliding-window metrics maintained as the
+    stream goes by.  RSS growth is measured on the *high-water* mark,
+    so a well-behaved replay (bounded windows, no stream accumulation
+    beyond the per-session trace buffers) typically shows ~0 growth
+    after the format tiers have already touched the data.
+    """
+    manager = SessionManager(
+        max_sessions=len(dataset) + 8, window_s=1800.0
+    )
+    lppm = GeoIndistinguishability(0.01)
+    rss_before_kb = _rss_kb()
+    released = 0
+    start = time.perf_counter()
+    for user in dataset.users:
+        trace = dataset[user]
+        records = list(zip(
+            trace.times_s.tolist(), trace.lats.tolist(),
+            trace.lons.tolist(),
+        ))
+        for lo in range(0, len(records), batch):
+            _, out = manager.update(
+                "bench", user, records[lo:lo + batch],
+                lppm=lppm, user=user, seed=7,
+            )
+            released += sum(1 for r in out if r is not None)
+    replay_s = time.perf_counter() - start
+    window = manager.get("bench", dataset.users[0]).metrics()["window"]
+    stats = manager.stats()
+    manager.close()
+    growth_mb = max(0, _rss_kb() - rss_before_kb) / 1024.0
+    rps = dataset.n_records / replay_s if replay_s else float("inf")
+    return {
+        "records": dataset.n_records,
+        "sessions": stats["sessions_opened"],
+        "batch": batch,
+        "replay_s": round(replay_s, 4),
+        "replay_rps": round(rps),
+        "released": released,
+        "rss_growth_mb": round(growth_mb, 1),
+        "window": window,
+        "throughput_ok": bool(rps >= STREAM_MIN_RPS),
+        "rss_ok": bool(growth_mb <= STREAM_MAX_RSS_GROWTH_MB),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--records", type=int, default=250_000,
@@ -182,6 +248,7 @@ def main(argv=None) -> int:
         for name in ("cabspotting", "csv", "geolife"):
             results["formats"][name] = bench_format(name, dataset, root)
         results["scenario"] = bench_scenario(root)
+    results["streaming"] = bench_streaming(dataset)
 
     peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     results["peak_rss_mb"] = round(peak_kb / 1024.0, 1)
@@ -197,17 +264,26 @@ def main(argv=None) -> int:
     print(f"\nscenario resolve: cold {scenario['cold_s']}s, "
           f"warm {scenario['warm_s']}s "
           f"({'LRU hit' if scenario['warm_is_cache_hit'] else 'MISS'})")
+    streaming = results["streaming"]
+    print(f"streaming replay: {streaming['replay_rps']} rec/s over "
+          f"{streaming['sessions']} sessions "
+          f"(RSS growth {streaming['rss_growth_mb']} MB) "
+          f"{'ok' if streaming['throughput_ok'] and streaming['rss_ok'] else 'FAILED'}")
     print(f"peak RSS: {results['peak_rss_mb']} MB")
 
-    ok = all(r["round_trip_ok"] for r in results["formats"].values()) \
+    ok = (
+        all(r["round_trip_ok"] for r in results["formats"].values())
         and scenario["warm_is_cache_hit"]
+        and streaming["throughput_ok"]
+        and streaming["rss_ok"]
+    )
     results["ok"] = bool(ok)
     if args.json:
         Path(args.json).write_text(json.dumps(results, indent=2))
         print(f"\nJSON written to {args.json}")
     if not ok:
-        print("FAILED: a round trip lost data or the LRU missed",
-              file=sys.stderr)
+        print("FAILED: a round trip lost data, the LRU missed, or the "
+              "streaming replay broke a gate", file=sys.stderr)
         return 1
     return 0
 

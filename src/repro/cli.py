@@ -18,6 +18,9 @@ The commands cover the library's workflow end to end:
   docs/service.md);
 * ``job``      — drive a running daemon's async jobs: ``submit`` a
   sweep/configure/recommend body, ``status``/``wait``/``cancel`` it;
+* ``stream``   — replay a CSV trace file against a running daemon's
+  live ``/stream`` endpoints, one session per user, and print the
+  final sliding-window metrics (see docs/streaming.md);
 * ``datasets`` — the scenario registry: ``list`` named scenarios,
   ``show`` one (optionally resolving it), ``register`` a new one —
   locally, or on a running daemon with ``--url`` (see
@@ -43,7 +46,13 @@ from .framework import (
 )
 from .lppm import available_lppms, lppm_class, primary_param
 from .metrics import available_metrics
-from .mobility import dataset_stats, read_csv, trace_stats, write_csv
+from .mobility import (
+    dataset_stats,
+    iter_csv_records,
+    read_csv,
+    trace_stats,
+    write_csv,
+)
 from .report import (
     format_table,
     model_summary,
@@ -285,6 +294,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     job_list = job_sub.add_parser("list", help="live jobs + pool counters")
     _add_url(job_list)
+
+    stream = sub.add_parser(
+        "stream",
+        help="replay a CSV trace file against a daemon's live "
+             "/stream endpoints",
+    )
+    stream.add_argument("input",
+                        help="CSV trace file (user,time_s,lat,lon) to "
+                             "replay in on-disk record order")
+    stream.add_argument("--session", default=None, metavar="NAME",
+                        help="session name prefix (default: the input "
+                             "file's stem); each user streams as "
+                             "<prefix>.<user>")
+    stream.add_argument("--lppm", choices=available_lppms(),
+                        default="geo_ind",
+                        help="mechanism protecting the stream "
+                             "(default: geo_ind)")
+    stream.add_argument("--param", type=float, default=0.01,
+                        help="the mechanism's parameter value "
+                             "(default: 0.01)")
+    stream.add_argument("--seed", type=int, default=0,
+                        help="protection seed (default: 0)")
+    stream.add_argument("--window", type=float, default=None, metavar="S",
+                        help="sliding metrics window in seconds "
+                             "(default: the server's, 3600)")
+    stream.add_argument("--batch", type=_positive_int, default=64,
+                        metavar="N",
+                        help="records per POST chunk (default: 64)")
+    stream.add_argument("--keep-open", action="store_true",
+                        help="leave the sessions live on the daemon "
+                             "instead of closing them after the replay")
+    stream.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON")
+    _add_url(stream)
 
     datasets = sub.add_parser(
         "datasets",
@@ -607,6 +650,86 @@ def _cmd_job(args: argparse.Namespace) -> int:
         return 3
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    """Replay a CSV trace file as live streams against a daemon.
+
+    Records are read in on-disk order through the record-iterator layer
+    (never materialising the file), buffered per user, and POSTed as
+    chunks of at most ``--batch`` records — the transport's form of a
+    chunked live stream.  Each user gets their own tenant-namespaced
+    session; the final sliding-window metrics print at the end.
+    """
+    import json
+
+    from .service import HttpServiceClient, ServiceClientError
+
+    client = HttpServiceClient(args.url, api_key=args.api_key)
+    base = args.session or os.path.splitext(os.path.basename(args.input))[0]
+    buffers: dict = {}
+    order: List[str] = []
+
+    def session_name(user: str) -> str:
+        # Session names are path segments; user ids are free-form.
+        return f"{base}.{user}".replace("/", "_")
+
+    def push(user: str) -> None:
+        batch = buffers[user]
+        if not batch:
+            return
+        client.stream_update(
+            session_name(user), batch, lppm=args.lppm, param=args.param,
+            seed=args.seed, user=user, window_s=args.window,
+        )
+        buffers[user] = []
+
+    try:
+        for user, t, lat, lon in iter_csv_records(args.input):
+            if user not in buffers:
+                buffers[user] = []
+                order.append(user)
+            buffers[user].append([t, lat, lon])
+            if len(buffers[user]) >= args.batch:
+                push(user)
+        results = []
+        for user in order:
+            push(user)
+            if args.keep_open:
+                final = client.stream_metrics(session_name(user))
+            else:
+                final = client.stream_close(session_name(user))["final"]
+            results.append({
+                "session": session_name(user),
+                "user": user,
+                "updates": final["updates"],
+                "released": final["released"],
+                "dropped": final["dropped"],
+                "window": final["window"],
+            })
+    except ServiceClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps({"sessions": results}, indent=2, sort_keys=True))
+        return 0
+    rows = []
+    for r in results:
+        window = r["window"]
+        rows.append((
+            r["session"], r["updates"], r["released"], r["dropped"],
+            f"{window.get('distortion_m', float('nan')):.1f}",
+            f"{window.get('coverage_f1', float('nan')):.2f}",
+            window.get("pois", 0),
+        ))
+    print(format_table(
+        ["session", "updates", "released", "dropped",
+         "distortion (m)", "coverage F1", "POIs"],
+        rows,
+    ))
+    state = "left open" if args.keep_open else "closed"
+    print(f"\n{len(results)} sessions {state} on {args.url}")
+    return 0
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     """The scenario registry: list / show / register."""
     import json
@@ -764,6 +887,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "list": _cmd_list,
         "serve": _cmd_serve,
         "job": _cmd_job,
+        "stream": _cmd_stream,
         "datasets": _cmd_datasets,
     }
     try:

@@ -8,6 +8,7 @@ keyed by short names (``geo_ind``, ``gaussian``, ...).
 
 from .base import (
     LPPM,
+    OnlineProtector,
     available_lppms,
     lppm_class,
     primary_param,
@@ -23,6 +24,7 @@ from .sampling import Subsampling, TimePerturbation
 
 __all__ = [
     "LPPM",
+    "OnlineProtector",
     "register_lppm",
     "lppm_class",
     "available_lppms",

@@ -33,6 +33,7 @@ from ..mobility import Dataset, Trace, TraceBlock
 
 __all__ = [
     "LPPM",
+    "OnlineProtector",
     "register_lppm",
     "lppm_class",
     "available_lppms",
@@ -269,6 +270,121 @@ class LPPM(abc.ABC):
         ss = np.random.SeedSequence(list(_user_entropy(seed, user)))
         return np.random.default_rng(ss)
 
+    #: The stateful stream class :meth:`protect_online` instantiates;
+    #: mechanisms with a true O(1)-per-update path point this at their
+    #: own :class:`OnlineProtector` subclass.
+    _online_cls: Type["OnlineProtector"]
+
+    def protect_online(
+        self, seed: int = 0, user: str = "stream"
+    ) -> "OnlineProtector":
+        """A stateful online protection stream for one user.
+
+        The returned :class:`OnlineProtector` accepts incremental
+        location updates (:meth:`OnlineProtector.push`), emitting a
+        live protected record per update, and replays the accumulated
+        batch through the mechanism's batch path on demand
+        (:meth:`OnlineProtector.result`) — the replay is bit-identical
+        to :meth:`protect` over the same records.
+        """
+        return self._online_cls(self, seed, user)
+
     def __repr__(self) -> str:
         args = ", ".join(f"{k}={v!r}" for k, v in self.params().items())
         return f"{type(self).__name__}({args})"
+
+
+class OnlineProtector:
+    """A stateful protection stream for one user — the online seam.
+
+    Two guarantees, two paths:
+
+    * :meth:`push` emits a **live** protected record per update.  The
+      base implementation wraps the existing per-trace machinery —
+      it re-protects the accumulated prefix with a fresh
+      ``(seed, user)`` generator and emits the tail, which is correct
+      for every mechanism but costs O(prefix) per update.  Mechanisms
+      with separable per-record randomness (geo-I, Gaussian, rounding,
+      subsampling, uniform disk) override :meth:`_emit_live` with a
+      true O(1)-per-update path: a session-fixed projection anchor and
+      a carried per-``(seed, user)`` RNG stream, so live output is
+      drawn from the same distribution as the batch path.
+    * :meth:`result` replays everything pushed so far through
+      :meth:`LPPM.protect` with the session's seed.  A replayed batch
+      is therefore **bit-identical** to protecting the same trace
+      offline — the invariant the online/batch parity suite pins for
+      every registered mechanism.
+
+    Updates must arrive with non-decreasing timestamps per the usual
+    trace contract; out-of-order pushes are accepted (the replay
+    stable-sorts, as :class:`Trace` always has) but live emissions
+    then reflect arrival order, not time order.
+    """
+
+    def __init__(self, lppm: "LPPM", seed: int = 0, user: str = "stream"):
+        if not user:
+            raise ValueError("online protection user id must be non-empty")
+        self.lppm = lppm
+        self.seed = int(seed)
+        self.user = str(user)
+        self._times: List[float] = []
+        self._lats: List[float] = []
+        self._lons: List[float] = []
+        #: Carried RNG stream for the live draws of O(1) overrides.
+        self._rng = LPPM._trace_rng(self.seed, self.user)
+
+    @property
+    def n_pushed(self) -> int:
+        """How many updates this stream has accepted."""
+        return len(self._times)
+
+    def push(self, time_s: float, lat: float, lon: float):
+        """Accept one location update; return the live protected record.
+
+        Returns a ``(time_s, lat, lon)`` tuple, or ``None`` when the
+        mechanism suppresses the record (subsampling) or has nothing to
+        emit yet.  Raises :class:`ValueError` for coordinates outside
+        valid ranges, mirroring :class:`Trace` validation.
+        """
+        time_s, lat, lon = float(time_s), float(lat), float(lon)
+        if not (abs(lat) <= 90.0 and abs(lon) <= 180.0):
+            raise ValueError(
+                f"coordinates outside valid lat/lon ranges: {lat}, {lon}"
+            )
+        if not (np.isfinite(time_s) and np.isfinite(lat) and np.isfinite(lon)):
+            raise ValueError("location updates must be finite numbers")
+        self._times.append(time_s)
+        self._lats.append(lat)
+        self._lons.append(lon)
+        return self._emit_live(time_s, lat, lon)
+
+    def _emit_live(self, time_s: float, lat: float, lon: float):
+        """Live emission for one update; base = prefix replay tail."""
+        protected = self.result()
+        if protected.is_empty:
+            return None
+        return (
+            float(protected.times_s[-1]),
+            float(protected.lats[-1]),
+            float(protected.lons[-1]),
+        )
+
+    def pushed_trace(self) -> Trace:
+        """The accumulated raw updates as a :class:`Trace`."""
+        return Trace(self.user, self._times, self._lats, self._lons)
+
+    def result(self) -> Trace:
+        """Protect everything pushed so far through the batch path.
+
+        Bit-identical to ``lppm.protect(Dataset.from_traces([t]),
+        seed)`` of the pushed trace ``t`` — the per-trace generator
+        depends only on ``(seed, user)``, so an online session replayed
+        in one go cannot be told apart from an offline run.
+        """
+        dataset = Dataset.from_traces([self.pushed_trace()])
+        return self.lppm.protect(dataset, seed=self.seed)[self.user]
+
+
+# The default for every mechanism; set after the class exists because
+# LPPM's body cannot reference a name defined below it.
+LPPM._online_cls = OnlineProtector

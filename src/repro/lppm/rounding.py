@@ -16,9 +16,31 @@ import numpy as np
 
 from ..geo import LatLon, LocalProjection, SpatialGrid
 from ..mobility import Trace, TraceBlock
-from .base import LPPM, register_lppm
+from .base import LPPM, OnlineProtector, register_lppm
 
 __all__ = ["GridRounding"]
+
+
+class _RoundingOnline(OnlineProtector):
+    """O(1)-per-update snapping.
+
+    With a fixed reference the mechanism's prebuilt grid applies
+    directly — live output is exactly the batch output.  Without one,
+    the grid anchors at the first pushed location (an online session
+    cannot know the eventual trace centroid).
+    """
+
+    def __init__(self, lppm: "GridRounding", seed=0, user="stream"):
+        super().__init__(lppm, seed, user)
+        self._grid = lppm._grid
+
+    def _emit_live(self, time_s, lat, lon):
+        if self._grid is None:
+            self._grid = SpatialGrid(
+                LocalProjection(LatLon(lat, lon)), self.lppm.cell_size_m
+            )
+        lats, lons = self._grid.snap(lat, lon)
+        return (time_s, float(lats), float(lons))
 
 
 @register_lppm("rounding")
@@ -29,6 +51,8 @@ class GridRounding(LPPM):
     snapped on a grid anchored at its own centroid (adequate when traces
     are processed independently, as in the paper's per-user metrics).
     """
+
+    _online_cls = _RoundingOnline
 
     def __init__(self, cell_size_m: float, ref: Optional[LatLon] = None) -> None:
         if cell_size_m <= 0:

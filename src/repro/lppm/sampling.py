@@ -14,9 +14,29 @@ from typing import Mapping
 import numpy as np
 
 from ..mobility import Trace, TraceBlock
-from .base import LPPM, _block_rng, _concat_trace_draws, register_lppm
+from .base import (
+    LPPM,
+    OnlineProtector,
+    _block_rng,
+    _concat_trace_draws,
+    register_lppm,
+)
 
 __all__ = ["Subsampling", "TimePerturbation"]
+
+
+class _SubsamplingOnline(OnlineProtector):
+    """O(1)-per-update subsampling from the carried ``(seed, user)``
+    stream: one uniform per update decides keep-or-drop; the first
+    update is always released (protected streams are never empty),
+    consuming its draw like the batch path's overridden ``keep[0]``.
+    """
+
+    def _emit_live(self, time_s, lat, lon):
+        keep = self._rng.uniform() < self.lppm.keep_fraction
+        if self.n_pushed == 1 or keep:
+            return (time_s, lat, lon)
+        return None
 
 
 @register_lppm("subsampling")
@@ -25,6 +45,8 @@ class Subsampling(LPPM):
 
     The first record is always kept so protected traces are never empty.
     """
+
+    _online_cls = _SubsamplingOnline
 
     def __init__(self, keep_fraction: float) -> None:
         if not 0.0 < keep_fraction <= 1.0:

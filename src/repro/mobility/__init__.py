@@ -11,6 +11,9 @@ from .filters import (
     split_by_gap,
 )
 from .io import (
+    iter_cabspotting_records,
+    iter_csv_records,
+    iter_geolife_records,
     read_cabspotting,
     read_csv,
     read_geolife,
@@ -27,10 +30,13 @@ __all__ = [
     "TraceRecord",
     "TraceBlock",
     "Dataset",
+    "iter_csv_records",
     "read_csv",
     "write_csv",
+    "iter_geolife_records",
     "read_geolife",
     "write_geolife",
+    "iter_cabspotting_records",
     "read_cabspotting",
     "write_cabspotting",
     "dedupe_timestamps",

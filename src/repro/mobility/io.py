@@ -10,16 +10,27 @@ Three formats are supported:
   ``lat lon occupancy time`` lines, newest first) of the San Francisco
   taxi dataset the paper evaluates on.
 
+Each format exposes two layers.  The ``iter_*_records`` functions are
+**record iterators**: they stream validated ``(user, time_s, lat, lon)``
+tuples one at a time in on-disk order, which is what the streaming
+session layer feeds from (a live replay must see records as they were
+written, not batched into traces).  The ``read_*`` functions consume
+those iterators into whole :class:`~repro.mobility.Dataset` objects for
+the batch pipeline.
+
 All readers stream their input line by line — memory is bounded by the
 parsed records, never by file size — and share one validation pass:
 
 * numbers that fail to parse, NaN/infinite values and out-of-range
   coordinates (|lat| > 90, |lon| > 180) are rejected with a
   :class:`ValueError` naming the offending file and line;
-* records are stably sorted by timestamp (the on-disk order need not be
-  chronological — Cabspotting is newest-first by design);
+* when building datasets, records are stably sorted by timestamp (the
+  on-disk order need not be chronological — Cabspotting is newest-first
+  by design);
 * records sharing a timestamp are collapsed to the first one in sorted
   order, matching :func:`repro.mobility.filters.dedupe_timestamps`.
+  The record iterators do **not** sort or dedupe — live consumers get
+  the raw (validated) stream.
 
 The experiments in this reproduction run on synthetic data (see
 ``repro.synth`` and DESIGN.md), but these parsers let anyone with the
@@ -32,7 +43,7 @@ import csv
 import datetime as _dt
 import math
 from pathlib import Path
-from typing import List, Union
+from typing import Iterator, List, Tuple, Union
 
 import numpy as np
 
@@ -40,13 +51,19 @@ from .dataset import Dataset
 from .trace import Trace
 
 __all__ = [
+    "iter_csv_records",
     "read_csv",
     "write_csv",
+    "iter_geolife_records",
     "read_geolife",
     "write_geolife",
+    "iter_cabspotting_records",
     "read_cabspotting",
     "write_cabspotting",
 ]
+
+#: One validated location update: ``(user, time_s, lat, lon)``.
+Record = Tuple[str, float, float, float]
 
 PathLike = Union[str, Path]
 
@@ -137,6 +154,26 @@ class _TraceBuilder:
         return Trace(self.user, times, lats, lons)
 
 
+def _dataset_from_records(
+    records: Iterator[Record], newest_first: bool = False
+) -> Dataset:
+    """Group a validated record stream into one trace per user.
+
+    Trace order follows first appearance of each user in the stream,
+    which for every on-disk format matches the sorted directory/file
+    iteration the readers have always used.
+    """
+    builders: dict = {}
+    for user, time_s, lat, lon in records:
+        builder = builders.get(user)
+        if builder is None:
+            builder = builders[user] = _TraceBuilder(user)
+        builder.add(time_s, lat, lon)
+    return Dataset.from_traces(
+        [b.build(newest_first=newest_first) for b in builders.values()]
+    )
+
+
 def _format_time(time_s: float) -> str:
     """Render a timestamp without losing sub-second precision.
 
@@ -165,10 +202,15 @@ def write_csv(dataset: Dataset, path: PathLike) -> None:
                 writer.writerow([user, repr(t), repr(lat), repr(lon)])
 
 
-def read_csv(path: PathLike) -> Dataset:
-    """Read a dataset written by :func:`write_csv` (streaming)."""
+def iter_csv_records(path: PathLike) -> Iterator[Record]:
+    """Yield validated ``(user, time_s, lat, lon)`` records in file order.
+
+    This is the live-replay view of a CSV trace file: records come out
+    exactly as written (no sorting, no duplicate-timestamp collapse),
+    one at a time, so a consumer can feed a streaming session without
+    ever materialising the file.
+    """
     path = Path(path)
-    builders: dict = {}
     with path.open(newline="") as fh:
         reader = csv.reader(fh)
         header = next(reader, None)
@@ -183,11 +225,12 @@ def read_csv(path: PathLike) -> Dataset:
             user, t, lat, lon = row
             if not user:
                 raise ValueError(f"{path}:{lineno}: user must be non-empty")
-            builder = builders.get(user)
-            if builder is None:
-                builder = builders[user] = _TraceBuilder(user)
-            builder.add(*_parse_record(path, lineno, t, lat, lon))
-    return Dataset.from_traces([b.build() for b in builders.values()])
+            yield (user, *_parse_record(path, lineno, t, lat, lon))
+
+
+def read_csv(path: PathLike) -> Dataset:
+    """Read a dataset written by :func:`write_csv` (streaming)."""
+    return _dataset_from_records(iter_csv_records(path))
 
 
 # ----------------------------------------------------------------------
@@ -203,22 +246,21 @@ def _unix_to_geolife_fields(time_s: float):
     return days, moment.strftime("%Y-%m-%d"), moment.strftime("%H:%M:%S")
 
 
-def read_geolife(root: PathLike) -> Dataset:
-    """Read a GeoLife-layout directory tree into a dataset.
+def iter_geolife_records(root: PathLike) -> Iterator[Record]:
+    """Yield validated GeoLife records in directory/file order.
 
-    Every ``.plt`` file of a user is concatenated into that user's
-    single trace.  Files are iterated line by line — a multi-gigabyte
-    user directory never holds more than the parsed records in memory.
+    Users come out in sorted-directory order and each user's ``.plt``
+    files in sorted-name order, one record at a time — a multi-gigabyte
+    tree never holds more than one line in memory here.
     """
     root = Path(root)
     if not root.is_dir():
         raise FileNotFoundError(f"not a directory: {root}")
-    traces = []
     for user_dir in sorted(p for p in root.iterdir() if p.is_dir()):
         plt_dir = user_dir / "Trajectory"
         if not plt_dir.is_dir():
             continue
-        builder = _TraceBuilder(user_dir.name)
+        user = user_dir.name
         for plt_file in sorted(plt_dir.glob("*.plt")):
             with plt_file.open() as fh:
                 for lineno, line in enumerate(fh, start=1):
@@ -236,10 +278,16 @@ def read_geolife(root: PathLike) -> Dataset:
                     lat, lon = _parse_coords(
                         plt_file, lineno, fields[0], fields[1]
                     )
-                    builder.add(_geolife_days_to_unix(days), lat, lon)
-        if len(builder):
-            traces.append(builder.build())
-    return Dataset.from_traces(traces)
+                    yield (user, _geolife_days_to_unix(days), lat, lon)
+
+
+def read_geolife(root: PathLike) -> Dataset:
+    """Read a GeoLife-layout directory tree into a dataset.
+
+    Every ``.plt`` file of a user is concatenated into that user's
+    single trace.
+    """
+    return _dataset_from_records(iter_geolife_records(root))
 
 
 def write_geolife(dataset: Dataset, root: PathLike) -> None:
@@ -263,19 +311,20 @@ def write_geolife(dataset: Dataset, root: PathLike) -> None:
 # ----------------------------------------------------------------------
 # Cabspotting
 # ----------------------------------------------------------------------
-def read_cabspotting(directory: PathLike) -> Dataset:
-    """Read a Cabspotting-layout directory into a dataset (streaming).
+def iter_cabspotting_records(directory: PathLike) -> Iterator[Record]:
+    """Yield validated Cabspotting records in on-disk (newest-first) order.
 
     Each ``new_<cab>.txt`` file holds ``lat lon occupancy unix_time``
     lines, newest first; occupancy is ignored here (the paper's metrics
-    do not use it).
+    do not use it).  Records are yielded in file order — a live
+    consumer that wants chronological replay must reverse per user,
+    which :func:`read_cabspotting` does when building traces.
     """
     directory = Path(directory)
     if not directory.is_dir():
         raise FileNotFoundError(f"not a directory: {directory}")
-    traces = []
     for cab_file in sorted(directory.glob("new_*.txt")):
-        builder = _TraceBuilder(cab_file.stem[len("new_"):])
+        user = cab_file.stem[len("new_"):]
         with cab_file.open() as fh:
             for lineno, line in enumerate(fh, start=1):
                 if not line.strip():
@@ -288,10 +337,14 @@ def read_cabspotting(directory: PathLike) -> Dataset:
                 time_s, lat, lon = _parse_record(
                     cab_file, lineno, fields[3], fields[0], fields[1]
                 )
-                builder.add(time_s, lat, lon)
-        if len(builder):
-            traces.append(builder.build(newest_first=True))
-    return Dataset.from_traces(traces)
+                yield (user, time_s, lat, lon)
+
+
+def read_cabspotting(directory: PathLike) -> Dataset:
+    """Read a Cabspotting-layout directory into a dataset (streaming)."""
+    return _dataset_from_records(
+        iter_cabspotting_records(directory), newest_first=True
+    )
 
 
 def write_cabspotting(dataset: Dataset, directory: PathLike) -> None:

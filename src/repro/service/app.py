@@ -20,6 +20,9 @@ Endpoints::
     DELETE /jobs/<id> cancel a job (cooperative, between engine chunks)
     GET  /datasets    list registered scenarios + dataset-cache stats
     POST /datasets    register a named scenario (201)
+    POST /stream/<session>         push a chunk of live location updates
+    GET  /stream/<session>/metrics sliding-window privacy/utility metrics
+    DELETE /stream/<session>       close the session, flush final metrics
     GET  /healthz     liveness + shared-state summary
     GET  /metrics     request counters, engine/cache statistics
 """
@@ -376,6 +379,22 @@ class ConfigService:
                 request.context["job_id"] = job_id
                 request.context["raw_path"] = request.path
                 request.path = "/jobs/<id>"
+            return request
+        # /stream/<session> and /stream/<session>/metrics, same scheme:
+        # the session name moves to the context so routing, schemas and
+        # metrics see one endpoint per route, not one per session.
+        prefix = "/stream/"
+        if request.path.startswith(prefix):
+            rest = request.path[len(prefix):]
+            suffix = "/metrics"
+            canonical = "/stream/<session>"
+            if rest.endswith(suffix):
+                rest = rest[: -len(suffix)]
+                canonical += suffix
+            if rest and "/" not in rest:
+                request.context["stream_session"] = rest
+                request.context["raw_path"] = request.path
+                request.path = canonical
         return request
 
     def dispatch(self, request: Request) -> Response:
@@ -405,6 +424,7 @@ class ConfigService:
             "rate_limit": self.rate_limit.snapshot(),
             "compression": self.compression.snapshot(),
             "jobs": self.jobs.stats(),
+            "streaming": self.state.streaming.stats(),
             "registry": {
                 "datasets": self.state.n_datasets,
                 "configurators": self.state.n_configurators,

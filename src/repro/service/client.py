@@ -142,6 +142,40 @@ class _BaseClient:
             body["params"] = params
         return self._request("POST", "/datasets", body)
 
+    # -- streaming sessions --------------------------------------------
+    def stream_update(
+        self,
+        session: str,
+        records: List[list],
+        lppm: str = "geo_ind",
+        param: float = 0.01,
+        seed: int = 0,
+        user: Optional[str] = None,
+        window_s: Optional[float] = None,
+    ) -> dict:
+        """Push one chunk of ``[time_s, lat, lon]`` updates to a live
+        session (created on first use); returns the released records.
+
+        Configuration rides with every chunk — send the same values on
+        each call, as changing them mid-stream is a typed 409.
+        """
+        body: dict = {
+            "records": records, "lppm": lppm, "param": param, "seed": seed,
+        }
+        if user is not None:
+            body["user"] = user
+        if window_s is not None:
+            body["window_s"] = window_s
+        return self._request("POST", f"/stream/{session}", body)
+
+    def stream_metrics(self, session: str) -> dict:
+        """The session's sliding-window privacy/utility metrics."""
+        return self._request("GET", f"/stream/{session}/metrics", None)
+
+    def stream_close(self, session: str) -> dict:
+        """Close a live session; returns its flushed final metrics."""
+        return self._request("DELETE", f"/stream/{session}", None)
+
     # -- async jobs ----------------------------------------------------
     def submit(self, endpoint: str, body: dict) -> dict:
         """Enqueue ``body`` on an async worker; returns the 202 payload.

@@ -16,6 +16,7 @@ headline claim.
 
 from __future__ import annotations
 
+import math
 import os
 from typing import Callable, Dict, List, Mapping
 
@@ -98,6 +99,17 @@ SCHEMAS: Dict[str, Mapping[str, Field]] = {
         # Redefining an existing name under a different spec must be
         # explicit: it changes what every later request means.
         "replace": Field(type=bool, default=False),
+    },
+    "POST /stream/<session>": {
+        # One chunk of a live stream: a batch of [time_s, lat, lon]
+        # updates.  Configuration rides with every chunk (the transport
+        # has no session handshake); changing it mid-stream is a 409.
+        "records": Field(type=list, required=True),
+        "lppm": Field(type=str, default="geo_ind"),
+        "param": Field(type=float, default=0.01),
+        "seed": Field(type=int, default=0),
+        "user": Field(type=str, default=None),
+        "window_s": Field(type=float, default=None),
     },
 }
 
@@ -350,13 +362,126 @@ def make_handlers(
                     400, "invalid-scenario", f"unreadable path: {exc}"
                 )
         try:
-            registry.register(spec, replace=body["replace"])
+            # Through the state, not the registry directly: with a
+            # shared_dir the registration persists for sibling workers.
+            registry = state.register_scenario(
+                spec, tenant=tenant_of(request), replace=body["replace"]
+            )
         except ValueError as exc:
             raise ServiceError(409, "scenario-exists", str(exc))
         return {
             "registered": spec.to_jsonable(),
             "scenarios": len(registry),
         }
+
+    # ------------------------------------------------------------------
+    # /stream/<session> — the online protection path
+    # ------------------------------------------------------------------
+    def _stream_session_of(request: Request) -> str:
+        name = request.context.get("stream_session")
+        if not isinstance(name, str) or not name:
+            raise ServiceError(
+                404, "stream-session-not-found",
+                "no stream session name in the request path",
+            )
+        return name
+
+    def _stream_records_of(body: dict) -> list:
+        records = body["records"]
+        parsed = []
+        for i, row in enumerate(records):
+            if not isinstance(row, list) or len(row) != 3:
+                raise ServiceError(
+                    400, "invalid-records",
+                    f"records[{i}]: expected [time_s, lat, lon]",
+                )
+            try:
+                t, lat, lon = (float(v) for v in row)
+            except (TypeError, ValueError):
+                raise ServiceError(
+                    400, "invalid-records",
+                    f"records[{i}]: time/lat/lon must be numbers",
+                )
+            if not all(map(math.isfinite, (t, lat, lon))) \
+                    or abs(lat) > 90.0 or abs(lon) > 180.0:
+                raise ServiceError(
+                    400, "invalid-records",
+                    f"records[{i}]: values must be finite with "
+                    "lat in [-90, 90] and lon in [-180, 180]",
+                )
+            parsed.append((t, lat, lon))
+        return parsed
+
+    def stream_update(request: Request) -> dict:
+        body = request.body
+        name = _stream_session_of(request)
+        records = _stream_records_of(body)
+        lppm_name = body["lppm"]
+        if lppm_name not in available_lppms():
+            raise ServiceError(
+                400, "invalid-request",
+                f"lppm: must be one of {available_lppms()}, "
+                f"got {lppm_name!r}",
+            )
+        try:
+            param_name = primary_param(lppm_name)
+            lppm = lppm_class(lppm_name)(**{param_name: body["param"]})
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(400, "invalid-param", f"{lppm_name}: {exc}")
+        window_s = body["window_s"]
+        if window_s is not None and window_s <= 0:
+            raise ServiceError(
+                400, "invalid-request", "window_s must be positive"
+            )
+        try:
+            session, released = state.streaming.update(
+                tenant_of(request), name, records,
+                lppm=lppm, user=body["user"], seed=body["seed"],
+                window_s=window_s,
+            )
+        except RuntimeError:
+            raise ServiceError(
+                503, "shutting-down",
+                "the streaming layer is draining; retry against a "
+                "fresh instance",
+            )
+        except ValueError as exc:
+            # Records were validated above, so a ValueError here is the
+            # session manager refusing a conflicting configuration.
+            raise ServiceError(409, "stream-conflict", str(exc))
+        return {
+            "session": name,
+            "tenant": tenant_of(request),
+            "accepted": len(records),
+            "released": [
+                list(update) if update is not None else None
+                for update in released
+            ],
+            "updates": session.updates,
+            "dropped": session.dropped,
+        }
+
+    def stream_metrics(request: Request) -> dict:
+        name = _stream_session_of(request)
+        try:
+            session = state.streaming.get(tenant_of(request), name)
+        except KeyError:
+            raise ServiceError(
+                404, "stream-session-not-found",
+                f"no live stream session {name!r}",
+            )
+        return {"session": name, **session.metrics()}
+
+    def stream_close(request: Request) -> dict:
+        name = _stream_session_of(request)
+        try:
+            final = state.streaming.close_session(tenant_of(request), name)
+        except KeyError:
+            raise ServiceError(
+                404, "stream-session-not-found",
+                f"no live stream session {name!r}",
+            )
+        return {"session": name, "closed": True, "final": final}
 
     # ------------------------------------------------------------------
     # GET /healthz and /metrics (metrics blocks are filled by the app,
@@ -396,6 +521,9 @@ def make_handlers(
         "POST /recommend": recommend,
         "GET /datasets": datasets_list,
         "POST /datasets": datasets_register,
+        "POST /stream/<session>": stream_update,
+        "GET /stream/<session>/metrics": stream_metrics,
+        "DELETE /stream/<session>": stream_close,
         "GET /healthz": healthz,
     }
 

@@ -449,18 +449,34 @@ class MetricsMiddleware(Middleware):
         self.by_endpoint: Dict[str, int] = {}
         self.by_status: Dict[int, int] = {}
         self.wall_clock_s: Dict[str, float] = {}
+        #: endpoint -> requests currently inside this layer (gauges,
+        #: not counters: entries drop back out as requests complete).
+        self.in_flight: Dict[str, int] = {}
         self.response_cache_hits = 0
 
     def handle(self, request: Request, call_next: Handler) -> Response:
-        start = time.perf_counter()
-        response = call_next(request)
-        elapsed = time.perf_counter() - start
+        # The endpoint label is fixed *before* calling inward so the
+        # in-flight gauge and the exit-side counters always agree, even
+        # if an inner layer rewrites the request.
         endpoint = request.endpoint
         if (
             self.known_endpoints is not None
             and endpoint not in self.known_endpoints
         ):
             endpoint = self.UNROUTED
+        with self._lock:
+            self.in_flight[endpoint] = self.in_flight.get(endpoint, 0) + 1
+        start = time.perf_counter()
+        try:
+            response = call_next(request)
+        finally:
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                remaining = self.in_flight.get(endpoint, 1) - 1
+                if remaining > 0:
+                    self.in_flight[endpoint] = remaining
+                else:
+                    self.in_flight.pop(endpoint, None)
         with self._lock:
             self.requests_total += 1
             self.by_endpoint[endpoint] = self.by_endpoint.get(endpoint, 0) + 1
@@ -486,6 +502,7 @@ class MetricsMiddleware(Middleware):
                 "wall_clock_s_by_endpoint": {
                     k: round(v, 6) for k, v in self.wall_clock_s.items()
                 },
+                "in_flight_by_endpoint": dict(self.in_flight),
                 "response_cache_hits": self.response_cache_hits,
             }
 

@@ -36,6 +36,7 @@ sweeps run.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import threading
 import time
@@ -46,8 +47,10 @@ from typing import Callable, Dict, Optional, Tuple
 from ..engine import EvaluationEngine
 from ..framework import Configurator, geo_ind_system
 from ..framework.spec import SystemDefinition
+from ..framework.store import read_json_payload, write_json_atomic
 from ..mobility import Dataset, Trace, read_csv
-from ..scenarios import ScenarioRegistry
+from ..scenarios import ScenarioRegistry, ScenarioSpec
+from ..streaming import SessionManager
 from ..synth import (
     CommuterConfig,
     TaxiFleetConfig,
@@ -311,6 +314,20 @@ class ServiceState:
         #: first use (each seeded with the built-ins).  The anonymous
         #: tenant keeps :attr:`scenarios` — the pre-tenant behaviour.
         self._tenant_scenarios: Dict[str, ScenarioRegistry] = {}
+        # Scenario registrations persist under shared_dir so pre-fork
+        # siblings (and restarts) see one tenant-namespaced registry
+        # instead of per-process islands.
+        self._scenario_store_lock = threading.Lock()
+        self._scenario_mtimes: Dict[str, int] = {}
+        #: Live streaming protection sessions (``/stream/...``); window
+        #: metrics of evicted/closed sessions flush to the shared
+        #: directory so a drain never loses the final numbers.
+        self.streaming = SessionManager(
+            flush_dir=(
+                self.shared_dir / "streaming"
+                if self.shared_dir is not None else None
+            ),
+        )
         self.started_at = time.time()
         self._monotonic_start = time.monotonic()
         # Guards only the registry dicts (and the fit-lock table).
@@ -339,13 +356,111 @@ class ServiceState:
         invisible to (and un-evictable by) every other tenant.
         """
         if tenant is None or tenant == ANONYMOUS_TENANT:
-            return self.scenarios
-        with self._registry_lock:
-            registry = self._tenant_scenarios.get(tenant)
-            if registry is None:
-                registry = ScenarioRegistry()
-                self._tenant_scenarios[tenant] = registry
-            return registry
+            registry = self.scenarios
+            tenant = ANONYMOUS_TENANT
+        else:
+            with self._registry_lock:
+                registry = self._tenant_scenarios.get(tenant)
+                if registry is None:
+                    registry = ScenarioRegistry()
+                    self._tenant_scenarios[tenant] = registry
+        self._sync_scenarios(tenant, registry)
+        return registry
+
+    # ------------------------------------------------------------------
+    # Scenario persistence (pre-fork visibility)
+    # ------------------------------------------------------------------
+    def _scenario_store_path(self, tenant: str) -> Optional[Path]:
+        """Where ``tenant``'s registrations persist, or ``None``.
+
+        The filename embeds a sanitised tenant name (readable) plus a
+        hash of the exact name (collision-free even for tenants that
+        sanitise identically).
+        """
+        if self.shared_dir is None:
+            return None
+        safe = "".join(
+            c if c.isalnum() or c in "._-" else "_" for c in tenant
+        ) or "tenant"
+        digest = hashlib.sha256(tenant.encode("utf-8")).hexdigest()[:8]
+        return self.shared_dir / "scenarios" / f"{safe}-{digest}.json"
+
+    def _sync_scenarios(
+        self, tenant: str, registry: ScenarioRegistry
+    ) -> None:
+        """Fold a sibling worker's persisted registrations into ``registry``.
+
+        Cheap on the hot path: one ``stat`` per lookup; the file is only
+        re-read when its mtime moved (a sibling registered something).
+        Corrupt files are quarantined by the payload reader and read as
+        empty — a torn write never poisons the registry.
+        """
+        path = self._scenario_store_path(tenant)
+        if path is None:
+            return
+        try:
+            mtime_ns = os.stat(path).st_mtime_ns
+        except OSError:
+            return
+        with self._scenario_store_lock:
+            if self._scenario_mtimes.get(tenant) == mtime_ns:
+                return
+            payload = read_json_payload(path, "scenario_registry")
+            self._scenario_mtimes[tenant] = mtime_ns
+        if payload is None:
+            return
+        scenarios = payload.get("scenarios")
+        if not isinstance(scenarios, list):
+            return
+        for item in scenarios:
+            if not isinstance(item, dict):
+                continue
+            try:
+                spec = ScenarioSpec.make(
+                    item.get("name"), item.get("kind"),
+                    item.get("params") or {}, item.get("description") or "",
+                )
+                registry.register(spec, replace=True)
+            except (TypeError, ValueError):
+                # One bad record must not block the rest of the file.
+                continue
+
+    def register_scenario(
+        self,
+        spec: ScenarioSpec,
+        tenant: Optional[str] = None,
+        replace: bool = False,
+    ) -> ScenarioRegistry:
+        """Register ``spec`` in ``tenant``'s registry, persisting it.
+
+        With a ``shared_dir``, the tenant's full registration list is
+        written through as an atomic JSON record — so a registration
+        accepted by one pre-fork worker is visible to its siblings (and
+        survives restarts).  Raises :class:`ValueError` exactly as
+        :meth:`ScenarioRegistry.register` does on a conflicting name.
+        """
+        tenant_key = tenant if tenant else ANONYMOUS_TENANT
+        registry = self.scenarios_for(tenant_key)
+        registry.register(spec, replace=replace)
+        path = self._scenario_store_path(tenant_key)
+        if path is not None:
+            with self._scenario_store_lock:
+                payload = {
+                    "format_version": 1,
+                    "kind": "scenario_registry",
+                    "tenant": tenant_key,
+                    "scenarios": [s.to_jsonable() for s in registry.specs()],
+                }
+                try:
+                    write_json_atomic(payload, path)
+                    self._scenario_mtimes[tenant_key] = (
+                        os.stat(path).st_mtime_ns
+                    )
+                except OSError:
+                    # Persistence is best-effort: the local registry is
+                    # authoritative for this worker either way.
+                    pass
+        return registry
 
     def _key_spec_of(
         self, spec: dict, tenant: Optional[str] = None
@@ -605,6 +720,10 @@ class ServiceState:
         """Release the engine's backend resources; idempotent.
 
         ``timeout_s`` bounds the wait for in-flight engine work (the
-        daemon passes its shutdown grace period).
+        daemon passes its shutdown grace period).  Streaming sessions
+        flush first — their final window metrics persist to the shared
+        directory (when configured) before anything shuts down, so a
+        SIGTERM drain never discards a live session's numbers.
         """
+        self.streaming.close()
         self.engine.close(timeout_s=timeout_s)

@@ -1,0 +1,451 @@
+"""Incremental protection sessions: the online path of the middleware.
+
+The paper's middleware sits between a user's device and an LBS and
+protects location updates *as they happen*; everything else in this
+library is batch-shaped.  This module is the incremental counterpart:
+
+* :class:`ProtectionSession` — one ``(tenant, user)`` stream.  Each
+  update is protected online through the mechanism's
+  :meth:`~repro.lppm.LPPM.protect_online` seam (O(1) per update for
+  the separable mechanisms), and privacy/utility metrics are
+  maintained over a **sliding time window** — distortion between the
+  actual and released records, stay-point/POI exposure of the actual
+  window (through the analysis cache, so repeated metric reads of an
+  unchanged window are dict lookups), and area-coverage F1 of the
+  released window against the actual one.
+* :class:`SessionManager` — a bounded, thread-safe registry of live
+  sessions: capacity and idle-TTL eviction keep memory bounded, every
+  eviction/close **flushes** the final window metrics first (optionally
+  persisting them as atomic JSON records under a shared directory, so
+  a pre-fork SIGTERM drain never loses the last window's numbers), and
+  aggregate counters feed the service's ``GET /metrics``.
+
+Replays are faithful: a session's :meth:`ProtectionSession.result`
+re-protects the accumulated batch bit-identically to
+:meth:`~repro.lppm.LPPM.protect`, which is what the online/batch
+parity suite pins.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..analysis import AnalysisCache, pois_of, stay_points_of
+from ..framework.store import write_json_atomic
+from ..geo import LatLon, SpatialGrid, cell_f1, haversine_m_arrays
+from ..lppm import LPPM
+from ..mobility import Trace
+
+__all__ = ["ProtectionSession", "SessionManager"]
+
+#: Default sliding-window span: one hour of event time.
+DEFAULT_WINDOW_S = 3600.0
+
+#: Default area-coverage granularity (a city block, as in the metrics).
+DEFAULT_CELL_SIZE_M = 200.0
+
+
+class ProtectionSession:
+    """One user's live protection stream plus sliding-window metrics.
+
+    Not thread-safe on its own — the :class:`SessionManager` serialises
+    updates per session.  Timestamps are event time (the ``time_s`` of
+    the pushed records); the window always ends at the newest event
+    seen and reaches back ``window_s`` seconds.
+    """
+
+    def __init__(
+        self,
+        lppm: LPPM,
+        *,
+        user: str = "stream",
+        seed: int = 0,
+        tenant: str = "anonymous",
+        window_s: float = DEFAULT_WINDOW_S,
+        cell_size_m: float = DEFAULT_CELL_SIZE_M,
+        cache: Optional[AnalysisCache] = None,
+    ) -> None:
+        if window_s <= 0:
+            raise ValueError("window span must be positive")
+        self.lppm = lppm
+        self.user = str(user)
+        self.seed = int(seed)
+        self.tenant = str(tenant)
+        self.window_s = float(window_s)
+        self.cell_size_m = float(cell_size_m)
+        self._cache = cache if cache is not None else AnalysisCache()
+        self._protector = lppm.protect_online(seed=self.seed, user=self.user)
+        # Released (emitted) records paired with their actual inputs,
+        # for window distortion/coverage.  Plain lists: appends are
+        # O(1) and the window snapshot converts once per metrics read.
+        self._pair_times: List[float] = []
+        self._pair_actual: Tuple[List[float], List[float]] = ([], [])
+        self._pair_released: Tuple[List[float], List[float]] = ([], [])
+        self.updates = 0
+        self.released = 0
+        self.dropped = 0
+        self._t_newest = -np.inf
+        self._grid: Optional[SpatialGrid] = None
+        # Metrics are recomputed only when the stream advanced.
+        self._metrics_at = -1
+        self._metrics: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def update(
+        self, records: Iterable[Tuple[float, float, float]]
+    ) -> List[Optional[Tuple[float, float, float]]]:
+        """Protect a batch of ``(time_s, lat, lon)`` updates online.
+
+        Returns one entry per input record: the released
+        ``(time_s, lat, lon)`` tuple, or ``None`` when the mechanism
+        suppressed the record (subsampling).
+        """
+        out: List[Optional[Tuple[float, float, float]]] = []
+        for time_s, lat, lon in records:
+            released = self._protector.push(time_s, lat, lon)
+            self.updates += 1
+            time_s = float(time_s)
+            if time_s > self._t_newest:
+                self._t_newest = time_s
+            if self._grid is None:
+                self._grid = SpatialGrid.around(
+                    LatLon(float(lat), float(lon)), self.cell_size_m
+                )
+            if released is None:
+                self.dropped += 1
+            else:
+                self.released += 1
+                self._pair_times.append(time_s)
+                self._pair_actual[0].append(float(lat))
+                self._pair_actual[1].append(float(lon))
+                self._pair_released[0].append(released[1])
+                self._pair_released[1].append(released[2])
+            out.append(released)
+        return out
+
+    # ------------------------------------------------------------------
+    # Batch-parity view
+    # ------------------------------------------------------------------
+    def pushed_trace(self) -> Trace:
+        """Every accepted update as a :class:`~repro.mobility.Trace`."""
+        return self._protector.pushed_trace()
+
+    def result(self) -> Trace:
+        """Batch replay of the whole stream — bit-identical to
+        :meth:`~repro.lppm.LPPM.protect` over the pushed trace."""
+        return self._protector.result()
+
+    # ------------------------------------------------------------------
+    # Sliding-window metrics
+    # ------------------------------------------------------------------
+    def metrics(self) -> dict:
+        """Session counters plus the current window's privacy/utility.
+
+        The window covers event times ``(newest - window_s, newest]``.
+        The stay-point/POI extraction of the actual window runs through
+        the analysis cache, so re-reading the metrics of an unchanged
+        window costs a content-key lookup, not a re-extraction.
+        """
+        if self._metrics is not None and self._metrics_at == self.updates:
+            return self._metrics
+        self._metrics = {
+            "lppm": self.lppm.name,
+            "user": self.user,
+            "seed": self.seed,
+            "updates": self.updates,
+            "released": self.released,
+            "dropped": self.dropped,
+            "window": self._window_metrics(),
+        }
+        self._metrics_at = self.updates
+        return self._metrics
+
+    def _window_metrics(self) -> dict:
+        if self.updates == 0:
+            return {"span_s": self.window_s, "records": 0, "released": 0}
+        hi = float(self._t_newest)
+        lo = hi - self.window_s
+        pushed = self.pushed_trace()
+        in_window = pushed.times_s > lo
+        actual = Trace._from_trusted(
+            self.user,
+            pushed.times_s[in_window],
+            pushed.lats[in_window],
+            pushed.lons[in_window],
+        )
+        pair_times = np.asarray(self._pair_times, dtype=float)
+        pair_mask = pair_times > lo
+        act_lats = np.asarray(self._pair_actual[0], dtype=float)[pair_mask]
+        act_lons = np.asarray(self._pair_actual[1], dtype=float)[pair_mask]
+        rel_lats = np.asarray(self._pair_released[0], dtype=float)[pair_mask]
+        rel_lons = np.asarray(self._pair_released[1], dtype=float)[pair_mask]
+
+        window: dict = {
+            "span_s": self.window_s,
+            "from_s": lo,
+            "to_s": hi,
+            "records": int(len(actual)),
+            "released": int(rel_lats.size),
+        }
+        if rel_lats.size:
+            window["distortion_m"] = float(np.mean(haversine_m_arrays(
+                act_lats, act_lons, rel_lats, rel_lons
+            )))
+            window["coverage_f1"] = float(cell_f1(
+                self._grid.covered_cells(act_lats, act_lons),
+                self._grid.covered_cells(rel_lats, rel_lons),
+            ))
+        stays = stay_points_of(actual, cache=self._cache)
+        window["stay_points"] = len(stays)
+        window["pois"] = len(pois_of(actual, cache=self._cache))
+        return window
+
+    def flush(self) -> dict:
+        """Final metrics of the session (computed, never from cache)."""
+        self._metrics = None
+        return self.metrics()
+
+
+class SessionManager:
+    """Bounded, thread-safe registry of live protection sessions.
+
+    Sessions are keyed ``(tenant, name)`` so tenants never share or
+    even see each other's streams.  Memory stays bounded two ways:
+    a capacity bound (least-recently-updated sessions are evicted
+    when ``max_sessions`` is exceeded) and an idle TTL (sessions not
+    updated for ``idle_ttl_s`` are evicted opportunistically on any
+    update and on :meth:`stats`).  Every eviction — and every explicit
+    close and the final :meth:`close` — flushes the session's window
+    metrics first; with ``flush_dir`` set, flushed windows are also
+    persisted as atomic JSON records, the same write discipline as the
+    other spill tiers.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_sessions: int = 256,
+        idle_ttl_s: float = 900.0,
+        window_s: float = DEFAULT_WINDOW_S,
+        cell_size_m: float = DEFAULT_CELL_SIZE_M,
+        flush_dir=None,
+        cache: Optional[AnalysisCache] = None,
+        clock=time.monotonic,
+    ) -> None:
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be at least 1")
+        if idle_ttl_s <= 0:
+            raise ValueError("idle TTL must be positive")
+        self.max_sessions = int(max_sessions)
+        self.idle_ttl_s = float(idle_ttl_s)
+        self.window_s = float(window_s)
+        self.cell_size_m = float(cell_size_m)
+        self.flush_dir = flush_dir
+        self._clock = clock
+        self._cache = cache if cache is not None else AnalysisCache()
+        self._lock = threading.Lock()
+        #: (tenant, name) -> session, least recently updated first.
+        self._sessions: "OrderedDict[Tuple[str, str], ProtectionSession]" = (
+            OrderedDict()
+        )
+        self._last_update: Dict[Tuple[str, str], float] = {}
+        self._flush_counter = 0
+        self.sessions_opened = 0
+        self.updates_total = 0
+        self.evictions = 0
+        self.flushes = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+    def update(
+        self,
+        tenant: str,
+        name: str,
+        records: Iterable[Tuple[float, float, float]],
+        *,
+        lppm: Optional[LPPM] = None,
+        user: Optional[str] = None,
+        seed: int = 0,
+        window_s: Optional[float] = None,
+    ) -> Tuple[ProtectionSession, List[Optional[Tuple[float, float, float]]]]:
+        """Route a record batch to ``(tenant, name)``, creating it if new.
+
+        The first update must carry ``lppm`` (the configured mechanism);
+        later updates may repeat the configuration, but a *conflicting*
+        one raises :class:`ValueError` — silently re-configuring a live
+        stream would change what its metrics mean.
+        """
+        key = (str(tenant), str(name))
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("session manager is closed")
+            session = self._sessions.get(key)
+            if session is None:
+                if lppm is None:
+                    raise ValueError(
+                        f"stream session {name!r} does not exist yet; "
+                        "the first update must configure its mechanism"
+                    )
+                session = ProtectionSession(
+                    lppm,
+                    user=user if user is not None else name,
+                    seed=seed,
+                    tenant=tenant,
+                    window_s=window_s if window_s is not None else self.window_s,
+                    cell_size_m=self.cell_size_m,
+                    cache=self._cache,
+                )
+                self._sessions[key] = session
+                self.sessions_opened += 1
+            else:
+                self._check_config(session, lppm, user, seed, window_s)
+            self._sessions.move_to_end(key)
+            self._last_update[key] = self._clock()
+            evicted = self._over_capacity_locked()
+        # Flush evictees and protect outside the lock: neither needs it,
+        # and window extraction can be slow.
+        for evicted_key, evicted_session in evicted:
+            self._flush(evicted_key, evicted_session)
+        live = session.update(records)
+        with self._lock:
+            self.updates_total += len(live)
+        self.evict_idle()
+        return session, live
+
+    @staticmethod
+    def _check_config(
+        session: ProtectionSession, lppm, user, seed, window_s
+    ) -> None:
+        conflicts = []
+        if lppm is not None and (
+            lppm.name != session.lppm.name
+            or dict(lppm.params()) != dict(session.lppm.params())
+        ):
+            conflicts.append("lppm")
+        if user is not None and user != session.user:
+            conflicts.append("user")
+        if seed is not None and int(seed) != session.seed:
+            conflicts.append("seed")
+        if window_s is not None and float(window_s) != session.window_s:
+            conflicts.append("window_s")
+        if conflicts:
+            raise ValueError(
+                "stream session configuration conflict on: "
+                + ", ".join(conflicts)
+            )
+
+    def get(self, tenant: str, name: str) -> ProtectionSession:
+        """The live session, refreshing its recency; KeyError if absent."""
+        key = (str(tenant), str(name))
+        with self._lock:
+            session = self._sessions.get(key)
+            if session is None:
+                raise KeyError(f"no live stream session {name!r}")
+            return session
+
+    def close_session(self, tenant: str, name: str) -> dict:
+        """Flush and remove one session; returns its final metrics."""
+        key = (str(tenant), str(name))
+        with self._lock:
+            session = self._sessions.pop(key, None)
+            self._last_update.pop(key, None)
+        if session is None:
+            raise KeyError(f"no live stream session {name!r}")
+        return self._flush(key, session, evicted=False)
+
+    # ------------------------------------------------------------------
+    # Eviction and flushing
+    # ------------------------------------------------------------------
+    def _over_capacity_locked(self):
+        evicted = []
+        while len(self._sessions) > self.max_sessions:
+            key, session = self._sessions.popitem(last=False)
+            self._last_update.pop(key, None)
+            evicted.append((key, session))
+        return evicted
+
+    def evict_idle(self, now: Optional[float] = None) -> int:
+        """Evict (and flush) sessions idle past the TTL; returns count."""
+        now = self._clock() if now is None else now
+        with self._lock:
+            idle = [
+                key
+                for key, last in self._last_update.items()
+                if now - last > self.idle_ttl_s
+            ]
+            evicted = []
+            for key in idle:
+                session = self._sessions.pop(key, None)
+                self._last_update.pop(key, None)
+                if session is not None:
+                    evicted.append((key, session))
+        for key, session in evicted:
+            self._flush(key, session)
+        return len(evicted)
+
+    def _flush(self, key, session: ProtectionSession, evicted=True) -> dict:
+        final = session.flush()
+        with self._lock:
+            self.flushes += 1
+            if evicted:
+                self.evictions += 1
+            self._flush_counter += 1
+            counter = self._flush_counter
+        if self.flush_dir is not None:
+            from pathlib import Path
+
+            tenant, name = key
+            payload = {
+                "format_version": 1,
+                "kind": "stream_flush",
+                "tenant": tenant,
+                "session": name,
+                "evicted": bool(evicted),
+                "metrics": final,
+            }
+            write_json_atomic(
+                payload,
+                Path(self.flush_dir)
+                / f"flush-{counter:06d}-{abs(hash(key)) % 10**8:08d}.json",
+            )
+        return final
+
+    # ------------------------------------------------------------------
+    # Observability and shutdown
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """JSON-ready counters for ``GET /metrics``."""
+        self.evict_idle()
+        with self._lock:
+            return {
+                "sessions_active": len(self._sessions),
+                "sessions_opened": self.sessions_opened,
+                "updates_total": self.updates_total,
+                "evictions": self.evictions,
+                "flushes": self.flushes,
+            }
+
+    def close(self) -> None:
+        """Flush every live session and refuse further updates.
+
+        Idempotent; called from the service drain path so a SIGTERM
+        never loses the final window's numbers.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            remaining = list(self._sessions.items())
+            self._sessions.clear()
+            self._last_update.clear()
+        for key, session in remaining:
+            self._flush(key, session, evicted=False)

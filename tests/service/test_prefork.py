@@ -147,6 +147,71 @@ class TestSharedJobStore:
             service.close(grace_s=5.0)
 
 
+class TestSharedScenarioRegistry:
+    def test_sibling_sees_registered_scenario(self, tmp_path):
+        with ServiceClient(_worker(tmp_path)) as primer:
+            primer.register_dataset(
+                "myfleet", "taxi", {"users": 3, "seed": 5},
+                "the shared fixture",
+            )
+        with ServiceClient(_worker(tmp_path)) as sibling:
+            names = {
+                spec["name"] for spec in sibling.datasets()["scenarios"]
+            }
+            assert "myfleet" in names
+            # The persisted registration is evaluable, not just listed.
+            result = sibling.sweep(
+                {"scenario": "myfleet"}, points=2, replications=1
+            )
+            assert len(result["points"]) == 2
+
+    def test_sibling_register_conflict_is_409(self, tmp_path):
+        """Without replace=True a sibling cannot clobber the name —
+        which proves registration syncs from disk before validating."""
+        from repro.service import ServiceClientError
+
+        with ServiceClient(_worker(tmp_path)) as primer:
+            primer.register_dataset("myfleet", "taxi", {"users": 3})
+        with ServiceClient(_worker(tmp_path)) as sibling:
+            with pytest.raises(ServiceClientError) as excinfo:
+                sibling.register_dataset("myfleet", "taxi", {"users": 4})
+            assert excinfo.value.status == 409
+            assert excinfo.value.code == "scenario-exists"
+            # replace=True wins and persists back.
+            sibling.register_dataset(
+                "myfleet", "taxi", {"users": 4}, replace=True
+            )
+        with ServiceClient(_worker(tmp_path)) as third:
+            spec = {
+                s["name"]: s for s in third.datasets()["scenarios"]
+            }["myfleet"]
+            assert spec["params"]["users"] == 4
+
+    def test_corrupt_store_is_quarantined_not_fatal(self, tmp_path):
+        with ServiceClient(_worker(tmp_path)) as primer:
+            primer.register_dataset("myfleet", "taxi", {"users": 3})
+        store_files = list((tmp_path / "scenarios").glob("*.json"))
+        assert len(store_files) == 1
+        store_files[0].write_text("{not json")
+        with ServiceClient(_worker(tmp_path)) as sibling:
+            names = {
+                spec["name"] for spec in sibling.datasets()["scenarios"]
+            }
+            # The corrupt store is set aside; builtins still answer.
+            assert "myfleet" not in names
+            assert names  # builtins survived
+        assert list((tmp_path / "scenarios").glob("*.corrupt"))
+
+    def test_without_shared_dir_registry_is_local(self):
+        with ServiceClient(ConfigService(workers=1)) as a:
+            a.register_dataset("local-only", "taxi", {"users": 3})
+        with ServiceClient(ConfigService(workers=1)) as b:
+            names = {
+                spec["name"] for spec in b.datasets()["scenarios"]
+            }
+            assert "local-only" not in names
+
+
 class TestServeGuards:
     def test_prefork_rejects_prebuilt_service(self):
         service = ConfigService(workers=1)
@@ -205,8 +270,29 @@ class TestPreforkDaemon:
             assert health["worker_pid"] not in (None, process.pid)
             assert health["shared_dir"] == str(tmp_path)
 
+            # Leave a live stream session behind: the SIGTERM drain
+            # must flush its window metrics before teardown.
+            out = client.stream_update("drain-ride", [
+                [float(i * 60), 37.76 + i * 1e-4, -122.42]
+                for i in range(6)
+            ])
+            assert out["updates"] == 6
+
             process.send_signal(signal.SIGTERM)
             assert process.wait(timeout=30.0) == 0
+
+            import json
+
+            flushes = []
+            for path in (tmp_path / "streaming").glob("flush-*.json"):
+                payload = json.loads(path.read_text())
+                if payload["session"] == "drain-ride":
+                    flushes.append(payload)
+            assert flushes, "SIGTERM drain never flushed the session"
+            assert flushes[0]["kind"] == "stream_flush"
+            assert flushes[0]["evicted"] is False
+            assert flushes[0]["metrics"]["updates"] == 6
+            assert flushes[0]["metrics"]["window"]["records"] == 6
         finally:
             if process.poll() is None:
                 process.kill()

@@ -13,14 +13,18 @@ end over real sockets — every request carrying ``X-API-Key``:
    running, ``GET /healthz`` and ``GET /jobs/<id>`` answer fast;
 4. **cancel** — a running job cancelled mid-sweep reaches
    ``cancelled`` without a result;
-5. **clean shutdown** — SIGTERM drains the daemon and it exits 0.
+5. **stream replay** — a trace pushed chunk by chunk through
+   ``POST /stream/<session>`` accumulates server-side, reports
+   sliding-window metrics, and closes with final numbers (a second
+   close is a typed 404);
+6. **clean shutdown** — SIGTERM drains the daemon and it exits 0.
 
 With ``--processes N`` (N > 1) the daemon boots in pre-fork mode and
 two extra steps prove the fleet behaves like one service:
 
-6. **fleet** — repeated ``/healthz`` probes observe at least two
+7. **fleet** — repeated ``/healthz`` probes observe at least two
    distinct ``X-Worker-Pid`` values;
-7. **cross-worker warmth** — a sweep primed on one worker is answered
+8. **cross-worker warmth** — a sweep primed on one worker is answered
    as a response-cache **hit** (``X-Response-Cache: hit``, zero new
    engine executions, bit-identical body) by a *different* worker, and
    a job submitted to one worker is polled to ``done`` through
@@ -268,6 +272,57 @@ def main() -> int:
             }
             print(f"cross-worker jobs: submitted on pid {owner_pid}, "
                   f"polled to done via pid {remote_poll_pid}")
+
+        # -- 3.7 stream replay over real sockets ----------------------
+        # Single-process only: a live session is worker-local state,
+        # and without a session-affine balancer the chunks of a
+        # pre-fork daemon would scatter across workers.
+        if args.processes == 1:
+            chunk_size, n_chunks = 30, 3
+            session = "smoke-ride"
+            for c in range(n_chunks):
+                chunk = [
+                    [float((c * chunk_size + i) * 60),
+                     37.76 + (c * chunk_size + i) * 1e-4, -122.42]
+                    for i in range(chunk_size)
+                ]
+                out = client.stream_update(
+                    session, chunk, window_s=1800.0
+                )
+                assert out["accepted"] == chunk_size, out
+            total = chunk_size * n_chunks
+            assert out["updates"] == total, out
+            window = client.stream_metrics(session)["window"]
+            assert window["span_s"] == 1800.0 and window["records"] > 0
+            assert "distortion_m" in window, window
+            final = client.stream_close(session)
+            assert final["closed"] is True
+            assert final["final"]["updates"] == total
+            try:
+                client.stream_metrics(session)
+            except ServiceClientError as exc:
+                assert exc.status == 404 \
+                    and exc.code == "stream-session-not-found", exc
+            else:
+                raise AssertionError("closed session still answered")
+            streaming = client.metrics()["streaming"]
+            assert streaming["flushes"] >= 1, streaming
+            summary["steps"]["stream"] = {
+                "ok": True, "updates": total,
+                "window_records": window["records"],
+                "window_distortion_m": round(window["distortion_m"], 1),
+            }
+            print(f"stream: {total} updates over {n_chunks} chunks, "
+                  f"window {window['records']} records at "
+                  f"{window['distortion_m']:.0f} m distortion, "
+                  "closed clean")
+        else:
+            summary["steps"]["stream"] = {
+                "ok": True, "skipped": "sessions are worker-local; "
+                "covered by the single-process run",
+            }
+            print("stream: skipped in pre-fork mode (worker-local "
+                  "sessions; the single-process run covers it)")
 
         # -- 4. SIGTERM drains and exits 0 ----------------------------
         process.send_signal(signal.SIGTERM)
