@@ -121,9 +121,11 @@ class AnalysisSpill:
             return None
 
     def store(self, key: Tuple, kind: str, value) -> None:
-        """Persist one artifact; IO errors are swallowed (the spill is
-        an accelerator, never a correctness dependency)."""
+        """Persist one artifact; IO errors become recorded misses on
+        the ``analysis_spill`` circuit breaker (the spill is an
+        accelerator, never a correctness dependency)."""
         from ..framework.store import write_json_atomic
+        from ..resilience.breaker import write_guarded
 
         payload = {
             "format_version": 1,
@@ -132,7 +134,7 @@ class AnalysisSpill:
             "key": list(key),
             "items": _encode(kind, value),
         }
-        try:
-            write_json_atomic(payload, self._path_of(key))
-        except OSError:
-            pass
+        write_guarded(
+            "analysis_spill",
+            lambda: write_json_atomic(payload, self._path_of(key)),
+        )

@@ -240,6 +240,17 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="N",
                      help="max live (queued+running) async jobs per tenant "
                           "(default: unlimited)")
+    srv.add_argument("--max-in-flight", type=_positive_int, default=None,
+                     metavar="N",
+                     help="max concurrent requests per worker before the "
+                          "load shedder answers a typed 503 with "
+                          "Retry-After (default: unlimited)")
+    srv.add_argument("--fault-spec", default=None, metavar="SPEC",
+                     help="chaos testing: arm fault points in this "
+                          "process and every child, e.g. "
+                          "'pool.crash:1,disk.write:100:partial' "
+                          "(point:count[:value], comma-separated; "
+                          "count '*' = always)")
     _add_engine_options(srv)
 
     job = sub.add_parser(
@@ -556,6 +567,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.rate_limit is not None and args.rate_limit <= 0:
         print("error: --rate-limit must be positive", file=sys.stderr)
         return 2
+    if args.fault_spec is not None:
+        from .resilience.faults import parse_spec
+
+        try:
+            parse_spec(args.fault_spec)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     # Multi-process mode needs shared on-disk state (result cache,
     # response spill tier, cross-process job store).  --cache-dir
@@ -588,6 +607,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             # Whenever there is a cache directory, share it: a
             # restarted single-process daemon then starts warm too.
             shared_dir=cache_dir,
+            max_in_flight=args.max_in_flight,
+            fault_spec=args.fault_spec,
         )
     finally:
         if tmp_root is not None:

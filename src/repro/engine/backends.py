@@ -31,8 +31,11 @@ import multiprocessing
 import os
 import threading
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
+from ..resilience.events import record_event
+from ..resilience.faults import fire as _fire_fault
 from .jobs import EvalJob
 
 if TYPE_CHECKING:
@@ -225,6 +228,9 @@ class ProcessPoolBackend(ExecutionBackend):
         self._job_pool_key: Optional[Tuple[str, str]] = None
         self._job_pool_for: Optional[tuple] = None
         self._trace_pool: Optional[ProcessPoolExecutor] = None
+        # Degradation counters, surfaced through degradation events.
+        self.pool_rebuilds = 0
+        self.serial_fallbacks = 0
 
     @staticmethod
     def _mp_context():
@@ -273,6 +279,23 @@ class ProcessPoolBackend(ExecutionBackend):
             self._job_pool_key = key
             self._job_pool_for = (system, dataset)
             return self._job_pool
+
+    def _discard_job_pool(self) -> None:
+        """Release a broken job pool without waiting on its corpses."""
+        with self._state_lock:
+            pool = self._job_pool
+            self._job_pool = None
+            self._job_pool_key = None
+            self._job_pool_for = None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _discard_trace_pool(self) -> None:
+        with self._state_lock:
+            pool = self._trace_pool
+            self._trace_pool = None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
 
     def _trace_pool_of(self, workers: int) -> ProcessPoolExecutor:
         with self._state_lock:
@@ -335,9 +358,40 @@ class ProcessPoolBackend(ExecutionBackend):
         with self.batch_lock:
             if len(jobs) >= 2:
                 # Job-level parallelism: the dataset ships to the
-                # workers once, via the pool initializer.
+                # workers once, via the pool initializer.  A crashed
+                # worker (OOM-killed, segfaulted, injected) breaks the
+                # whole pool; results are content-addressed and cached
+                # per chunk, so replaying this batch on a fresh pool is
+                # exactly-once.  A second crash means something
+                # systematic — degrade to serial rather than loop.
                 pool = self._job_pool_of(system, dataset, key)
-                return list(pool.map(_run_job_in_worker, jobs))
+                if _fire_fault("pool.crash"):
+                    pool.submit(os._exit, 1)
+                try:
+                    return list(pool.map(_run_job_in_worker, jobs))
+                except BrokenProcessPool:
+                    self.pool_rebuilds += 1
+                    record_event(
+                        "pool.rebuilt",
+                        jobs=len(jobs),
+                        action="replaying the batch on a fresh pool",
+                    )
+                    self._discard_job_pool()
+                    pool = self._job_pool_of(system, dataset, key)
+                    if _fire_fault("pool.crash"):
+                        pool.submit(os._exit, 1)
+                    try:
+                        return list(pool.map(_run_job_in_worker, jobs))
+                    except BrokenProcessPool:
+                        self.serial_fallbacks += 1
+                        record_event(
+                            "pool.serial-fallback",
+                            jobs=len(jobs),
+                            action="rebuilt pool crashed too; "
+                                   "running the batch serially",
+                        )
+                        self._discard_job_pool()
+                        return SerialBackend().run(system, dataset, jobs)
             # A lone job cannot be split across workers at the job
             # level; parallelise inside it instead, across the
             # dataset's traces.
@@ -354,7 +408,18 @@ class ProcessPoolBackend(ExecutionBackend):
                 chunksize = max(1, len(traces) // workers)
                 return pool.map(fn, traces, chunksize=chunksize)
 
-            return [
-                execute_job(system, dataset, job, mapper=trace_mapper)
-                for job in jobs
-            ]
+            try:
+                return [
+                    execute_job(system, dataset, job, mapper=trace_mapper)
+                    for job in jobs
+                ]
+            except BrokenProcessPool:
+                self.serial_fallbacks += 1
+                record_event(
+                    "pool.serial-fallback",
+                    jobs=len(jobs),
+                    action="trace pool crashed; "
+                           "running the batch serially",
+                )
+                self._discard_trace_pool()
+                return SerialBackend().run(system, dataset, jobs)

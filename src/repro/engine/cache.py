@@ -152,10 +152,14 @@ class ResultCache:
 
         Safe to call without any lock: concurrent writers of the same
         fingerprint write the same content, and a torn file is read
-        back as a miss and simply rewritten.
+        back as a miss and simply rewritten.  The write is best-effort
+        through the ``engine_results`` circuit breaker: on a full or
+        dying disk the result simply stays memory-only (a recorded
+        miss on the next cold lookup) instead of failing the sweep.
         """
         if self.cache_dir is not None:
             from ..framework.store import save_eval_record
+            from ..resilience.breaker import write_guarded
 
             record = dict(provenance or {})
             record.update(
@@ -163,7 +167,12 @@ class ResultCache:
                 privacy=float(privacy),
                 utility=float(utility),
             )
-            save_eval_record(record, self._path_of(fingerprint))
+            write_guarded(
+                "engine_results",
+                lambda: save_eval_record(
+                    record, self._path_of(fingerprint)
+                ),
+            )
 
     @property
     def stats(self) -> Dict[str, int]:

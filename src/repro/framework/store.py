@@ -9,6 +9,7 @@ no code execution on load.
 
 from __future__ import annotations
 
+import errno
 import itertools
 import json
 import os
@@ -16,6 +17,7 @@ import threading
 from pathlib import Path
 from typing import Optional, Union
 
+from ..resilience.faults import fire as _fire_fault
 from .models import LogLinearMetricModel, SystemModel
 from .runner import SweepPoint, SweepResult
 from .saturation import ActiveRegion
@@ -55,6 +57,19 @@ def write_json_atomic(payload: dict, path: PathLike) -> None:
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    injected = _fire_fault("disk.write")
+    if injected is not None:
+        if injected == "partial":
+            # Simulate a torn write: leave truncated JSON at the final
+            # path (bypassing the tmp+rename discipline) so readers
+            # must quarantine-and-heal, then still report the ENOSPC.
+            text = json.dumps(payload, indent=2, sort_keys=True)
+            path.write_text(text[: max(1, len(text) // 2)])
+        raise OSError(
+            errno.ENOSPC,
+            "injected disk.write fault (no space left on device)",
+            str(path),
+        )
     tmp = path.with_name(
         f"{path.name}.{os.getpid()}.{threading.get_ident()}."
         f"{next(_TMP_COUNTER)}.tmp"
@@ -279,6 +294,10 @@ def read_eval_record(path: PathLike) -> Optional[dict]:
 
 def _load_payload(path: PathLike, expected_kind: str) -> dict:
     path = Path(path)
+    if _fire_fault("disk.read"):
+        raise OSError(
+            errno.EIO, "injected disk.read fault", str(path)
+        )
     try:
         payload = json.loads(path.read_text())
     except json.JSONDecodeError as exc:

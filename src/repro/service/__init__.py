@@ -23,12 +23,15 @@ from .handlers import SCHEMAS, make_handlers, make_job_handlers, tenant_of
 from .jobs import JOB_ENDPOINTS, JOB_STATES, Job, JobManager
 from .middleware import (
     ANONYMOUS_TENANT,
+    DEADLINE_HEADER,
     UNAUTHENTICATED_ENDPOINTS,
     ApiKeyAuthMiddleware,
     ApiKeyStore,
     CompressionMiddleware,
+    DeadlineMiddleware,
     ErrorBoundaryMiddleware,
     Field,
+    LoadShedMiddleware,
     LoggingMiddleware,
     MetricsMiddleware,
     Middleware,
@@ -41,6 +44,7 @@ from .middleware import (
     ServiceError,
     ValidationMiddleware,
     canonical_body_key,
+    check_deadline,
     header_value,
     validate_body,
 )
@@ -79,6 +83,11 @@ __all__ = [
     "ANONYMOUS_TENANT",
     "UNAUTHENTICATED_ENDPOINTS",
     "tenant_of",
+    # resilience: deadlines and load shedding
+    "DeadlineMiddleware",
+    "LoadShedMiddleware",
+    "DEADLINE_HEADER",
+    "check_deadline",
     # state & handlers
     "ServiceState",
     "resolve_dataset_spec",

@@ -44,11 +44,20 @@ from ..engine import EvaluationEngine
 from ..framework import geo_ind_system
 from .handlers import SCHEMAS, make_handlers, make_job_handlers
 from .jobs import JOB_ENDPOINTS, Job, JobManager
+from ..resilience import (
+    default_injector,
+    default_registry,
+    events_by_kind,
+    recent_events,
+)
+from ..resilience.faults import FAULT_SPEC_ENV as _FAULT_SPEC_ENV
 from .middleware import (
     ApiKeyAuthMiddleware,
     ApiKeyStore,
     CompressionMiddleware,
+    DeadlineMiddleware,
     ErrorBoundaryMiddleware,
+    LoadShedMiddleware,
     LoggingMiddleware,
     MetricsMiddleware,
     MiddlewarePipeline,
@@ -143,6 +152,7 @@ class ConfigService:
         max_jobs_per_tenant: Optional[int] = None,
         compression_min_bytes: int = 1024,
         shared_dir=None,
+        max_in_flight: Optional[int] = None,
     ) -> None:
         shared = Path(shared_dir) if shared_dir is not None else None
         self.state = ServiceState(
@@ -180,6 +190,8 @@ class ConfigService:
             burst=rate_limit_burst,
             clock=rate_limit_clock,
         )
+        self.load_shed = LoadShedMiddleware(max_in_flight=max_in_flight)
+        self.deadline = DeadlineMiddleware(engine=self.state.engine)
         self.compression = CompressionMiddleware(
             min_bytes=compression_min_bytes
         )
@@ -212,7 +224,12 @@ class ConfigService:
         # sit inside the error boundary (denials are typed, logged and
         # counted) but before validation (a denied request costs no
         # schema work, and its 429 can never be cached — the cache only
-        # stores 2xx and keys on the tenant auth attached).
+        # stores 2xx and keys on the tenant auth attached).  The load
+        # shedder follows the rate limiter (per-tenant fairness gets
+        # first say, global backpressure second), and the deadline
+        # layer sits just outside validation so the budget covers all
+        # real work while a shed or throttled request costs no hook
+        # installation.
         self.pipeline = MiddlewarePipeline([
             RequestIdMiddleware(),
             self.compression,
@@ -221,6 +238,8 @@ class ConfigService:
             ErrorBoundaryMiddleware(log),
             self.auth,
             self.rate_limit,
+            self.load_shed,
+            self.deadline,
             ValidationMiddleware(SCHEMAS),
             self.response_cache,
         ])
@@ -425,6 +444,15 @@ class ConfigService:
             "compression": self.compression.snapshot(),
             "jobs": self.jobs.stats(),
             "streaming": self.state.streaming.stats(),
+            "resilience": {
+                "degraded": default_registry().degraded(),
+                "breakers": default_registry().snapshot(),
+                "events": events_by_kind(),
+                "recent_events": recent_events(10),
+                "faults": default_injector().snapshot(),
+                "load_shed": self.load_shed.snapshot(),
+                "deadline": self.deadline.snapshot(),
+            },
             "registry": {
                 "datasets": self.state.n_datasets,
                 "configurators": self.state.n_configurators,
@@ -648,6 +676,8 @@ def serve(
     max_jobs_per_tenant: Optional[int] = None,
     processes: int = 1,
     shared_dir=None,
+    max_in_flight: Optional[int] = None,
+    fault_spec: Optional[str] = None,
 ) -> int:
     """Run the configuration service until interrupted.
 
@@ -671,6 +701,12 @@ def serve(
     are then cancelled cooperatively), and the process exits 0 — what
     CI runners and container orchestrators expect of a stop.
     """
+    if fault_spec:
+        # Arm this process and advertise the spec to every child it
+        # spawns or forks (pre-fork workers, pool workers): chaos runs
+        # must fault the whole tree, not just the supervisor.
+        os.environ[_FAULT_SPEC_ENV] = fault_spec
+        default_injector().configure(fault_spec)
     if processes > 1:
         if service is not None:
             raise ValueError(
@@ -699,6 +735,7 @@ def serve(
                 rate_limit_burst=rate_limit_burst,
                 max_jobs_per_tenant=max_jobs_per_tenant,
                 shared_dir=shared_dir,
+                max_in_flight=max_in_flight,
             )
 
         return serve_prefork(
@@ -711,6 +748,7 @@ def serve(
         rate_limit_rps=rate_limit_rps, rate_limit_burst=rate_limit_burst,
         max_jobs_per_tenant=max_jobs_per_tenant,
         shared_dir=shared_dir,
+        max_in_flight=max_in_flight,
     )
     server = app.make_server(host, port)
     bound_host, bound_port = server.server_address[:2]

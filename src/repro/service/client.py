@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import gzip
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -33,6 +34,29 @@ from .app import ConfigService
 from .middleware import Response
 
 __all__ = ["ServiceClientError", "ServiceClient", "HttpServiceClient"]
+
+#: Statuses that mean "the server refused before doing any work" —
+#: safe to retry for any method, and they carry ``Retry-After``.
+_TRANSIENT_STATUSES = (429, 503)
+
+#: Methods safe to retry after a *transport* failure, where the
+#: request may or may not have reached the server.
+_IDEMPOTENT_METHODS = ("GET", "DELETE")
+
+
+def _retry_after_s(headers) -> Optional[float]:
+    """The numeric ``Retry-After`` of a response, if present and sane."""
+    lowered = {
+        str(name).lower(): value
+        for name, value in dict(headers or {}).items()
+    }
+    try:
+        value = float(lowered.get("retry-after", ""))
+    except (TypeError, ValueError):
+        return None
+    if value < 0:
+        return None
+    return value
 
 
 class ServiceClientError(Exception):
@@ -216,13 +240,35 @@ class _BaseClient:
           the job's typed error payload, mirroring the sync endpoint;
         * deadline passed — raises :class:`TimeoutError` (the job keeps
           running server-side; ``cancel`` it if that is unwanted).
+
+        Transient poll failures — a 429 from the rate limiter or a 503
+        from an overloaded/draining worker — are not job verdicts: the
+        loop honours ``Retry-After`` and keeps polling within the
+        deadline rather than giving up on a job that is still running.
         """
         if timeout_s <= 0:
             raise ValueError("timeout_s must be positive")
         deadline = time.monotonic() + timeout_s
         delay = max(0.001, poll_s)
         while True:
-            snapshot = self.status(job_id)
+            try:
+                snapshot = self.status(job_id)
+            except ServiceClientError as exc:
+                if exc.status not in _TRANSIENT_STATUSES:
+                    raise
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"job {job_id} still unresolved after "
+                        f"{timeout_s:g}s: the last poll answered a "
+                        f"transient {exc.status} ({exc.code})"
+                    ) from exc
+                backoff = _retry_after_s(self.last_headers)
+                if backoff is None:
+                    backoff = delay
+                time.sleep(min(max(backoff, 0.001), remaining))
+                delay = min(delay * 1.6, max_poll_s)
+                continue
             if snapshot["status"] in ("done", "cancelled"):
                 return snapshot
             if snapshot["status"] == "failed":
@@ -301,6 +347,13 @@ class HttpServiceClient(_BaseClient):
     compressed responses (error bodies included), so large sweep
     payloads cross the wire at a fraction of their JSON size.
     ``api_key`` (optional) is sent as ``X-API-Key`` on every request.
+
+    Transient failures are retried with bounded exponential backoff
+    plus jitter: a 429/503 answer (the server refused before doing any
+    work — ``Retry-After`` is honoured when present) retries for any
+    method, while connection-level errors retry only for idempotent
+    methods (GET/DELETE), since a lost reply to a POST may have
+    mutated state.  ``retries=0`` restores fail-fast behaviour.
     """
 
     def __init__(
@@ -308,11 +361,29 @@ class HttpServiceClient(_BaseClient):
         base_url: str,
         timeout_s: float = 60.0,
         api_key: Optional[str] = None,
+        retries: int = 2,
+        backoff_s: float = 0.1,
+        max_backoff_s: float = 2.0,
+        headers: Optional[dict] = None,
     ) -> None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
         self.base_url = base_url.rstrip("/")
         self.timeout_s = float(timeout_s)
         self.api_key = api_key
+        #: Extra headers sent on every request (e.g. a default
+        #: ``X-Request-Deadline-Ms`` budget).
+        self.extra_headers = dict(headers or {})
+        self.retries = int(retries)
+        self.backoff_s = float(backoff_s)
+        self.max_backoff_s = float(max_backoff_s)
+        self.retried = 0
         self.last_headers = {}
+
+    def _backoff(self, attempt: int) -> float:
+        """Exponential backoff with jitter (half to full step)."""
+        step = min(self.max_backoff_s, self.backoff_s * (2 ** attempt))
+        return step * (0.5 + 0.5 * random.random())
 
     @staticmethod
     def _decode(raw_bytes: bytes, content_encoding: Optional[str]) -> dict:
@@ -322,11 +393,38 @@ class HttpServiceClient(_BaseClient):
 
     def _request(self, method: str, path: str,
                  body: Optional[dict]) -> dict:
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, body)
+            except ServiceClientError as exc:
+                if (exc.status not in _TRANSIENT_STATUSES
+                        or attempt >= self.retries):
+                    raise
+                delay = _retry_after_s(self.last_headers)
+                if delay is None:
+                    delay = self._backoff(attempt)
+                delay = min(delay, self.max_backoff_s)
+            except urllib.error.URLError:
+                # Transport failure: the request may or may not have
+                # reached the server, so only idempotent methods are
+                # safe to fire again.
+                if (method not in _IDEMPOTENT_METHODS
+                        or attempt >= self.retries):
+                    raise
+                delay = self._backoff(attempt)
+            attempt += 1
+            self.retried += 1
+            time.sleep(delay)
+
+    def _request_once(self, method: str, path: str,
+                      body: Optional[dict]) -> dict:
         data = None
         headers = {
             "Accept": "application/json",
             "Accept-Encoding": "gzip",
         }
+        headers.update(self.extra_headers)
         if self.api_key is not None:
             headers["X-API-Key"] = self.api_key
         if body is not None:

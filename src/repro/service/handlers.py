@@ -18,11 +18,14 @@ from __future__ import annotations
 
 import math
 import os
+import time
 from typing import Callable, Dict, List, Mapping
 
 from .. import __version__
 from ..framework import Objective
 from ..lppm import available_lppms, lppm_class, primary_param
+from ..resilience.breaker import default_registry
+from ..resilience.faults import fire as _fire_fault
 from ..scenarios import SCENARIO_KINDS, ScenarioSpec
 from .jobs import JOB_ENDPOINTS, JobManager
 from .middleware import (
@@ -30,6 +33,7 @@ from .middleware import (
     Field,
     Request,
     ServiceError,
+    check_deadline,
     validate_body,
 )
 from .state import ServiceState
@@ -444,6 +448,7 @@ def make_handlers(
                 503, "shutting-down",
                 "the streaming layer is draining; retry against a "
                 "fresh instance",
+                headers={"Retry-After": "1"},
             )
         except ValueError as exc:
             # Records were validated above, so a ValueError here is the
@@ -488,8 +493,13 @@ def make_handlers(
     # which owns the middleware instances)
     # ------------------------------------------------------------------
     def healthz(request: Request) -> dict:
+        degraded = default_registry().degraded()
         return {
-            "status": "ok",
+            # Degraded-but-serving is the resilience layer's contract:
+            # any disk tier whose circuit breaker is not closed flips
+            # the status, and the tier list names the casualties.
+            "status": "degraded" if degraded else "ok",
+            "degraded": degraded,
             "version": __version__,
             "uptime_s": round(state.uptime_s, 3),
             # Which process answered, and whether it shares warm state
@@ -514,7 +524,7 @@ def make_handlers(
             "scenarios": state.n_scenarios,
         }
 
-    return {
+    handlers = {
         "POST /protect": protect,
         "POST /sweep": sweep,
         "POST /configure": configure,
@@ -526,6 +536,52 @@ def make_handlers(
         "DELETE /stream/<session>": stream_close,
         "GET /healthz": healthz,
     }
+    # Every handler except the liveness probe carries the
+    # handler.slow / handler.error fault points — healthz must stay
+    # truthful even under chaos, it is how the harness tells a slow
+    # daemon from a dead one.
+    return {
+        endpoint: (
+            handler if endpoint == "GET /healthz"
+            else _with_fault_points(handler)
+        )
+        for endpoint, handler in handlers.items()
+    }
+
+
+def _with_fault_points(
+    handler: Callable[[Request], dict],
+) -> Callable[[Request], dict]:
+    """Wrap a handler with the ``handler.slow``/``handler.error``
+    fault points (free when the injector is inactive)."""
+
+    def probed(request: Request) -> dict:
+        delay = _fire_fault("handler.slow")
+        if delay:
+            _sleep_respecting_deadline(
+                request, 1.0 if delay is True else float(delay)
+            )
+        if _fire_fault("handler.error"):
+            raise RuntimeError("injected handler.error fault")
+        return handler(request)
+
+    return probed
+
+
+def _sleep_respecting_deadline(request: Request, seconds: float) -> None:
+    """Sleep in small slices, honouring the request's deadline.
+
+    This is what makes an injected slow handler a *deadline* test
+    rather than a hang test: the typed 504 surfaces within one slice
+    of the deadline, never ``seconds`` later.
+    """
+    remaining = max(0.0, float(seconds))
+    while remaining > 0:
+        check_deadline(request)
+        step = min(0.025, remaining)
+        time.sleep(step)
+        remaining -= step
+    check_deadline(request)
 
 
 def make_job_handlers(

@@ -296,6 +296,7 @@ class JobManager:
                 raise ServiceError(
                     503, "shutting-down",
                     "the service is draining and accepts no new jobs",
+                    headers={"Retry-After": "1"},
                 )
             if self.max_jobs_per_tenant is not None:
                 live = sum(
@@ -436,6 +437,7 @@ class JobManager:
         if self.shared_dir is None:
             return
         from ..framework.store import write_json_atomic
+        from ..resilience.breaker import write_guarded
 
         payload = {
             "format_version": 1,
@@ -443,8 +445,11 @@ class JobManager:
             "snapshot": job.snapshot(include_result=True),
         }
         try:
-            write_json_atomic(payload, self._job_path(job.id))
-        except (OSError, TypeError, ValueError):
+            write_guarded(
+                "job_store",
+                lambda: write_json_atomic(payload, self._job_path(job.id)),
+            )
+        except (TypeError, ValueError):
             pass
 
     def _unlink_shared(self, job_id: str) -> None:

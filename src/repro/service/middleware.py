@@ -57,6 +57,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
+from ..engine import EvaluationCancelled
+
 __all__ = [
     "Request",
     "Response",
@@ -71,9 +73,13 @@ __all__ = [
     "ApiKeyAuthMiddleware",
     "ApiKeyStore",
     "RateLimitMiddleware",
+    "DeadlineMiddleware",
+    "LoadShedMiddleware",
     "ValidationMiddleware",
     "ResponseCacheMiddleware",
     "Field",
+    "check_deadline",
+    "DEADLINE_HEADER",
     "validate_body",
     "canonical_body_key",
     "header_value",
@@ -838,6 +844,190 @@ class RateLimitMiddleware(Middleware):
 
 
 # ----------------------------------------------------------------------
+# Deadlines and load shedding
+# ----------------------------------------------------------------------
+#: Request header carrying the client's time budget in milliseconds.
+DEADLINE_HEADER = "X-Request-Deadline-Ms"
+
+
+def check_deadline(request: Request) -> None:
+    """Raise the typed 504 if the request's deadline has passed.
+
+    Cheap and callable from anywhere that can see the request —
+    handlers, fault points, pipeline stages.  No-op for requests that
+    carried no deadline.
+    """
+    deadline = request.context.get("deadline")
+    if deadline is None:
+        return
+    clock = request.context.get("deadline_clock", time.monotonic)
+    if clock() >= deadline:  # type: ignore[operator]
+        raise ServiceError(
+            504, "deadline-exceeded",
+            "the request's deadline elapsed before the response "
+            "was ready",
+            details={
+                "deadline_ms": request.context.get("deadline_ms"),
+            },
+        )
+
+
+class DeadlineMiddleware(Middleware):
+    """Propagate a client deadline into the request and the engine.
+
+    Requests may carry ``X-Request-Deadline-Ms``, a time budget in
+    milliseconds.  The middleware stamps the absolute deadline into
+    ``request.context`` (where :func:`check_deadline` and the fault
+    points read it) and — when built with an engine — installs a
+    ``should_cancel`` hook for the calling thread, so a sweep that is
+    mid-evaluation stops between chunks instead of finishing minutes
+    after the client gave up.  Both paths surface as one typed
+    ``504 deadline-exceeded``; completed chunks stay cached, so a
+    retry with a saner budget resumes rather than restarts.
+
+    Deadlines bound *synchronous* work: an async submit returns its
+    202 well within any sane budget and the job then runs on a worker
+    thread, outside this middleware's hook scope.
+    """
+
+    name = "deadline"
+
+    def __init__(
+        self,
+        engine=None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.engine = engine
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.with_deadline = 0
+        self.expired = 0
+
+    def handle(self, request: Request, call_next: Handler) -> Response:
+        raw = header_value(request, DEADLINE_HEADER)
+        if raw is None:
+            return call_next(request)
+        try:
+            budget_ms = float(raw)
+        except ValueError:
+            budget_ms = math.nan
+        if not math.isfinite(budget_ms) or budget_ms <= 0:
+            raise ServiceError(
+                400, "invalid-deadline",
+                f"{DEADLINE_HEADER} must be a positive number of "
+                f"milliseconds, got {raw!r}",
+            )
+        deadline = self._clock() + budget_ms / 1000.0
+        request.context["deadline"] = deadline
+        request.context["deadline_ms"] = budget_ms
+        request.context["deadline_clock"] = self._clock
+        with self._lock:
+            self.with_deadline += 1
+
+        def overdue() -> bool:
+            return self._clock() >= deadline
+
+        try:
+            if self.engine is not None:
+                with self.engine.hooks(should_cancel=overdue):
+                    return call_next(request)
+            return call_next(request)
+        except EvaluationCancelled:
+            with self._lock:
+                self.expired += 1
+            raise ServiceError(
+                504, "deadline-exceeded",
+                "evaluation stopped between chunks: the request's "
+                "deadline elapsed mid-sweep (completed chunks stay "
+                "cached)",
+                details={"deadline_ms": budget_ms},
+            )
+        except ServiceError as exc:
+            if exc.code == "deadline-exceeded":
+                with self._lock:
+                    self.expired += 1
+            raise
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "with_deadline": self.with_deadline,
+                "expired": self.expired,
+            }
+
+
+class LoadShedMiddleware(Middleware):
+    """Bounded in-flight depth: refuse early what cannot be served.
+
+    With ``max_in_flight`` set, request number N+1 gets an immediate
+    typed ``503 overloaded`` with ``Retry-After`` instead of queueing
+    behind work the worker cannot start — bounded latency beats a
+    deep queue of doomed requests.  Liveness endpoints are exempt for
+    the same reason they skip auth: probes must see a struggling
+    worker, not be shed by it.  ``max_in_flight=None`` disables
+    shedding but keeps the layer (and its counters) in the pipeline.
+    """
+
+    name = "load_shed"
+
+    def __init__(
+        self,
+        max_in_flight: Optional[int] = None,
+        exempt: Sequence[str] = UNAUTHENTICATED_ENDPOINTS,
+        retry_after_s: int = 1,
+    ) -> None:
+        if max_in_flight is not None and max_in_flight < 1:
+            raise ValueError(
+                "max_in_flight must be at least 1 (or None to disable)"
+            )
+        self.max_in_flight = (
+            int(max_in_flight) if max_in_flight is not None else None
+        )
+        self.exempt = frozenset(exempt)
+        self.retry_after_s = int(retry_after_s)
+        self._lock = threading.Lock()
+        self.in_flight = 0
+        self.peak_in_flight = 0
+        self.shed = 0
+
+    def handle(self, request: Request, call_next: Handler) -> Response:
+        if self.max_in_flight is None or request.endpoint in self.exempt:
+            return call_next(request)
+        with self._lock:
+            if self.in_flight >= self.max_in_flight:
+                self.shed += 1
+                overloaded = True
+            else:
+                self.in_flight += 1
+                self.peak_in_flight = max(
+                    self.peak_in_flight, self.in_flight
+                )
+                overloaded = False
+        if overloaded:
+            raise ServiceError(
+                503, "overloaded",
+                f"{self.max_in_flight} requests already in flight on "
+                f"this worker; retry shortly",
+                details={"max_in_flight": self.max_in_flight},
+                headers={"Retry-After": str(self.retry_after_s)},
+            )
+        try:
+            return call_next(request)
+        finally:
+            with self._lock:
+                self.in_flight -= 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "max_in_flight": self.max_in_flight,
+                "in_flight": self.in_flight,
+                "peak_in_flight": self.peak_in_flight,
+                "shed": self.shed,
+            }
+
+
+# ----------------------------------------------------------------------
 # Validation
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -1051,8 +1241,10 @@ class ResponseCacheMiddleware(Middleware):
         return Response(status=status, body=body, headers=headers)
 
     def _write_spill(self, key: str, response: Response) -> None:
-        """Persist one stored response; IO failures only cost warmth."""
+        """Persist one stored response; IO failures only cost warmth
+        (and count against the ``response_spill`` circuit breaker)."""
         from ..framework.store import write_json_atomic
+        from ..resilience.breaker import write_guarded
 
         payload = {
             "format_version": 1,
@@ -1062,8 +1254,11 @@ class ResponseCacheMiddleware(Middleware):
             "headers": dict(response.headers),
         }
         try:
-            write_json_atomic(payload, self._spill_path(key))
-        except (OSError, TypeError, ValueError):
+            write_guarded(
+                "response_spill",
+                lambda: write_json_atomic(payload, self._spill_path(key)),
+            )
+        except (TypeError, ValueError):
             pass
 
     def handle(self, request: Request, call_next: Handler) -> Response:

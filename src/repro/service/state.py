@@ -451,15 +451,21 @@ class ServiceState:
                     "tenant": tenant_key,
                     "scenarios": [s.to_jsonable() for s in registry.specs()],
                 }
-                try:
-                    write_json_atomic(payload, path)
-                    self._scenario_mtimes[tenant_key] = (
-                        os.stat(path).st_mtime_ns
-                    )
-                except OSError:
-                    # Persistence is best-effort: the local registry is
-                    # authoritative for this worker either way.
-                    pass
+                # Persistence is best-effort through the ``scenarios``
+                # circuit breaker: the local registry is authoritative
+                # for this worker either way.
+                from ..resilience.breaker import write_guarded
+
+                if write_guarded(
+                    "scenarios",
+                    lambda: write_json_atomic(payload, path),
+                ):
+                    try:
+                        self._scenario_mtimes[tenant_key] = (
+                            os.stat(path).st_mtime_ns
+                        )
+                    except OSError:
+                        pass
         return registry
 
     def _key_spec_of(

@@ -403,6 +403,8 @@ class SessionManager:
         if self.flush_dir is not None:
             from pathlib import Path
 
+            from ..resilience.breaker import write_guarded
+
             tenant, name = key
             payload = {
                 "format_version": 1,
@@ -412,10 +414,16 @@ class SessionManager:
                 "evicted": bool(evicted),
                 "metrics": final,
             }
-            write_json_atomic(
-                payload,
+            shard = (
                 Path(self.flush_dir)
-                / f"flush-{counter:06d}-{abs(hash(key)) % 10**8:08d}.json",
+                / f"flush-{counter:06d}-{abs(hash(key)) % 10**8:08d}.json"
+            )
+            # Best-effort through the ``stream_flush`` breaker: losing
+            # a flush shard on a full disk must not fail the close or
+            # eviction that triggered it.
+            write_guarded(
+                "stream_flush",
+                lambda: write_json_atomic(payload, shard),
             )
         return final
 

@@ -219,3 +219,89 @@ class TestConcurrentWriters:
         leftovers = [p.name for p in tmp_path.iterdir()
                      if p.suffix != ".json"]
         assert leftovers == []  # no .tmp orphans, nothing quarantined
+
+
+_FAULTED_WRITER_PROGRAM = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.framework import read_eval_record, save_eval_record
+from repro.resilience import default_injector
+
+root = {root!r}
+injector = default_injector()
+for round_no in range({rounds}):
+    for key in range({keys}):
+        path = f"{{root}}/key{{key}}.json"
+        # Every few writes this process's disk "fails": one counted
+        # ENOSPC, alternating between a clean refusal and a torn file
+        # left at the final path.
+        if (round_no * {keys} + key) % 5 == {phase}:
+            mode = "disk.write:1:partial" if round_no % 2 else "disk.write:1"
+            injector.configure(mode)
+        try:
+            save_eval_record(
+                {{"fingerprint": f"fp{{key}}",
+                  "privacy": key * 0.1, "utility": key * 0.2}},
+                path,
+            )
+        except OSError:
+            pass  # a full disk fails the write, never the writer
+        loaded = read_eval_record(path)
+        if loaded is not None and loaded["fingerprint"] != f"fp{{key}}":
+            sys.exit(3)
+injector.clear()
+# A final clean pass heals every key the faults may have torn.
+for key in range({keys}):
+    save_eval_record(
+        {{"fingerprint": f"fp{{key}}",
+          "privacy": key * 0.1, "utility": key * 0.2}},
+        f"{{root}}/key{{key}}.json",
+    )
+"""
+
+
+class TestConcurrentWritersUnderFaults:
+    def test_hammer_with_injected_enospc_and_torn_writes(self, tmp_path):
+        """The same hammer, now with each writer suffering periodic
+        injected ``ENOSPC`` failures — half of them leaving a torn
+        file at the final path.  Sibling readers must still never see
+        a wrong record (torn files quarantine to misses), writers must
+        exit 0, and after a final clean pass every key reads back
+        complete with no ``.tmp`` orphans left behind.
+        """
+        src = str(Path(repro.__file__).parents[1])
+        n_keys, n_rounds = 6, 40
+        writers = [
+            subprocess.Popen([
+                sys.executable, "-c",
+                _FAULTED_WRITER_PROGRAM.format(
+                    src=src, root=str(tmp_path), rounds=n_rounds,
+                    keys=n_keys, phase=phase,
+                ),
+            ])
+            for phase in (1, 3)
+        ]
+        try:
+            while any(w.poll() is None for w in writers):
+                for key in range(n_keys):
+                    loaded = read_eval_record(tmp_path / f"key{key}.json")
+                    if loaded is not None:
+                        assert loaded["fingerprint"] == f"fp{key}"
+                        assert loaded["privacy"] == pytest.approx(key * 0.1)
+        finally:
+            for w in writers:
+                w.wait(timeout=60.0)
+        assert [w.returncode for w in writers] == [0, 0]
+
+        for key in range(n_keys):
+            loaded = read_eval_record(tmp_path / f"key{key}.json")
+            assert loaded is not None
+            assert loaded["utility"] == pytest.approx(key * 0.2)
+        # Quarantined casualties of the torn writes are expected; what
+        # must never survive is a .tmp orphan (the atomic writer's
+        # discipline) or an unreadable live key (checked above).
+        leftovers = [
+            p.name for p in tmp_path.iterdir()
+            if p.suffix not in (".json", ".corrupt")
+        ]
+        assert leftovers == []

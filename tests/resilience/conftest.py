@@ -1,0 +1,27 @@
+"""Hygiene for the process-global resilience singletons.
+
+The injector, the breaker registry and the event log are process-wide
+by design (production code probes them from every layer), which means
+a chaos test that arms faults or opens breakers would leak state into
+its neighbours.  Every test in this package gets a clean slate on the
+way out.
+"""
+
+import pytest
+
+from repro.resilience import (
+    default_injector,
+    default_registry,
+    reset_events,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_resilience_state():
+    default_injector().clear()
+    default_registry().reset()
+    reset_events()
+    yield
+    default_injector().clear()
+    default_registry().reset()
+    reset_events()

@@ -1,0 +1,170 @@
+"""Chaos suite: the real daemon, booted under injected faults.
+
+Each scenario starts ``repro-lppm serve`` in a subprocess with a
+``--fault-spec`` and pins the resilience layer's end-to-end contract:
+a worker crash mid-sweep is invisible in the payload (bit-identical to
+a fault-free run), a full disk degrades the daemon without costing a
+single 2xx, and a slow handler past its deadline surfaces as a typed
+504 within the acceptance bound — never a hang, never a bare 500.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.service import HttpServiceClient, ServiceClientError
+
+SRC_ROOT = Path(repro.__file__).parents[1]
+_LISTENING = re.compile(r"listening on (http://[\d.]+:\d+)")
+
+SWEEP_BODY = {
+    "dataset": {"workload": "taxi", "users": 3, "seed": 11},
+    "points": 4,
+    "replications": 1,
+}
+
+
+class _Daemon:
+    """One ``serve`` subprocess: boot, talk, drain, read its log."""
+
+    def __init__(self, *extra_args):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC_ROOT) + (
+            os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH") else ""
+        )
+        env.pop("REPRO_FAULT_SPEC", None)
+        self.process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--port", "0", "--workers", "1", "--grace", "5",
+             *extra_args],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env,
+        )
+        self.base_url = None
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            line = self.process.stdout.readline()
+            if not line:
+                break
+            match = _LISTENING.search(line)
+            if match:
+                self.base_url = match.group(1)
+                break
+        assert self.base_url is not None, "daemon never announced itself"
+
+    def stop(self) -> str:
+        """SIGTERM the daemon and return its remaining output."""
+        if self.process.poll() is None:
+            self.process.send_signal(signal.SIGTERM)
+            try:
+                self.process.wait(timeout=30.0)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait(timeout=10.0)
+        return self.process.stdout.read() or ""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.stop()
+
+
+class TestWorkerCrashMidSweep:
+    def test_crashed_pool_sweep_is_bit_identical(self):
+        """pool.crash:1 kills a pool worker mid-sweep; the rebuilt
+        pool replays the batch and the payload matches a fault-free
+        daemon's bit for bit."""
+        with _Daemon("--fault-spec", "pool.crash:1",
+                     "--engine", "process", "--jobs", "2") as chaotic:
+            client = HttpServiceClient(chaotic.base_url, timeout_s=120.0)
+            crashed = client.sweep(**SWEEP_BODY)
+            resilience = client.metrics()["resilience"]
+            log = chaotic.stop()
+        assert resilience["events"].get("pool.rebuilt", 0) >= 1
+        assert resilience["faults"]["fired"].get("pool.crash") == 1
+        assert "pool.rebuilt" in log or resilience["events"]
+
+        with _Daemon("--engine", "process", "--jobs", "2") as clean:
+            client = HttpServiceClient(clean.base_url, timeout_s=120.0)
+            fault_free = client.sweep(**SWEEP_BODY)
+        assert crashed["points"] == fault_free["points"]
+
+    def test_double_crash_degrades_to_serial(self):
+        """A second crash on the rebuilt pool falls back to the serial
+        backend — slower, still correct, and logged as degradation."""
+        with _Daemon("--fault-spec", "pool.crash:2",
+                     "--engine", "process", "--jobs", "2") as daemon:
+            client = HttpServiceClient(daemon.base_url, timeout_s=180.0)
+            result = client.sweep(**SWEEP_BODY)
+            events = client.metrics()["resilience"]["events"]
+        assert len(result["points"]) == 4
+        assert events.get("pool.serial-fallback", 0) >= 1
+
+
+class TestDiskFullMidSpill:
+    def test_degraded_tiers_keep_answering_2xx(self, tmp_path):
+        """Every disk.write fails, yet every request answers 2xx; the
+        tier breakers open and healthz flips to degraded."""
+        with _Daemon("--fault-spec", "disk.write:500",
+                     "--cache-dir", str(tmp_path)) as daemon:
+            client = HttpServiceClient(daemon.base_url, timeout_s=120.0)
+            for seed in range(4):
+                result = client.sweep(
+                    dataset={"workload": "taxi", "users": 3, "seed": seed},
+                    points=2, replications=1,
+                )
+                assert len(result["points"]) == 2
+            health = client.healthz()
+            metrics = client.metrics()["resilience"]
+        assert health["status"] == "degraded"
+        assert health["degraded"], "no tier reported degraded"
+        open_tiers = [
+            tier for tier, snap in metrics["breakers"].items()
+            if snap["state"] == "open"
+        ]
+        assert open_tiers, f"no open breakers in {metrics['breakers']}"
+        assert metrics["events"].get("breaker.open", 0) >= 1
+
+    def test_sweep_result_survives_the_full_disk(self, tmp_path):
+        """Degraded persistence never changes answers: the faulted
+        daemon's payload matches a healthy daemon's."""
+        with _Daemon("--fault-spec", "disk.write:500",
+                     "--cache-dir", str(tmp_path)) as degraded:
+            client = HttpServiceClient(degraded.base_url, timeout_s=120.0)
+            faulted = client.sweep(**SWEEP_BODY)
+        with _Daemon() as healthy:
+            client = HttpServiceClient(healthy.base_url, timeout_s=120.0)
+            clean = client.sweep(**SWEEP_BODY)
+        assert faulted["points"] == clean["points"]
+
+
+class TestDeadlinePastSlowHandler:
+    def test_typed_504_within_the_bound(self):
+        """A 5 s handler stall against a 300 ms deadline answers a
+        typed 504 in < deadline + 250 ms."""
+        with _Daemon("--fault-spec", "handler.slow:1:5.0") as daemon:
+            client = HttpServiceClient(
+                daemon.base_url, timeout_s=30.0,
+                retries=0,
+                headers={"X-Request-Deadline-Ms": "300"},
+            )
+            started = time.monotonic()
+            with pytest.raises(ServiceClientError) as excinfo:
+                client.datasets()
+            elapsed = time.monotonic() - started
+            # A fresh request without the stalled fault is unharmed.
+            assert "error" not in client.datasets()
+        assert excinfo.value.status == 504
+        assert excinfo.value.code == "deadline-exceeded"
+        assert elapsed < 0.300 + 0.250

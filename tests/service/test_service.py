@@ -334,8 +334,8 @@ class TestRouting:
         metrics = client.metrics()
         assert metrics["pipeline"] == [
             "request_id", "compression", "logging", "metrics",
-            "error_boundary", "auth", "rate_limit", "validation",
-            "response_cache",
+            "error_boundary", "auth", "rate_limit", "load_shed",
+            "deadline", "validation", "response_cache",
         ]
 
     def test_unrouted_paths_share_one_metrics_bucket(self, fresh_client):

@@ -30,11 +30,30 @@ two extra steps prove the fleet behaves like one service:
    a job submitted to one worker is polled to ``done`` through
    another via the shared job store.
 
+With ``--fault-spec {worker-crash,disk-full}`` the tool runs a *chaos*
+profile instead: the daemon boots with injected faults and the steps
+pin degraded-but-correct behaviour end to end —
+
+* **worker-crash** — ``pool.crash:1`` kills a process-pool worker mid
+  sweep; the job must still reach ``done`` with a payload bit-identical
+  to an immediate fault-free repeat, and ``/metrics`` must record the
+  ``pool.rebuilt`` degradation event;
+* **disk-full** — every ``write_json_atomic`` fails with ``ENOSPC``;
+  every request must keep answering 2xx while the tier circuit
+  breakers open, ``/healthz`` flips to ``degraded`` and ``/metrics``
+  carries the breaker states.
+
+``--events-log PATH`` captures the daemon's output (the degradation
+event log) plus the final resilience metrics — CI uploads it as an
+artifact.
+
 Exit status 0 when every step passes; a JSON summary (``--json``) is
 written for CI artifacts either way.  CI runs this in the smoke job.
 
 Run:  PYTHONPATH=src python tools/job_smoke.py [--json out.json]
       PYTHONPATH=src python tools/job_smoke.py --processes 2
+      PYTHONPATH=src python tools/job_smoke.py --processes 2 \\
+          --fault-spec worker-crash --events-log chaos.log
 """
 
 from __future__ import annotations
@@ -43,6 +62,7 @@ import argparse
 import json
 import os
 import re
+import shutil
 import signal
 import subprocess
 import sys
@@ -60,9 +80,19 @@ _LISTENING = re.compile(r"listening on (http://[\d.]+:\d+)")
 SMOKE_KEY = "smoke-ci-key"
 SMOKE_TENANT = "smoke"
 
+# Named chaos profiles: what --fault-spec accepts, mapped to the raw
+# injector spec the daemon boots with.
+FAULT_PROFILES = {
+    "worker-crash": "pool.crash:1",
+    "disk-full": "disk.write:500",
+}
+
 
 def start_daemon(
-    workers: int, api_keys_path: str, processes: int = 1
+    workers: int,
+    api_keys_path: str,
+    processes: int = 1,
+    extra_args: "tuple[str, ...]" = (),
 ) -> "tuple[subprocess.Popen, str]":
     env = dict(os.environ)
     env["PYTHONPATH"] = (
@@ -74,6 +104,7 @@ def start_daemon(
                "--api-keys", api_keys_path]
     if processes > 1:
         command += ["--processes", str(processes)]
+    command += list(extra_args)
     process = subprocess.Popen(
         command,
         stdout=subprocess.PIPE,
@@ -94,6 +125,171 @@ def start_daemon(
     raise SystemExit("FAIL: daemon never announced its address")
 
 
+def _poll_resilience(client, predicate, timeout_s: float = 60.0):
+    """Poll ``/metrics`` until the resilience block satisfies
+    ``predicate``.  Pre-fork workers keep per-process counters and the
+    kernel spreads fresh connections across them, so repeated probes
+    eventually land on the worker that lived through the fault.
+    """
+    deadline = time.monotonic() + timeout_s
+    last = {}
+    while time.monotonic() < deadline:
+        last = client.metrics().get("resilience", {})
+        if predicate(last):
+            return last
+        time.sleep(0.2)
+    return None
+
+
+def run_chaos(args: argparse.Namespace) -> int:
+    spec = FAULT_PROFILES[args.fault_spec]
+    summary: dict = {
+        "profile": args.fault_spec, "fault_spec": spec,
+        "processes": args.processes, "steps": {}, "ok": False,
+    }
+    extra = ["--fault-spec", spec]
+    cache_dir = None
+    if args.fault_spec == "worker-crash":
+        # The crash only bites a process pool: force the engine onto
+        # one with a small enough chunking that the sweep spans it.
+        extra += ["--engine", "process", "--jobs", "2"]
+    else:
+        cache_dir = tempfile.mkdtemp(prefix="chaos-cache-")
+        extra += ["--cache-dir", cache_dir]
+
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".keys", delete=False
+    ) as keyfile:
+        keyfile.write(f"# chaos credentials\n{SMOKE_KEY}:{SMOKE_TENANT}\n")
+        api_keys_path = keyfile.name
+    process, base_url = start_daemon(
+        args.workers, api_keys_path,
+        processes=args.processes, extra_args=tuple(extra),
+    )
+    client = HttpServiceClient(base_url, timeout_s=60.0, api_key=SMOKE_KEY)
+    print(f"chaos daemon up at {base_url} (pid {process.pid}, "
+          f"profile {args.fault_spec!r} = {spec!r}, "
+          f"{args.processes} process(es))")
+
+    resilience = None
+    try:
+        if args.fault_spec == "worker-crash":
+            # -- a pool worker dies mid-sweep; the answer is unharmed -
+            body = {"dataset": {"workload": "taxi", "users": 4, "seed": 7},
+                    "points": 5, "replications": 1}
+            job = client.submit("sweep", body)
+            final = client.wait(job["job_id"], timeout_s=180.0)
+            assert final["status"] == "done", final
+            crashed = final["result"]
+            assert len(crashed["points"]) == 5, crashed
+            # The fault fired and consumed itself: an immediate repeat
+            # is fault-free and must be bit-identical.
+            repeat = client.sweep(dataset=body["dataset"],
+                                  points=5, replications=1)
+            assert repeat["points"] == crashed["points"], (
+                "sweep through the crashed pool diverged from the "
+                "fault-free repeat"
+            )
+            resilience = _poll_resilience(
+                client,
+                lambda r: r.get("events", {}).get("pool.rebuilt", 0) >= 1,
+            )
+            assert resilience is not None, (
+                "no worker reported a pool.rebuilt degradation event"
+            )
+            assert resilience["faults"]["fired"].get("pool.crash", 0) >= 1
+            summary["steps"]["worker_crash"] = {
+                "ok": True,
+                "pool_rebuilt_events":
+                    resilience["events"]["pool.rebuilt"],
+                "result_identical": True,
+            }
+            print("worker-crash: pool worker killed mid-sweep, batch "
+                  "replayed on a rebuilt pool, payload bit-identical "
+                  "to the fault-free repeat")
+        else:
+            # -- every disk write fails; not one request may 5xx ------
+            sweeps, health = 0, None
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                result = client.sweep(
+                    dataset={"workload": "taxi", "users": 3,
+                             "seed": sweeps},
+                    points=2, replications=1,
+                )
+                assert len(result["points"]) == 2, result
+                sweeps += 1
+                probe = client.healthz()
+                if probe["status"] == "degraded" and probe["degraded"]:
+                    health = probe
+                    break
+            assert health is not None, (
+                f"healthz never reported degradation after {sweeps} "
+                "sweeps on a dead disk"
+            )
+            resilience = _poll_resilience(
+                client,
+                lambda r: any(
+                    snap.get("state") == "open"
+                    for snap in r.get("breakers", {}).values()
+                ),
+            )
+            assert resilience is not None, "no breaker opened"
+            open_tiers = sorted(
+                tier for tier, snap in resilience["breakers"].items()
+                if snap["state"] == "open"
+            )
+            summary["steps"]["disk_full"] = {
+                "ok": True, "sweeps_all_2xx": sweeps,
+                "degraded": health["degraded"],
+                "open_breakers": open_tiers,
+            }
+            print(f"disk-full: {sweeps} sweeps all answered 2xx on a "
+                  f"dead disk; degraded tiers {health['degraded']}, "
+                  f"open breakers {open_tiers}")
+
+        # -- SIGTERM still drains a degraded daemon -------------------
+        process.send_signal(signal.SIGTERM)
+        returncode = process.wait(timeout=30.0)
+        summary["steps"]["sigterm"] = {"ok": returncode == 0,
+                                       "returncode": returncode}
+        assert returncode == 0, f"daemon exited {returncode} on SIGTERM"
+        print("sigterm: degraded daemon drained and exited 0")
+
+        summary["ok"] = True
+        print(f"\nchaos smoke [{args.fault_spec}]: all steps passed")
+        return 0
+    except (AssertionError, ServiceClientError, TimeoutError) as exc:
+        summary["error"] = str(exc)
+        print(f"\nFAIL: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10.0)
+        if args.events_log:
+            try:
+                tail = process.stdout.read() or ""
+            except (OSError, ValueError):
+                tail = ""
+            with open(args.events_log, "w", encoding="utf-8") as fh:
+                fh.write(f"# chaos profile: {args.fault_spec} "
+                         f"(fault spec {spec!r})\n")
+                fh.write(tail)
+                if resilience is not None:
+                    fh.write("\n--- final resilience metrics ---\n")
+                    fh.write(json.dumps(resilience, indent=2,
+                                        sort_keys=True) + "\n")
+            print(f"degradation-event log written to {args.events_log}")
+        os.unlink(api_keys_path)
+        if cache_dir:
+            shutil.rmtree(cache_dir, ignore_errors=True)
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(summary, fh, indent=2, sort_keys=True)
+            print(f"summary written to {args.json}")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--json", metavar="PATH", default=None,
@@ -104,7 +300,20 @@ def main() -> int:
     parser.add_argument("--processes", type=int, default=1,
                         help="pre-fork worker processes; > 1 adds the "
                              "cross-worker warmth steps")
+    parser.add_argument("--fault-spec", choices=sorted(FAULT_PROFILES),
+                        default=None,
+                        help="run a chaos profile instead of the "
+                             "normal suite: boot the daemon with "
+                             "injected faults and pin degraded-but-"
+                             "correct behaviour")
+    parser.add_argument("--events-log", metavar="PATH", default=None,
+                        help="chaos mode: write the daemon's "
+                             "degradation-event log (plus the final "
+                             "resilience metrics) to this file")
     args = parser.parse_args()
+
+    if args.fault_spec:
+        return run_chaos(args)
 
     summary: dict = {"steps": {}, "ok": False}
     with tempfile.NamedTemporaryFile(
